@@ -1,0 +1,10 @@
+"""Benchmark-suite helpers: print each regenerated table/figure."""
+
+from __future__ import annotations
+
+
+def emit(report: str) -> None:
+    """Print a regenerated table/figure so it lands in bench_output.txt."""
+    print()
+    print(report)
+    print()

@@ -1,0 +1,21 @@
+"""Fig 1.1 — GPU vs CPU peak floating-point performance by generation."""
+
+from conftest import emit
+
+from repro.bench.harness import run_fig_1_1
+
+
+def test_fig_1_1_gpu_cpu_flops_gap(benchmark):
+    exp = benchmark.pedantic(run_fig_1_1, rounds=3, iterations=1)
+    emit(exp.report)
+    gpu = exp.data["gpu"]
+    cpu = exp.data["cpu"]
+    years = sorted(gpu)
+    # The GPU leads every year, by a large (roughly order-of-magnitude)
+    # factor at the G80 point, and its curve grows much faster.
+    for year in years:
+        assert gpu[year] > 2 * cpu[year]
+    assert gpu[years[-1]] / cpu[years[-1]] >= 4
+    gpu_growth = gpu[years[-1]] / gpu[years[0]]
+    cpu_growth = cpu[years[-1]] / cpu[years[0]]
+    assert gpu_growth > cpu_growth

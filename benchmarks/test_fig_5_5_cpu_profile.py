@@ -1,0 +1,23 @@
+"""Fig 5.5 — where the CPU Boids demo spends its cycles."""
+
+from conftest import emit
+
+from repro.bench.harness import run_fig_5_5
+
+
+def test_fig_5_5_neighbor_search_dominates(benchmark):
+    exp = benchmark.pedantic(run_fig_5_5, rounds=2, iterations=1)
+    emit(exp.report)
+    # Paper: "about 82%" of update-stage cycles at the demo population.
+    assert 0.78 <= exp.data["neighbor_share"] <= 0.90
+
+
+def test_fig_5_5_share_grows_with_population(benchmark):
+    # The O(n^2) term can only grow relative to the O(n) rest.
+    exp_small = run_fig_5_5(n=512, steps=2)
+    exp_large = benchmark.pedantic(
+        run_fig_5_5, kwargs={"n": 4096, "steps": 2}, rounds=1, iterations=1
+    )
+    emit(exp_large.report)
+    assert exp_large.data["neighbor_share"] > exp_small.data["neighbor_share"]
+    assert exp_large.data["neighbor_share"] > 0.93

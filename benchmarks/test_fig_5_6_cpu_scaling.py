@@ -1,0 +1,29 @@
+"""Fig 5.6 — CPU Boids scaling with and without think frequency."""
+
+from conftest import emit
+
+from repro.bench.harness import run_fig_5_6
+
+
+def test_fig_5_6_cpu_scaling(benchmark):
+    exp = benchmark.pedantic(run_fig_5_6, rounds=3, iterations=1)
+    emit(exp.report)
+    without = exp.data["without"]
+    with_tf = exp.data["with_tf"]
+    ns = sorted(without)
+
+    # Without think frequency: O(n^2) — doubling agents roughly quarters
+    # the update rate once the neighbor search dominates.
+    for a, b in zip(ns[1:], ns[2:]):
+        ratio = without[a] / without[b]
+        assert 3.2 <= ratio <= 4.3, f"{a}->{b}: {ratio:.2f}"
+
+    # Think frequency lifts the curve by roughly the 1/10 factor.
+    for n in ns:
+        gain = with_tf[n] / without[n]
+        assert 5.0 <= gain <= 10.5, f"n={n}: {gain:.2f}"
+
+    # But it cannot change the asymptotic complexity (§5.3): the with-TF
+    # curve still tends quadratic at scale.
+    tail_ratio = with_tf[ns[-2]] / with_tf[ns[-1]]
+    assert tail_ratio >= 3.0

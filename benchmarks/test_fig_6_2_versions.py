@@ -1,0 +1,27 @@
+"""Fig 6.2 — update rate of each development version at 4096 agents."""
+
+from conftest import emit
+
+from repro.bench.harness import PAPER_LADDER, run_fig_6_2
+
+TOLERANCE = 0.35  # ours is a model of their testbed, not their testbed
+
+
+def test_fig_6_2_version_ladder(benchmark):
+    exp = benchmark.pedantic(run_fig_6_2, rounds=1, iterations=1)
+    emit(exp.report)
+    speedups = exp.data["speedups"]
+
+    # Every paper anchor within the tolerance band.
+    for version, paper in PAPER_LADDER.items():
+        got = speedups[version]
+        assert paper * (1 - TOLERANCE) <= got <= paper * (1 + TOLERANCE), (
+            f"v{version}: {got:.1f}x vs paper {paper}x"
+        )
+
+    # The qualitative shape.
+    ladder = [speedups[v] for v in range(6)]
+    assert ladder == sorted(ladder), "versions must improve monotonically"
+    assert 2.5 <= speedups[2] / speedups[1] <= 4.5  # the shared-memory jump
+    assert 1.0 < speedups[4] / speedups[3] <= 1.25  # v4 slightly over v3
+    assert speedups[5] / speedups[4] > 1.1  # v5's transfer elision

@@ -1,0 +1,32 @@
+"""Fig 6.3 — version-5 scaling across populations, with measured
+workload statistics from live flocks."""
+
+from conftest import emit
+
+from repro.bench.harness import run_fig_6_3
+
+
+def test_fig_6_3_v5_scaling(benchmark):
+    exp = benchmark.pedantic(run_fig_6_3, rounds=1, iterations=1)
+    emit(exp.report)
+    without = exp.data["without"]
+    with_tf = exp.data["with_tf"]
+
+    # Without think frequency the O(n^2) nature is clearly visible at
+    # scale (paper: "similar behavior ... the O(n^2) nature of the
+    # problem is clearly visible").
+    assert without[16384] / without[32768] >= 3.0
+
+    # With think frequency: near-linear up to 16384 ...
+    prev = with_tf[2048]
+    for n in (4096, 8192, 16384):
+        assert prev / with_tf[n] <= 2.5, f"too steep at {n}"
+        prev = with_tf[n]
+    # ... then a sharp (paper: ~4.8x) drop at 32768 from the combination
+    # of complexity and increased warp divergence.
+    final_drop = with_tf[16384] / with_tf[32768]
+    assert 3.0 <= final_drop <= 6.5
+
+    # Think frequency dominates everywhere at scale.
+    for n in (8192, 16384, 32768):
+        assert with_tf[n] > without[n]

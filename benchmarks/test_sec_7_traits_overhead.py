@@ -1,0 +1,26 @@
+"""§7 — the pay-once cost of CuPP's kernel-signature analysis.
+
+The paper measures CuPP's template metaprogramming at compile time
+(3.1 s -> 7.3 s for the Boids scenario).  The Python analog runs once per
+``cupp.Kernel`` construction; this benchmark measures it and checks the
+shape: construction is much dearer than a bare launch configuration, but
+amortized to nothing across kernel *calls*.
+"""
+
+from conftest import emit
+
+from repro.bench.harness import run_sec_7_traits
+
+
+def test_sec_7_traits_overhead(benchmark):
+    exp = benchmark.pedantic(run_sec_7_traits, rounds=1, iterations=1)
+    emit(exp.report)
+    analysis = exp.data["analysis_s"]
+    bare = exp.data["bare_s"]
+    kernel = exp.data["kernel_s"]
+    # The analysis dominates Kernel construction and dwarfs a bare config.
+    assert kernel >= analysis * 0.5
+    assert kernel > 5 * bare
+    # But it stays a pay-once cost in the microsecond range — nothing
+    # that appears per launch.
+    assert analysis < 5e-3

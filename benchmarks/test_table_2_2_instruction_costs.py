@@ -1,0 +1,108 @@
+"""Table 2.2 — instruction costs, measured with emulator micro-kernels.
+
+Each instruction class runs in a one-warp kernel; the measured serialized
+cycles per warp must reproduce the table row by row.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.report import format_table
+from repro.simgpu import G80_COSTS, OpClass, SimDevice
+from repro.simgpu.isa import ld, lds, op, st, sts, sync
+from repro.simgpu.memory import DeviceArrayView
+
+REPS = 50
+
+
+def _measure(device: SimDevice, body_factory) -> float:
+    """Serialized cycles per instruction: run REPS instructions in one
+    warp, subtract nothing (the kernel body is only the instruction)."""
+
+    def kernel(ctx):
+        yield from body_factory(ctx)
+
+    result = device.launch(kernel, 1, 32, ())
+    return result.profile.serialized_cycles(G80_COSTS) / REPS
+
+
+def measure_table_2_2() -> tuple[str, dict[str, float]]:
+    dev = SimDevice()
+    arr_ptr = dev.memory.alloc(4 * 32)
+    arr = DeviceArrayView(dev.memory, arr_ptr, np.dtype(np.float32), 32)
+
+    def arith(op_class):
+        def body(ctx):
+            yield op(op_class, REPS)
+
+        return body
+
+    def shared_read(ctx):
+        sh = ctx.shared_array("s", np.float32, 32)
+        for _ in range(REPS):
+            _ = yield lds(sh, ctx.thread_idx.x)
+
+    def global_read(ctx):
+        for _ in range(REPS):
+            _ = yield ld(arr, ctx.thread_idx.x)
+
+    def global_write(ctx):
+        for _ in range(REPS):
+            yield st(arr, ctx.thread_idx.x, 1.0)
+
+    def syncs(ctx):
+        for _ in range(REPS):
+            yield sync()
+
+    measured = {
+        "FADD": _measure(dev, arith(OpClass.FADD)),
+        "FMUL": _measure(dev, arith(OpClass.FMUL)),
+        "FMAD": _measure(dev, arith(OpClass.FMAD)),
+        "IADD": _measure(dev, arith(OpClass.IADD)),
+        "bitwise": _measure(dev, arith(OpClass.BITWISE)),
+        "compare": _measure(dev, arith(OpClass.COMPARE)),
+        "min/max": _measure(dev, arith(OpClass.MINMAX)),
+        "reciprocal": _measure(dev, arith(OpClass.RCP)),
+        "rsqrt": _measure(dev, arith(OpClass.RSQRT)),
+        "register access": _measure(dev, arith(OpClass.REGISTER)),
+        "shared memory access": _measure(dev, lambda ctx: shared_read(ctx)),
+        "device memory read": _measure(dev, lambda ctx: global_read(ctx)),
+        "device memory write (issue)": _measure(dev, lambda ctx: global_write(ctx)),
+        "__syncthreads (no waiting)": _measure(dev, lambda ctx: syncs(ctx)),
+    }
+    paper = {
+        "FADD": "4", "FMUL": "4", "FMAD": "4", "IADD": "4",
+        "bitwise": "4", "compare": "4", "min/max": "4",
+        "reciprocal": "16", "rsqrt": "16",
+        "register access": "0",
+        "shared memory access": ">= 4",
+        "device memory read": "400 - 600",
+        "device memory write (issue)": "fire-and-forget",
+        "__syncthreads (no waiting)": "4 + waiting",
+    }
+    rows = [(k, f"{v:.0f}", paper[k]) for k, v in measured.items()]
+    report = format_table(
+        "Table 2.2 — instruction costs (cycles per warp), measured",
+        ["instruction", "measured", "paper"],
+        rows,
+    )
+    return report, measured
+
+
+def test_table_2_2_costs(benchmark):
+    report, measured = benchmark.pedantic(
+        measure_table_2_2, rounds=2, iterations=1
+    )
+    emit(report)
+    for name in ("FADD", "FMUL", "FMAD", "IADD", "bitwise", "compare", "min/max"):
+        assert measured[name] == 4
+    assert measured["reciprocal"] == 16
+    assert measured["rsqrt"] == 16
+    assert measured["register access"] == 0
+    assert measured["shared memory access"] >= 4
+    assert 400 <= measured["device memory read"] <= 600
+    # Writes are fire-and-forget: an order of magnitude below reads.
+    assert measured["device memory write (issue)"] * 10 <= measured[
+        "device memory read"
+    ]
+    assert measured["__syncthreads (no waiting)"] == 4

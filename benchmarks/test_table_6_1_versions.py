@@ -1,0 +1,58 @@
+"""Table 6.1 — which substage each development version runs on the device.
+
+The matrix is verified two ways: statically against the VersionSpec
+registry, and *behaviourally* by running every version end-to-end on the
+emulator and checking what crossed the host/device boundary.
+"""
+
+from conftest import emit
+
+from repro.bench.report import format_table
+from repro.gpusteer import EmulatedBoids, VERSIONS
+
+
+def run_table_6_1():
+    rows = []
+    behaviour = {}
+    for v in (1, 2, 3, 4, 5):
+        spec = VERSIONS[v]
+        eb = EmulatedBoids(32, version=v, seed=2)
+        eb.step()
+        eb.step()
+        behaviour[v] = {
+            # If the host computed steering, it must have pulled the
+            # neighbor results (v1/v2) back.
+            "results_downloaded": eb.results.downloads > 0,
+            # If modification ran on the host, positions were re-uploaded
+            # for the second step's kernel.
+            "positions_reuploaded": eb.positions.uploads > 1,
+        }
+        rows.append(
+            (f"v{v}",
+             "device" if spec.neighbor_on_device else "host",
+             "device" if spec.steering_on_device else "host",
+             "device" if spec.modification_on_device else "host",
+             "yes" if spec.uses_shared_memory else "no",
+             "yes" if spec.local_mem_caching else "no")
+        )
+    report = format_table(
+        "Table 6.1 — development versions: where each substage runs",
+        ["version", "neighbor search", "steering calc", "modification",
+         "shared memory", "local-mem cache"],
+        rows,
+    )
+    return report, behaviour
+
+
+def test_table_6_1(benchmark):
+    report, behaviour = benchmark.pedantic(run_table_6_1, rounds=1, iterations=1)
+    emit(report)
+    # v1/v2: host steering needs the results; v3+: it does not.
+    assert behaviour[1]["results_downloaded"]
+    assert behaviour[2]["results_downloaded"]
+    for v in (3, 4, 5):
+        assert not behaviour[v]["results_downloaded"]
+    # v1-v4: host modification dirties state -> re-upload; v5 never does.
+    for v in (1, 2, 3, 4):
+        assert behaviour[v]["positions_reuploaded"]
+    assert not behaviour[5]["positions_reuploaded"]

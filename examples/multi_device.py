@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Multiple devices in one host thread — chapter 7's future work, built.
+
+The paper: "the CuPP framework currently misses support for multiple
+devices in one thread" (ch. 7) but "is designed to offer multiple devices
+to the same host thread with only minor interface changes" (§4.1).
+
+This example drives a 4-GPU machine from one host thread: a vector is
+*sharded* across the group, one kernel launch per device runs
+concurrently (kernel calls are asynchronous, §2.2), and the mutated
+shards gather back into the source vector.
+
+Run:  python examples/multi_device.py
+"""
+
+import numpy as np
+
+from repro.cuda import CudaMachine, global_
+from repro.cupp import DeviceGroup, DeviceVector, MultiKernel, Ref, shard
+from repro.cupp import Vector
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st
+
+
+@global_
+def smooth_kernel(ctx, v: Ref[DeviceVector]):
+    """A little stencil-ish workload: v[i] <- v[i] * 0.5 + 0.25."""
+    i = ctx.global_thread_id
+    if i < len(v):
+        x = yield ld(v.view, i)
+        yield op(OpClass.FMAD)
+        yield st(v.view, i, x * 0.5 + 0.25)
+
+
+def main() -> None:
+    # A machine with four (simulated) boards of different sizes.
+    machine = CudaMachine(
+        [
+            scaled_arch("8800 GTS board 0", 12),
+            scaled_arch("8800 GTS board 1", 12),
+            scaled_arch("8600 GT board 2", 4),
+            scaled_arch("8600 GT board 3", 4),
+        ]
+    )
+
+    with DeviceGroup(machine) as group:
+        print(f"device group of {len(group)}:")
+        for d in group:
+            print(f"  {d.name}: {d.multiprocessors} multiprocessors")
+
+        n = 512
+        v = Vector(np.zeros(n, np.float32))
+        mk = MultiKernel(smooth_kernel)
+        mk.for_chunks(group, total=n, block=32)
+
+        for step in range(3):
+            mk(group, shard(v))
+        # Fixed point of x -> x/2 + 1/4 is 1/2; three steps from 0:
+        # 0 -> .25 -> .375 -> .4375
+        result = v.to_numpy()
+        print(f"\nafter 3 sharded launches: v[0] = {result[0]} "
+              f"(expected 0.4375), all equal: {bool((result == result[0]).all())}")
+
+        busy = [d.sim.timeline.device_busy_until for d in group]
+        print("\nper-device busy-until (s):",
+              ", ".join(f"{b * 1e3:.3f}ms" for b in busy))
+        print(f"group makespan: {group.makespan_s * 1e3:.3f}ms "
+              f"(vs {sum(busy) * 1e3:.3f}ms if the devices ran serially)")
+        print("\none host thread, one CUDA-runtime binding per device — "
+              "the §3.2.1 rule is never violated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""All-pairs N-body gravity — the paper's divergence-free comparison.
+
+§6.3.1 judges the Boids kernels "even when compared with similar work,
+e.g. the N-body system implemented by NVIDIA, which does not suffer of
+divergent warps".  This example builds that comparison: an all-pairs
+gravitational kernel with the same shared-memory tiling as the Boids
+neighbor search, but with *uniform control flow* — every interaction
+executes the same instructions.
+
+The emulator shows exactly what the paper argues: the N-body kernel has
+**zero** divergent rounds, while the Boids kernel diverges on every
+in-radius insert; and both enjoy the same tiling traffic reduction.
+
+Run:  python examples/nbody.py
+"""
+
+import numpy as np
+
+from repro.cuda import global_
+from repro.cupp import ConstRef, Device, DeviceVector, Kernel, Ref, Vector
+from repro.simgpu import OpClass
+from repro.simgpu import devicelib as dl
+from repro.simgpu.isa import op, sync
+
+SOFTENING2 = 0.01
+
+
+@global_
+def nbody_forces(
+    ctx,
+    positions: ConstRef[DeviceVector],
+    masses: ConstRef[DeviceVector],
+    accel_out: Ref[DeviceVector],
+):
+    """Tiled all-pairs gravitation (GPU Gems 3 chapter 31 structure)."""
+    i = ctx.global_thread_id
+    tpb = ctx.block_dim.x
+    n = len(positions) // 3
+    s_pos = ctx.shared_array("s_pos", np.float32, tpb * 3)
+    s_mass = ctx.shared_array("s_mass", np.float32, tpb)
+
+    my_pos = yield from dl.ld_vec3(positions.view, i)
+    acc = dl.ZERO3
+    for base in range(0, n, tpb):
+        staged = yield from dl.ld_vec3(positions.view, base + ctx.thread_idx.x)
+        yield from dl.sts_vec3(s_pos, ctx.thread_idx.x, staged)
+        m = yield from _ld1(masses.view, base + ctx.thread_idx.x)
+        yield from _sts1(s_mass, ctx.thread_idx.x, m)
+        yield sync()
+        for t in range(tpb):
+            other = yield from dl.lds_vec3(s_pos, t)
+            mj = yield from _lds1(s_mass, t)
+            r = yield from dl.sub3(other, my_pos)
+            d2 = yield from dl.length_squared3(r)
+            yield op(OpClass.FADD)  # softening
+            inv = yield from dl.rsqrt(d2 + SOFTENING2)
+            yield op(OpClass.FMUL, 3)  # inv^3 * m  (no branch: softened
+            s = mj * inv * inv * inv  # self-interaction contributes 0-ish)
+            contrib = yield from dl.scale3(r, s)
+            acc = yield from dl.add3(acc, contrib)
+        yield sync()
+    yield from dl.st_vec3(accel_out.view, i, acc)
+
+
+def _ld1(view, idx):
+    from repro.simgpu.isa import ld
+
+    v = yield ld(view, idx)
+    return v
+
+
+def _lds1(view, idx):
+    from repro.simgpu.isa import lds
+
+    v = yield lds(view, idx)
+    return v
+
+
+def _sts1(view, idx, value):
+    from repro.simgpu.isa import sts
+
+    yield sts(view, idx, value)
+
+
+def reference_forces(pos: np.ndarray, mass: np.ndarray) -> np.ndarray:
+    """Vectorized oracle of the same softened gravity."""
+    r = pos[None, :, :] - pos[:, None, :]
+    d2 = (r**2).sum(axis=2) + SOFTENING2
+    s = mass[None, :] * d2**-1.5
+    return (r * s[:, :, None]).sum(axis=1)
+
+
+def main() -> None:
+    n, tpb = 64, 32
+    rng = np.random.default_rng(13)
+    pos = rng.uniform(-5, 5, (n, 3)).astype(np.float32)
+    mass = rng.uniform(0.5, 2.0, n).astype(np.float32)
+
+    device = Device()
+    positions = Vector(pos.reshape(-1), dtype=np.float32)
+    masses = Vector(mass, dtype=np.float32)
+    accel = Vector(np.zeros(3 * n, np.float32), dtype=np.float32)
+
+    kernel = Kernel(nbody_forces, n // tpb, tpb)
+    kernel(device, positions, masses, accel)
+    got = accel.to_numpy().reshape(n, 3)
+    want = reference_forces(pos.astype(np.float64), mass.astype(np.float64))
+    err = np.abs(got - want).max() / np.abs(want).max()
+    profile = device.runtime.last_launch.profile
+
+    print(f"N-body all-pairs forces, n={n}, threads/block={tpb}")
+    print(f"  max relative error vs oracle : {err:.2e}")
+    print(f"  divergent rounds             : {profile.divergent_rounds}")
+    print(f"  global-memory bytes moved    : {profile.bytes_read + profile.bytes_written:,}")
+    print(f"  shared-memory accesses       : {profile.shared_accesses:,}")
+
+    # Contrast with the Boids neighbor search on the same population.
+    from repro.gpusteer import MAX_NEIGHBORS, find_neighbors_v2
+
+    results = Vector(np.full(MAX_NEIGHBORS * n, -1, np.int32), dtype=np.int32)
+    nb = Kernel(find_neighbors_v2, n // tpb, tpb)
+    nb(device, positions, 9.0, results)
+    boids_profile = device.runtime.last_launch.profile
+    print(f"\nBoids neighbor search on the same cloud:")
+    print(f"  divergent rounds             : {boids_profile.divergent_rounds}")
+    print(
+        "\n§6.3.1: the N-body kernel 'does not suffer of divergent warps' — "
+        "uniform control flow — while the Boids insert path diverges."
+    )
+    assert profile.divergent_rounds == 0
+    assert boids_profile.divergent_rounds > 0
+    device.close()
+
+
+if __name__ == "__main__":
+    main()

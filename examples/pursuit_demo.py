@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""A second OpenSteer scenario: pursuit and evasion.
+
+OpenSteerDemo "currently offers different scenarios — among others the
+Boids scenario" (§5.3).  This example exercises the wider steering
+library (`repro.steer.behaviors_extra`): a pursuer chases an evading
+target through a field of spherical obstacles, using pursuit (predictive
+seek), evasion, obstacle avoidance, and wander — all combined exactly as
+§5.1 prescribes (steering vectors: direction = desired motion, length =
+acceleration).
+
+Run:  python examples/pursuit_demo.py
+"""
+
+from repro.steer.behaviors_extra import Wander, avoid_sphere, evade, pursue
+from repro.steer.vec3 import Vec3
+
+DT = 1.0 / 30.0
+MAX_SPEED_PURSUER = 11.0
+MAX_SPEED_EVADER = 9.0
+MAX_FORCE = 30.0
+CAPTURE_RADIUS = 2.0  # two agent radii: bodies touch
+
+OBSTACLES = [
+    (Vec3(15.0, 0.0, 5.0), 3.0),
+    (Vec3(30.0, 2.0, -4.0), 4.0),
+    (Vec3(22.0, -3.0, 10.0), 2.5),
+]
+
+
+class Vehicle:
+    """Minimal point-mass vehicle (§5.1's sphere agent)."""
+
+    def __init__(self, position: Vec3, velocity: Vec3, max_speed: float) -> None:
+        self.position = position
+        self.velocity = velocity
+        self.max_speed = max_speed
+
+    @property
+    def forward(self) -> Vec3:
+        return self.velocity.normalize()
+
+    def apply(self, steering: Vec3) -> None:
+        force = steering.truncate_length(MAX_FORCE)
+        self.velocity = (self.velocity + force * DT).truncate_length(
+            self.max_speed
+        )
+        self.position = self.position + self.velocity * DT
+
+
+def main() -> None:
+    pursuer = Vehicle(Vec3(0, 0, 0), Vec3(1, 0, 0), MAX_SPEED_PURSUER)
+    evader = Vehicle(Vec3(25, 0, 0), Vec3(0, 0, 6), MAX_SPEED_EVADER)
+    wander = Wander(jitter=0.4, seed=9)
+
+    captured_at = None
+    min_obstacle_clearance = float("inf")
+    for step in range(1, 2000):
+        # Pursuer: predictive pursuit + obstacle avoidance.
+        steer_p = pursue(
+            pursuer.position,
+            pursuer.velocity,
+            evader.position,
+            evader.velocity,
+            pursuer.max_speed,
+        )
+        for center, radius in OBSTACLES:
+            steer_p = steer_p + avoid_sphere(
+                pursuer.position,
+                pursuer.forward,
+                pursuer.velocity.length(),
+                center,
+                radius,
+                agent_radius=0.5,
+                lookahead_s=1.0,
+            ) * 4.0
+
+        # Evader: predictive evasion + a dash of wander for lifelikeness.
+        steer_e = evade(
+            evader.position,
+            evader.velocity,
+            pursuer.position,
+            pursuer.velocity,
+            evader.max_speed,
+        ) + wander(evader.forward) * 2.0
+        for center, radius in OBSTACLES:
+            steer_e = steer_e + avoid_sphere(
+                evader.position,
+                evader.forward,
+                evader.velocity.length(),
+                center,
+                radius,
+                agent_radius=0.5,
+                lookahead_s=1.0,
+            ) * 4.0
+
+        pursuer.apply(steer_p)
+        evader.apply(steer_e)
+
+        for center, radius in OBSTACLES:
+            for v in (pursuer, evader):
+                min_obstacle_clearance = min(
+                    min_obstacle_clearance,
+                    v.position.distance(center) - radius,
+                )
+        gap = pursuer.position.distance(evader.position)
+        if step % 150 == 0:
+            print(f"  t={step * DT:5.1f}s  gap={gap:6.2f}")
+        if gap < CAPTURE_RADIUS:
+            captured_at = step * DT
+            break
+
+    print()
+    if captured_at is None:
+        raise SystemExit("pursuit failed — the evader got away (unexpected)")
+    print(f"capture after {captured_at:.1f}s "
+          f"(pursuer is {MAX_SPEED_PURSUER / MAX_SPEED_EVADER:.2f}x faster)")
+    print(f"closest obstacle approach: {min_obstacle_clearance:.2f} "
+          "(positive = no collision)")
+    assert min_obstacle_clearance > 0.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Calibration constants and the experiment harness (tables & figures).
+
+See :mod:`repro.bench.calibration` for every tunable scalar and its
+provenance, :mod:`repro.bench.harness` for the per-experiment runners,
+and ``python -m repro.bench`` for the command-line entry point.
+"""

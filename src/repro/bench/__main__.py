@@ -1,0 +1,56 @@
+"""Run every experiment and print the regenerated tables/figures.
+
+Usage::
+
+    python -m repro.bench             # everything
+    python -m repro.bench fig-6.2     # one experiment by id
+    python -m repro.bench --list      # available experiment ids
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import (
+    run_fig_1_1,
+    run_fig_5_5,
+    run_fig_5_6,
+    run_fig_6_2,
+    run_fig_6_3,
+    run_fig_6_4,
+    run_sec_7_traits,
+)
+
+EXPERIMENTS = {
+    "fig-1.1": run_fig_1_1,
+    "fig-5.5": run_fig_5_5,
+    "fig-5.6": run_fig_5_6,
+    "fig-6.2": run_fig_6_2,
+    "fig-6.3": run_fig_6_3,
+    "fig-6.4": run_fig_6_4,
+    "sec-7": run_sec_7_traits,
+}
+
+
+def main(argv: "list[str]") -> int:
+    """Entry point: run the selected (or all) experiments."""
+    if "--list" in argv:
+        print("\n".join(EXPERIMENTS))
+        return 0
+    wanted = [a for a in argv if not a.startswith("-")]
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name, runner in EXPERIMENTS.items():
+        if wanted and name not in wanted:
+            continue
+        exp = runner()
+        print(exp.report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,298 @@
+"""Experiment harness: one function per table/figure of the paper.
+
+Each ``run_*`` function regenerates its experiment's data — workload
+generation, parameter sweep, baselines — and returns structured rows plus
+a rendered report.  The ``benchmarks/`` suite calls these (and asserts
+the paper's qualitative shape); the ``examples/`` scripts reuse them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.bench.report import format_series, format_table
+from repro.gpusteer.cost_model import WorkloadStats
+from repro.gpusteer.double_buffer import compare as compare_db
+from repro.gpusteer.pipeline import version_ladder
+from repro.gpusteer.versions import VERSIONS, update_time
+from repro.simgpu.arch import ATHLON64_3700, CpuSpec, G80_8800GTS, scaled_arch
+from repro.steer.params import DEFAULT_PARAMS, THINK_FREQ_PARAMS
+from repro.steer.simulation import Simulation
+
+
+@dataclass
+class Experiment:
+    """A regenerated table/figure: rows + the printable report."""
+
+    experiment_id: str
+    rows: list = field(default_factory=list)
+    report: str = ""
+    data: dict = field(default_factory=dict)
+
+    def show(self) -> None:  # pragma: no cover - console convenience
+        print(self.report)
+
+
+# ----------------------------------------------------------------------
+# Fig 1.1 — peak GFLOPS, GPU vs CPU, across generations
+# ----------------------------------------------------------------------
+#: Reconstructed generation tables (the paper reprints NVIDIA's marketing
+#: chart; we rebuild the trend from architecture parameters — ALU counts
+#: approximated as multiprocessor-equivalents on the G80 clock template).
+GPU_GENERATIONS = [
+    ("2004", scaled_arch("NV40 (GeForce 6800U)", 2, bandwidth_scale=0.55)),
+    ("2005", scaled_arch("G70 (GeForce 7800GTX)", 4, bandwidth_scale=0.6)),
+    ("2006", scaled_arch("G71 (GeForce 7900GTX)", 6, bandwidth_scale=0.8)),
+    ("2007", G80_8800GTS),
+]
+
+CPU_GENERATIONS = [
+    ("2004", CpuSpec("Athlon 64 3500+", 2.2e9, 1, 4.0)),
+    ("2005", ATHLON64_3700),
+    ("2006", CpuSpec("Athlon 64 X2 4800+", 2.4e9, 2, 4.0)),
+    ("2007", CpuSpec("Core 2 Duo E6700", 2.66e9, 2, 8.0)),
+]
+
+
+def run_fig_1_1() -> Experiment:
+    """GPU vs CPU peak single-precision GFLOP/s over hardware generations."""
+    rows = []
+    gpu_series: dict[str, float] = {}
+    cpu_series: dict[str, float] = {}
+    cpus = dict(CPU_GENERATIONS)
+    for year, arch in GPU_GENERATIONS:
+        cpu = cpus[year]
+        rows.append(
+            (year, arch.name, round(arch.peak_gflops, 1),
+             cpu.name, round(cpu.peak_gflops, 1),
+             round(arch.peak_gflops / cpu.peak_gflops, 1))
+        )
+        gpu_series[year] = arch.peak_gflops
+        cpu_series[year] = cpu.peak_gflops
+    exp = Experiment("fig-1.1", rows)
+    exp.data = {"gpu": gpu_series, "cpu": cpu_series}
+    exp.report = format_table(
+        "Fig 1.1 — peak GFLOP/s, GPU vs CPU by generation",
+        ["year", "GPU", "GPU GFLOP/s", "CPU", "CPU GFLOP/s", "ratio"],
+        rows,
+        note="Paper: GPUs outrange CPUs roughly by a factor of 10 and the "
+        "gap widens with each generation.",
+    )
+    return exp
+
+
+# ----------------------------------------------------------------------
+# Fig 5.5 — CPU cycle breakdown
+# ----------------------------------------------------------------------
+def run_fig_5_5(
+    n: int = 1024, steps: int = 5, calib: Calibration = DEFAULT_CALIBRATION
+) -> Experiment:
+    """Per-stage share of the CPU update stage (neighbor search ~82%)."""
+    sim = Simulation(n, DEFAULT_PARAMS, seed=7, cpu_model=calib.cpu_model())
+    sim.run(steps)
+    profile = sim.profile
+    rows = [
+        (stage, f"{profile.update_share(stage) * 100:.1f}%")
+        for stage in ("neighbor_search", "steering", "modification")
+    ]
+    exp = Experiment("fig-5.5", rows)
+    exp.data = {"neighbor_share": profile.update_share("neighbor_search")}
+    exp.report = format_table(
+        f"Fig 5.5 — CPU update-stage cycle breakdown ({n} agents)",
+        ["stage", "share of update stage"],
+        rows,
+        note="Paper: 'The neighbor search is the performance bottleneck, "
+        "with about 82% of the used CPU cycles.'",
+    )
+    return exp
+
+
+# ----------------------------------------------------------------------
+# Fig 5.6 — CPU scaling with/without think frequency
+# ----------------------------------------------------------------------
+def run_fig_5_6(
+    populations: "tuple[int, ...]" = (1024, 2048, 4096, 8192, 16384, 32768),
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> Experiment:
+    """CPU updates/second over population, think frequency off and 1/10."""
+    cpu = calib.cpu_model()
+    without: dict[int, float] = {}
+    with_tf: dict[int, float] = {}
+    for n in populations:
+        without[n] = 1.0 / cpu.update_seconds(n, n)
+        with_tf[n] = 1.0 / cpu.update_seconds(n, max(1, n // 10))
+    exp = Experiment("fig-5.6")
+    exp.rows = [(n, without[n], with_tf[n]) for n in populations]
+    exp.data = {"without": without, "with_tf": with_tf}
+    exp.report = format_series(
+        "Fig 5.6 — CPU Boids update rate",
+        "agents",
+        {"think freq off": without, "think freq 1/10": with_tf},
+        unit="updates/s",
+        note="Paper: without think frequency the O(n^2) neighbor search "
+        "dominates; the 1/10 think frequency flattens the curve.",
+    )
+    return exp
+
+
+# ----------------------------------------------------------------------
+# Fig 6.2 — the development-version ladder at 4096 agents
+# ----------------------------------------------------------------------
+PAPER_LADDER = {1: 3.9, 2: 12.9, 3: 27.0, 4: 28.8, 5: 42.0}
+
+
+def run_fig_6_2(
+    n: int = 4096, steps: int = 5, calib: Calibration = DEFAULT_CALIBRATION
+) -> Experiment:
+    """Updates/second per development version, with measured workload
+    statistics from a live flock."""
+    ladder = version_ladder(n, DEFAULT_PARAMS, steps=steps, seed=3, calib=calib)
+    base = ladder[0].updates_per_second
+    rows = []
+    speedups: dict[int, float] = {}
+    for v in range(6):
+        r = ladder[v]
+        speedup = r.updates_per_second / base
+        speedups[v] = speedup
+        rows.append(
+            (f"v{v}" if v else "CPU",
+             VERSIONS[v].name,
+             round(r.updates_per_second, 1),
+             round(speedup, 1),
+             PAPER_LADDER.get(v, 1.0))
+        )
+    exp = Experiment("fig-6.2", rows)
+    exp.data = {"speedups": speedups, "stats": ladder[5].stats}
+    exp.report = format_table(
+        f"Fig 6.2 — development versions at {n} agents",
+        ["version", "description", "updates/s", "speedup", "paper speedup"],
+        rows,
+        note="Paper factors: 3.9 / 12.9 / 27 / 28.8 / 42 over the CPU "
+        "version; shapes to check: the big shared-memory jump v1->v2, "
+        "v4 slightly above v3, v5 the largest.",
+    )
+    return exp
+
+
+# ----------------------------------------------------------------------
+# Fig 6.3 — version-5 scaling
+# ----------------------------------------------------------------------
+def run_fig_6_3(
+    populations: "tuple[int, ...]" = (1024, 2048, 4096, 8192, 16384, 32768),
+    calib: Calibration = DEFAULT_CALIBRATION,
+    measure: bool = True,
+    steps: int = 3,
+) -> Experiment:
+    """v5 update rate over population, think frequency off and 1/10."""
+    without: dict[int, float] = {}
+    with_tf: dict[int, float] = {}
+    for n in populations:
+        if measure:
+            sim = Simulation(n, DEFAULT_PARAMS, seed=5, cpu_model=calib.cpu_model())
+            sim.run(steps)
+            stats = WorkloadStats.measure(sim.positions, DEFAULT_PARAMS)
+        else:
+            stats = None
+        without[n] = update_time(
+            5, n, DEFAULT_PARAMS, stats, calib
+        ).updates_per_second
+        with_tf[n] = update_time(
+            5, n, THINK_FREQ_PARAMS, stats, calib
+        ).updates_per_second
+    exp = Experiment("fig-6.3")
+    exp.rows = [(n, without[n], with_tf[n]) for n in populations]
+    exp.data = {"without": without, "with_tf": with_tf}
+    exp.report = format_series(
+        "Fig 6.3 — version 5 update rate",
+        "agents",
+        {"think freq off": without, "think freq 1/10": with_tf},
+        unit="updates/s",
+        note="Paper: O(n^2) visible without think frequency; with it, "
+        "near-linear to 16384 and a ~4.8x drop at 32768 (divergence + "
+        "complexity).",
+    )
+    return exp
+
+
+# ----------------------------------------------------------------------
+# Fig 6.4 — double buffering
+# ----------------------------------------------------------------------
+def run_fig_6_4(
+    populations: "tuple[int, ...]" = (4096, 8192, 16384, 32768),
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> Experiment:
+    """Frame-rate gain from overlapping draw with the next update."""
+    rows = []
+    gains: dict[str, dict[int, float]] = {"think freq off": {}, "think freq 1/10": {}}
+    for n in populations:
+        for label, params in (
+            ("think freq off", DEFAULT_PARAMS),
+            ("think freq 1/10", THINK_FREQ_PARAMS),
+        ):
+            t = compare_db(n, params, calib=calib)
+            gains[label][n] = t.improvement * 100
+            rows.append(
+                (n, label, round(t.fps_without, 1), round(t.fps_with, 1),
+                 f"{t.improvement * 100:.1f}%")
+            )
+    exp = Experiment("fig-6.4", rows)
+    exp.data = {"gains": gains}
+    exp.report = format_table(
+        "Fig 6.4 — double buffering improvement (version 5)",
+        ["agents", "think frequency", "fps without", "fps with", "gain"],
+        rows,
+        note="Paper: improvements between 12% and 32%, highest where host "
+        "and device finish together (8192 without think frequency; 32768 "
+        "with); 4096 agents are draw-bound either way.",
+    )
+    return exp
+
+
+# ----------------------------------------------------------------------
+# §7 — traits-analysis ('compile time') overhead
+# ----------------------------------------------------------------------
+def run_sec_7_traits(repeats: int = 2000) -> Experiment:
+    """Cost of CuPP's kernel-signature analysis vs a bare launch config.
+
+    The paper's analog: template metaprogramming more than doubled the
+    Boids compile time (3.1 s -> 7.3 s).  Here the pay-once work is
+    ``analyze_kernel`` at Kernel construction.
+    """
+    from repro.cupp import Kernel, analyze_kernel
+    from repro.gpusteer.kernels_emu import modify_kernel
+    from repro.simgpu.dims import as_dim3
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        analyze_kernel(modify_kernel)
+    analysis_s = (time.perf_counter() - t0) / repeats
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        as_dim3(128), as_dim3(32)  # the raw-CUDA "configuration" work
+    bare_s = (time.perf_counter() - t0) / repeats
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        Kernel(modify_kernel, 128, 32)
+    kernel_s = (time.perf_counter() - t0) / repeats
+
+    rows = [
+        ("bare launch configuration", f"{bare_s * 1e6:.2f} us"),
+        ("analyze_kernel (traits)", f"{analysis_s * 1e6:.2f} us"),
+        ("cupp.Kernel construction", f"{kernel_s * 1e6:.2f} us"),
+        ("overhead factor", f"{kernel_s / max(bare_s, 1e-12):.0f}x"),
+    ]
+    exp = Experiment("sec-7-traits", rows)
+    exp.data = {"analysis_s": analysis_s, "bare_s": bare_s, "kernel_s": kernel_s}
+    exp.report = format_table(
+        "§7 — pay-once signature-analysis overhead",
+        ["operation", "cost"],
+        rows,
+        note="Paper: CuPP's template metaprogramming raised compile time "
+        "from 3.1 s to 7.3 s; the Python analog is run-once signature "
+        "analysis at Kernel construction.",
+    )
+    return exp

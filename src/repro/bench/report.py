@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+Every benchmark prints the rows/series the paper's corresponding table or
+figure reports, in a stable ASCII format that lands in the pytest output
+and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str | None = None,
+) -> str:
+    """A fixed-width table with a title rule."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==", "", " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if note:
+        lines += ["", note]
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: "dict[str, dict[object, float]]",
+    unit: str = "",
+    note: str | None = None,
+) -> str:
+    """A figure rendered as aligned columns, one per named series."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + [f"{name}{f' [{unit}]' if unit else ''}" for name in series]
+    rows = []
+    for x in xs:
+        row: list[object] = [x]
+        for points in series.values():
+            row.append(points.get(x, float("nan")))
+        rows.append(row)
+    return format_table(title, headers, rows, note)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,19 @@
+"""Shared infrastructure: error roots, unit conversions, deterministic RNG."""
+
+from repro.common.errors import ReproError
+from repro.common.units import (
+    GIB,
+    KIB,
+    MIB,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+
+__all__ = [
+    "GIB",
+    "KIB",
+    "MIB",
+    "ReproError",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+]

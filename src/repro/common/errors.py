@@ -1,0 +1,18 @@
+"""Root exception types shared by every subpackage.
+
+Each layer defines its own, more specific hierarchy (``repro.simgpu`` raises
+simulator faults, ``repro.cuda`` returns C-style error codes, ``repro.cupp``
+raises exceptions wrapping those codes — that translation is one of the
+paper's selling points, §4.2), but everything derives from
+:class:`ReproError` so callers can catch the whole library with one clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""

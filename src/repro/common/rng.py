@@ -1,0 +1,17 @@
+"""Deterministic random number generation.
+
+All stochastic components (agent placement, workload generators) take a seed
+and build their generator through :func:`make_rng` so every experiment in the
+benchmark harness is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SEED = 0xC0FFEE
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a seeded :class:`numpy.random.Generator` (PCG64)."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)

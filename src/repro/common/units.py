@@ -1,0 +1,34 @@
+"""Unit helpers: byte sizes and clock-domain conversions.
+
+The simulator accounts time in *cycles* of a particular clock domain (the G80
+has a 500 MHz core clock and a 1.2 GHz shader clock; the host CPU model runs
+at 2.2 GHz).  Converting between cycles and wall-clock seconds is done in one
+place so the benchmarks cannot silently mix domains.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count in the given clock domain to seconds."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Convert seconds to a cycle count in the given clock domain."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return seconds * clock_hz
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value + alignment - 1) // alignment * alignment

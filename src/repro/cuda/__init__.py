@@ -1,0 +1,42 @@
+"""The CUDA 1.0 host runtime and language-extension layer (paper ch. 3).
+
+This package exposes the GPU exactly the way CUDA 1.0 did — C-style error
+codes, the three-step launch protocol, function type qualifiers — so the
+CuPP layer above it has the same integration problems to solve that the
+paper describes.
+"""
+
+from repro.cuda.errors import CudaQualifierError, cudaError, cudaGetErrorString
+from repro.cuda.qualifiers import (
+    device_fn,
+    global_,
+    host_device_fn,
+    host_fn,
+    in_kernel,
+    is_global,
+)
+from repro.cuda.interop import GLBufferObject, GlInteropError
+from repro.cuda.runtime import CudaMachine, CudaRuntime, sizeof_argument
+from repro.cuda.types import cudaDeviceProp, cudaMemcpyKind, dim3, make_dim3, uint3
+
+__all__ = [
+    "CudaMachine",
+    "GLBufferObject",
+    "GlInteropError",
+    "CudaQualifierError",
+    "CudaRuntime",
+    "cudaDeviceProp",
+    "cudaError",
+    "cudaGetErrorString",
+    "cudaMemcpyKind",
+    "device_fn",
+    "dim3",
+    "global_",
+    "host_device_fn",
+    "host_fn",
+    "in_kernel",
+    "is_global",
+    "make_dim3",
+    "sizeof_argument",
+    "uint3",
+]

@@ -1,0 +1,58 @@
+"""CUDA 1.0 error codes.
+
+The host runtime library reports failures through ``cudaError`` return
+values (§3.2) — the very thing CuPP replaces with exceptions (§4.2).  Our
+:mod:`repro.cuda.runtime` faithfully returns these codes so the CuPP layer
+has something real to wrap.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import ReproError
+
+
+class cudaError(enum.Enum):  # noqa: N801 - matches the CUDA spelling
+    cudaSuccess = 0
+    cudaErrorMemoryAllocation = 2
+    cudaErrorInitializationError = 3
+    cudaErrorLaunchFailure = 4
+    cudaErrorInvalidDevice = 10
+    cudaErrorInvalidValue = 11
+    cudaErrorInvalidDevicePointer = 17
+    cudaErrorInvalidMemcpyDirection = 21
+    cudaErrorInvalidConfiguration = 9
+    cudaErrorSetOnActiveProcess = 36
+    cudaErrorNoDevice = 38
+    cudaErrorUnknown = 30
+
+    @property
+    def ok(self) -> bool:
+        return self is cudaError.cudaSuccess
+
+
+_ERROR_STRINGS = {
+    "cudaSuccess": "no error",
+    "cudaErrorMemoryAllocation": "out of memory",
+    "cudaErrorInitializationError": "initialization error",
+    "cudaErrorLaunchFailure": "unspecified launch failure",
+    "cudaErrorInvalidDevice": "invalid device ordinal",
+    "cudaErrorInvalidValue": "invalid argument",
+    "cudaErrorInvalidDevicePointer": "invalid device pointer",
+    "cudaErrorInvalidMemcpyDirection": "invalid copy direction for memcpy",
+    "cudaErrorInvalidConfiguration": "invalid configuration argument",
+    "cudaErrorSetOnActiveProcess": "cannot set while device is active in this process",
+    "cudaErrorNoDevice": "no CUDA-capable device is detected",
+    "cudaErrorUnknown": "unknown error",
+}
+
+
+def cudaGetErrorString(err: cudaError) -> str:  # noqa: N802 - CUDA spelling
+    """Human-readable message for an error code (§3.2's error handling)."""
+    return _ERROR_STRINGS.get(err.name, "unrecognized error code")
+
+
+class CudaQualifierError(ReproError):
+    """A function was called from the wrong side of the host/device split
+    (e.g. calling a ``__global__`` kernel like a normal function, §3.1.1)."""

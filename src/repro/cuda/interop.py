@@ -1,0 +1,90 @@
+"""OpenGL interoperability (§3.2's untouched CUDA 1.0 functionality).
+
+The host runtime library offers "interoperability with both OpenGL and
+Direct3D"; the paper's GPU port does not use it — version 5 copies the
+4x4 draw matrices device -> host every frame (§6.2.3) and the renderer
+re-uploads them.  GL interop removes that round trip: a GL buffer object
+is *registered* with CUDA, *mapped* to get a device pointer kernels can
+write, and *unmapped* so the renderer consumes it in place.
+
+We model the API and its payoff: a mapped buffer is ordinary simulated
+device memory, and the draw stage of an interop-enabled frame loop needs
+no PCIe transfer for the draw data (only the map/unmap driver overhead).
+The ablation benchmark quantifies what the paper left on the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+from repro.cuda.errors import cudaError
+from repro.simgpu.memory import DevicePtr, NULL_PTR
+
+
+class GlInteropError(ReproError):
+    """Misuse of the buffer-object protocol (map/unmap ordering)."""
+
+
+@dataclass
+class GLBufferObject:
+    """A (simulated) OpenGL buffer object the renderer owns."""
+
+    name: int  # the GL buffer id
+    nbytes: int
+    registered: bool = False
+    mapped: bool = False
+    _ptr: DevicePtr = NULL_PTR
+
+
+#: Driver cost of one map/unmap pair (synchronizes with GL, no copy).
+MAP_OVERHEAD_S = 8e-6
+
+
+class GlInteropMixin:
+    """``cudaGL*`` entry points, mixed into :class:`CudaRuntime`."""
+
+    def cudaGLRegisterBufferObject(self, buf: GLBufferObject) -> cudaError:  # noqa: N802
+        """Make a GL buffer mappable by CUDA (allocates its device backing
+        in the simulator — on real hardware the driver shares it)."""
+        if buf.registered:
+            return cudaError.cudaErrorInvalidValue
+        err, ptr = self.cudaMalloc(buf.nbytes)
+        if not err.ok:
+            return err
+        buf._ptr = ptr
+        buf.registered = True
+        return cudaError.cudaSuccess
+
+    def cudaGLMapBufferObject(  # noqa: N802
+        self, buf: GLBufferObject
+    ) -> "tuple[cudaError, DevicePtr | None]":
+        """Map the buffer into the CUDA address space; returns the device
+        pointer kernels may write.  Synchronizes with the renderer."""
+        if not buf.registered or buf.mapped:
+            return cudaError.cudaErrorInvalidValue, None
+        self.device.timeline.synchronize()
+        self.device.timeline.host_work(MAP_OVERHEAD_S)
+        buf.mapped = True
+        return cudaError.cudaSuccess, buf._ptr
+
+    def cudaGLUnmapBufferObject(self, buf: GLBufferObject) -> cudaError:  # noqa: N802
+        """Return the buffer to GL; the renderer reads it *in place* — no
+        device->host transfer, the interop payoff."""
+        if not buf.mapped:
+            return cudaError.cudaErrorInvalidValue
+        self.device.timeline.host_work(MAP_OVERHEAD_S)
+        buf.mapped = False
+        return cudaError.cudaSuccess
+
+    def cudaGLUnregisterBufferObject(self, buf: GLBufferObject) -> cudaError:  # noqa: N802
+        if buf.mapped:
+            return cudaError.cudaErrorInvalidValue
+        if not buf.registered:
+            return cudaError.cudaErrorInvalidValue
+        err = self.cudaFree(buf._ptr)
+        if not err.ok:
+            return err
+        buf._ptr = NULL_PTR
+        buf.registered = False
+        return cudaError.cudaSuccess

@@ -1,0 +1,126 @@
+"""Function type qualifiers: ``__global__``, ``__device__``, ``__host__``.
+
+The qualifiers (§3.1.1) define *where* a function runs and *who* may call
+it:
+
+==============  ============  ==========
+qualifier       callable from runs on
+==============  ============  ==========
+``__host__``    host          host
+``__device__``  device        device
+``__global__``  host          device
+==============  ============  ==========
+
+We enforce the same rules at call time: a ``global_`` kernel can only be
+started through the execution-control API (``cudaLaunch`` or, one level
+up, ``cupp.Kernel``); a ``device_fn`` can only be called while a kernel is
+executing; a ``host_fn`` cannot be called from inside one.  Violations
+raise :class:`~repro.cuda.errors.CudaQualifierError` immediately instead of
+producing the baffling nvcc link errors the paper complains about.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+from repro.cuda.errors import CudaQualifierError
+
+#: True while a kernel is executing on the simulated device.  The host is
+#: blocked during emulation, so a plain module flag is faithful: host code
+#: cannot run concurrently with device code in this process.
+_in_kernel: bool = False
+
+
+class _KernelGuard:
+    """Context manager the launcher uses to mark device execution."""
+
+    def __enter__(self) -> None:
+        global _in_kernel
+        if _in_kernel:
+            raise CudaQualifierError(
+                "nested kernel launch: the device cannot launch kernels "
+                "(no function-call capability, §2.4)"
+            )
+        _in_kernel = True
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _in_kernel
+        _in_kernel = False
+
+
+kernel_guard = _KernelGuard
+
+
+def in_kernel() -> bool:
+    """Is device code currently executing?"""
+    return _in_kernel
+
+
+def global_(fn: Callable) -> Callable:
+    """Mark a generator function as a ``__global__`` kernel.
+
+    The returned wrapper refuses direct calls — a kernel "may only be
+    called as described in section 3.2.2", i.e. through the execution
+    control API.  The launcher reaches the real generator via ``.impl``.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*_args: object, **_kwargs: object) -> None:
+        raise CudaQualifierError(
+            f"__global__ function {fn.__name__!r} cannot be called "
+            "directly; launch it via cudaConfigureCall/cudaLaunch or a "
+            "cupp.Kernel functor"
+        )
+
+    wrapper.impl = fn  # type: ignore[attr-defined]
+    wrapper.__cuda_global__ = True  # type: ignore[attr-defined]
+    return wrapper
+
+
+def device_fn(fn: Callable) -> Callable:
+    """Mark a function as ``__device__``: callable from device code only.
+
+    Device functions are always inlined on real hardware (§3.1.1); here
+    they are ordinary generator helpers, but calling one from host code is
+    rejected.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args: object, **kwargs: object):
+        if not _in_kernel:
+            raise CudaQualifierError(
+                f"__device__ function {fn.__name__!r} called from host code"
+            )
+        return fn(*args, **kwargs)
+
+    wrapper.__cuda_device__ = True  # type: ignore[attr-defined]
+    return wrapper
+
+
+def host_fn(fn: Callable) -> Callable:
+    """Mark a function as ``__host__``: callable from host code only
+    (the default for unqualified functions, §3.1.1)."""
+
+    @functools.wraps(fn)
+    def wrapper(*args: object, **kwargs: object):
+        if _in_kernel:
+            raise CudaQualifierError(
+                f"__host__ function {fn.__name__!r} called from device code"
+            )
+        return fn(*args, **kwargs)
+
+    wrapper.__cuda_host__ = True  # type: ignore[attr-defined]
+    return wrapper
+
+
+def host_device_fn(fn: Callable) -> Callable:
+    """``__host__ __device__``: compiled for both sides (listing 3.1)."""
+    fn.__cuda_device__ = True  # type: ignore[attr-defined]
+    fn.__cuda_host__ = True  # type: ignore[attr-defined]
+    return fn
+
+
+def is_global(fn: Callable) -> bool:
+    """Is ``fn`` a ``__global__``-qualified kernel?"""
+    return getattr(fn, "__cuda_global__", False)

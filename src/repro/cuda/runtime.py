@@ -1,0 +1,360 @@
+"""The CUDA 1.0 host runtime library (§3.2), C-style.
+
+Everything the paper says makes raw CUDA awkward in C++ is reproduced
+as-is:
+
+* functions return :class:`~repro.cuda.errors.cudaError` codes instead of
+  raising — callers must check every call (CuPP's exception layer, §4.2,
+  wraps exactly this surface);
+* a kernel launch is the three-step ``cudaConfigureCall`` /
+  ``cudaSetupArgument`` / ``cudaLaunch`` dance with explicit byte offsets
+  on a 256-byte kernel parameter stack (§3.2.2);
+* one host thread binds at most one device, and device 0 is selected
+  implicitly at first use (§3.2.1);
+* ``cudaMemcpy`` blocks the host while a kernel is active (§2.2) —
+  modelled through the device timeline.
+
+:class:`CudaMachine` represents the machine (its set of simulated
+devices); :class:`CudaRuntime` is the per-host-thread API state.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.cuda.errors import CudaQualifierError, cudaError
+from repro.cuda.qualifiers import is_global, kernel_guard
+from repro.cuda.types import cudaDeviceProp, cudaMemcpyKind, dim3
+from repro.simgpu.arch import ArchSpec, G80_8800GTS
+from repro.simgpu.device import LaunchResult, SimDevice
+from repro.simgpu.dims import as_dim3
+from repro.simgpu.memory import (
+    DeviceMemoryError,
+    DevicePtr,
+    InvalidDeviceAccess,
+    InvalidFree,
+    OutOfDeviceMemory,
+)
+from repro.simgpu.perfmodel import time_from_profile
+from repro.simgpu.warp import KernelFault
+
+
+class CudaMachine:
+    """A host machine with one or more simulated CUDA devices."""
+
+    def __init__(self, archs: "list[ArchSpec] | None" = None) -> None:
+        self.devices = [SimDevice(a) for a in (archs or [G80_8800GTS])]
+
+    def device(self, index: int) -> SimDevice:
+        return self.devices[index]
+
+
+@dataclass
+class _PendingLaunch:
+    grid_dim: dim3
+    block_dim: dim3
+    args: "list[tuple[int, int, object]]"  # (offset, size, value)
+
+
+def sizeof_argument(value: object) -> int:
+    """Byte size of a kernel argument on the parameter stack."""
+    if isinstance(value, DevicePtr):
+        return 4  # 32-bit device address space (§3.2.3)
+    if isinstance(value, bool):
+        return 4
+    if isinstance(value, int):
+        return 4
+    if isinstance(value, float):
+        return 4  # CUDA 1.0 kernels take 32-bit floats
+    if isinstance(value, np.generic):
+        return value.dtype.itemsize
+    # Aggregates (simulated structs / views) declare their own size.
+    declared = getattr(value, "kernel_arg_size", None)
+    if declared is not None:
+        return int(declared)
+    return struct.calcsize("P")
+
+
+from repro.cuda.interop import GlInteropMixin
+
+
+class CudaRuntime(GlInteropMixin):
+    """Per-host-thread CUDA runtime state and API entry points."""
+
+    def __init__(self, machine: CudaMachine | None = None) -> None:
+        self.machine = machine or CudaMachine()
+        self._device_index: int | None = None
+        self._pending: _PendingLaunch | None = None
+        self.last_launch: LaunchResult | None = None
+        self.memcpy_count = 0
+        self.launch_count = 0
+
+    # ------------------------------------------------------------------
+    # Device management (§3.2.1)
+    # ------------------------------------------------------------------
+    def cudaGetDeviceCount(self) -> tuple[cudaError, int]:  # noqa: N802
+        n = len(self.machine.devices)
+        if n == 0:
+            return cudaError.cudaErrorNoDevice, 0
+        return cudaError.cudaSuccess, n
+
+    def cudaSetDevice(self, dev: int) -> cudaError:  # noqa: N802
+        if self._device_index is not None:
+            # CUDA 1.0: one host thread is bound to at most one device,
+            # and the binding cannot change once made.
+            return cudaError.cudaErrorSetOnActiveProcess
+        if not 0 <= dev < len(self.machine.devices):
+            return cudaError.cudaErrorInvalidDevice
+        self._device_index = dev
+        return cudaError.cudaSuccess
+
+    def cudaGetDevice(self) -> tuple[cudaError, int]:  # noqa: N802
+        return cudaError.cudaSuccess, self._bind_default()
+
+    def cudaChooseDevice(  # noqa: N802
+        self, prop: cudaDeviceProp
+    ) -> tuple[cudaError, int]:
+        """Device number best matching the requested properties (§3.2.1)."""
+        candidates = [
+            i
+            for i, d in enumerate(self.machine.devices)
+            if prop.satisfied_by(d.arch)
+        ]
+        if not candidates:
+            return cudaError.cudaErrorInvalidValue, -1
+        # "Best matching": most multiprocessors among the satisfying ones.
+        best = max(
+            candidates,
+            key=lambda i: self.machine.devices[i].arch.multiprocessors,
+        )
+        return cudaError.cudaSuccess, best
+
+    def cudaGetDeviceProperties(  # noqa: N802
+        self, dev: int
+    ) -> tuple[cudaError, cudaDeviceProp | None]:
+        if not 0 <= dev < len(self.machine.devices):
+            return cudaError.cudaErrorInvalidDevice, None
+        return cudaError.cudaSuccess, cudaDeviceProp.of(
+            self.machine.devices[dev].arch
+        )
+
+    def _bind_default(self) -> int:
+        """§3.2.1: device 0 is selected automatically at first use."""
+        if self._device_index is None:
+            self._device_index = 0
+        return self._device_index
+
+    @property
+    def device(self) -> SimDevice:
+        """The bound simulated device (binding lazily if needed)."""
+        return self.machine.devices[self._bind_default()]
+
+    # ------------------------------------------------------------------
+    # Memory management (§3.2.3)
+    # ------------------------------------------------------------------
+    def cudaMalloc(self, count: int) -> tuple[cudaError, DevicePtr | None]:  # noqa: N802
+        try:
+            return cudaError.cudaSuccess, self.device.memory.alloc(count)
+        except OutOfDeviceMemory:
+            return cudaError.cudaErrorMemoryAllocation, None
+        except DeviceMemoryError:
+            return cudaError.cudaErrorInvalidValue, None
+
+    def cudaFree(self, ptr: DevicePtr) -> cudaError:  # noqa: N802
+        try:
+            self.device.memory.free(ptr)
+        except InvalidFree:
+            return cudaError.cudaErrorInvalidDevicePointer
+        return cudaError.cudaSuccess
+
+    def cudaMemcpy(  # noqa: N802
+        self,
+        dst: "DevicePtr | np.ndarray",
+        src: "DevicePtr | np.ndarray",
+        count: int,
+        kind: cudaMemcpyKind,
+    ) -> cudaError:
+        """Blocking copy; implicit host/device synchronization (§2.2)."""
+        mem = self.device.memory
+        dst_dev = isinstance(dst, DevicePtr)
+        src_dev = isinstance(src, DevicePtr)
+        expected = {
+            cudaMemcpyKind.cudaMemcpyHostToHost: (False, False),
+            cudaMemcpyKind.cudaMemcpyHostToDevice: (True, False),
+            cudaMemcpyKind.cudaMemcpyDeviceToHost: (False, True),
+            cudaMemcpyKind.cudaMemcpyDeviceToDevice: (True, True),
+        }
+        if expected.get(kind) != (dst_dev, src_dev):
+            return cudaError.cudaErrorInvalidMemcpyDirection
+        self.memcpy_count += 1
+        try:
+            if kind is cudaMemcpyKind.cudaMemcpyHostToHost:
+                raw = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
+                dst.view(np.uint8).reshape(-1)[:count] = raw[:count]
+                return cudaError.cudaSuccess
+            if kind is cudaMemcpyKind.cudaMemcpyDeviceToDevice:
+                # Device-to-device copies never touch the PCIe bus: they
+                # run at device-memory bandwidth (read + write the bytes)
+                # after the implicit synchronization.
+                tl = self.device.timeline
+                tl.synchronize()
+                tl.host_work(
+                    2 * count / self.device.arch.memory_bandwidth_bytes_per_s
+                )
+                tl.device_busy_until = tl.host_time
+                mem.copy_device_to_device(dst, src, count)
+                return cudaError.cudaSuccess
+            self.device.timeline.memcpy(count)
+            if kind is cudaMemcpyKind.cudaMemcpyHostToDevice:
+                raw = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
+                if raw.size < count:
+                    return cudaError.cudaErrorInvalidValue
+                mem.copy_in(dst, raw[:count])
+            else:
+                out = mem.copy_out(src, count)
+                dst.view(np.uint8).reshape(-1)[:count] = out
+        except InvalidDeviceAccess:
+            return cudaError.cudaErrorInvalidDevicePointer
+        return cudaError.cudaSuccess
+
+    # ------------------------------------------------------------------
+    # Constant memory & texture references (ch. 7 extension surface)
+    # ------------------------------------------------------------------
+    def constant_symbol(
+        self, dtype, count: int
+    ) -> "tuple[cudaError, object | None]":
+        """Declare a ``__constant__`` symbol on the bound device."""
+        from repro.simgpu.caches import ConstantMemoryError
+
+        try:
+            return cudaError.cudaSuccess, self.device.constant.alloc_symbol(
+                dtype, count
+            )
+        except ConstantMemoryError:
+            return cudaError.cudaErrorMemoryAllocation, None
+
+    def cudaMemcpyToSymbol(  # noqa: N802
+        self, symbol: object, src: np.ndarray
+    ) -> cudaError:
+        """Host -> constant-memory transfer (blocking, like cudaMemcpy)."""
+        raw = np.ascontiguousarray(src)
+        if raw.nbytes > symbol.count * symbol.dtype.itemsize:
+            return cudaError.cudaErrorInvalidValue
+        self.memcpy_count += 1
+        self.device.timeline.memcpy(raw.nbytes)
+        symbol.memory.write(symbol.offset, raw)
+        return cudaError.cudaSuccess
+
+    def cudaBindTexture(  # noqa: N802
+        self, texref: object, ptr: DevicePtr, dtype, count: int
+    ) -> cudaError:
+        """Bind a texture reference to linear device memory (§3.2 lists
+        texture reference management; modelled for the ch. 7 feature)."""
+        from repro.simgpu.memory import DeviceArrayView, InvalidDeviceAccess
+
+        try:
+            view = DeviceArrayView(
+                self.device.memory, ptr, np.dtype(dtype), count
+            )
+            view._raw()  # validate the range now, like the driver does
+        except InvalidDeviceAccess:
+            return cudaError.cudaErrorInvalidDevicePointer
+        texref.bind(view)
+        return cudaError.cudaSuccess
+
+    def cudaUnbindTexture(self, texref: object) -> cudaError:  # noqa: N802
+        texref.unbind()
+        return cudaError.cudaSuccess
+
+    # ------------------------------------------------------------------
+    # Execution control (§3.2.2)
+    # ------------------------------------------------------------------
+    def cudaConfigureCall(  # noqa: N802
+        self, grid_dim: "dim3 | int | tuple", block_dim: "dim3 | int | tuple"
+    ) -> cudaError:
+        """Step 1: configure the next kernel launch."""
+        try:
+            grid = as_dim3(grid_dim)
+            block = as_dim3(block_dim)
+            self.device.validate_launch(grid, block)
+        except ConfigurationError:
+            return cudaError.cudaErrorInvalidConfiguration
+        self._pending = _PendingLaunch(grid, block, [])
+        return cudaError.cudaSuccess
+
+    def cudaSetupArgument(  # noqa: N802
+        self, arg: object, offset: int, size: int | None = None
+    ) -> cudaError:
+        """Step 2: push one parameter onto the kernel stack at ``offset``."""
+        if self._pending is None:
+            return cudaError.cudaErrorInvalidValue
+        size = sizeof_argument(arg) if size is None else int(size)
+        stack_limit = self.device.arch.kernel_stack_bytes
+        if offset < 0 or offset + size > stack_limit:
+            return cudaError.cudaErrorInvalidValue
+        for off, sz, _val in self._pending.args:
+            if not (offset + size <= off or off + sz <= offset):
+                return cudaError.cudaErrorInvalidValue  # overlap
+        self._pending.args.append((offset, size, arg))
+        return cudaError.cudaSuccess
+
+    def cudaLaunch(  # noqa: N802
+        self,
+        kernel: Callable,
+        *,
+        registers_per_thread: int = 10,
+        strict_sync: bool = True,
+    ) -> cudaError:
+        """Step 3: start the configured kernel.
+
+        ``kernel`` must be a ``__global__``-qualified function pointer
+        (§3.2.2).  The launch consumes the pending configuration.
+        """
+        if self._pending is None:
+            return cudaError.cudaErrorInvalidConfiguration
+        if not is_global(kernel):
+            self._pending = None
+            return cudaError.cudaErrorInvalidValue
+        pending, self._pending = self._pending, None
+        args = tuple(
+            val for _off, _sz, val in sorted(pending.args, key=lambda a: a[0])
+        )
+        try:
+            with kernel_guard():
+                result = self.device.launch(
+                    kernel.impl,
+                    pending.grid_dim,
+                    pending.block_dim,
+                    args,
+                    registers_per_thread=registers_per_thread,
+                    strict_sync=strict_sync,
+                )
+        except (KernelFault, InvalidDeviceAccess):
+            return cudaError.cudaErrorLaunchFailure
+        except CudaQualifierError:
+            return cudaError.cudaErrorLaunchFailure
+        self.last_launch = result
+        self.launch_count += 1
+        # Asynchronous semantics: the host is only charged the launch
+        # overhead; the device timeline advances by the modelled duration.
+        duration = time_from_profile(
+            result.profile,
+            result.blocks,
+            result.block_dim.volume,
+            shared_bytes_per_block=result.shared_bytes_per_block,
+            registers_per_thread=registers_per_thread,
+            arch=self.device.arch,
+            costs=self.device.costs,
+        ).total_s
+        self.device.timeline.launch_kernel(duration)
+        return cudaError.cudaSuccess
+
+    def cudaThreadSynchronize(self) -> cudaError:  # noqa: N802
+        """Block the host until the device is idle."""
+        self.device.timeline.synchronize()
+        return cudaError.cudaSuccess

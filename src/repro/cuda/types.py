@@ -1,0 +1,73 @@
+"""CUDA host-API types: ``dim3``, memcpy kinds, device properties."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.simgpu.arch import ArchSpec
+from repro.simgpu.dims import Dim3 as dim3  # noqa: N813 - CUDA spelling
+from repro.simgpu.dims import Dim3 as uint3  # noqa: N813 - same layout
+from repro.simgpu.dims import make_dim3
+
+__all__ = ["cudaDeviceProp", "cudaMemcpyKind", "dim3", "make_dim3", "uint3"]
+
+
+class cudaMemcpyKind(enum.Enum):  # noqa: N801 - matches the CUDA spelling
+    cudaMemcpyHostToHost = 0
+    cudaMemcpyHostToDevice = 1
+    cudaMemcpyDeviceToHost = 2
+    cudaMemcpyDeviceToDevice = 3
+
+
+@dataclass(frozen=True)
+class cudaDeviceProp:  # noqa: N801 - matches the CUDA spelling
+    """The property record ``cudaChooseDevice`` matches against (§3.2.1).
+
+    ``None`` fields are wildcards: a request that only sets
+    ``totalGlobalMem`` matches any device with at least that much memory.
+    """
+
+    name: str | None = None
+    totalGlobalMem: int | None = None  # noqa: N815 - CUDA field name
+    sharedMemPerBlock: int | None = None  # noqa: N815
+    warpSize: int | None = None  # noqa: N815
+    maxThreadsPerBlock: int | None = None  # noqa: N815
+    multiProcessorCount: int | None = None  # noqa: N815
+    supportsAtomics: bool | None = None  # noqa: N815
+
+    @staticmethod
+    def of(arch: ArchSpec) -> "cudaDeviceProp":
+        """The full property record of a device."""
+        return cudaDeviceProp(
+            name=arch.name,
+            totalGlobalMem=arch.device_memory_bytes,
+            sharedMemPerBlock=arch.shared_mem_per_mp,
+            warpSize=arch.warp_size,
+            maxThreadsPerBlock=arch.max_threads_per_block,
+            multiProcessorCount=arch.multiprocessors,
+            supportsAtomics=arch.supports_atomics,
+        )
+
+    def satisfied_by(self, arch: ArchSpec) -> bool:
+        """Does a device meet this request?  Numeric fields are minimums,
+        boolean/string fields must match exactly."""
+        if self.name is not None and self.name != arch.name:
+            return False
+        numeric_minimums = (
+            (self.totalGlobalMem, arch.device_memory_bytes),
+            (self.sharedMemPerBlock, arch.shared_mem_per_mp),
+            (self.maxThreadsPerBlock, arch.max_threads_per_block),
+            (self.multiProcessorCount, arch.multiprocessors),
+        )
+        for wanted, actual in numeric_minimums:
+            if wanted is not None and actual < wanted:
+                return False
+        if self.warpSize is not None and arch.warp_size != self.warpSize:
+            return False
+        if (
+            self.supportsAtomics is not None
+            and arch.supports_atomics != self.supportsAtomics
+        ):
+            return False
+        return True

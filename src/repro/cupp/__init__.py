@@ -1,0 +1,94 @@
+"""CuPP — the paper's contribution (chapter 4).
+
+A C++-style integration layer over the CUDA runtime:
+
+- :class:`Device` — explicit device handles; destroying one frees all of
+  its memory (§4.1).
+- :class:`DeviceSharedPtr` / :class:`Memory1D` — exception-based memory
+  management with RAII and deep-copy semantics (§4.2).
+- :class:`Kernel` — a functor whose ``__call__`` gives kernels real
+  call-by-value / call-by-reference semantics, skipping the copy-back for
+  ``ConstRef`` parameters (§4.3).
+- ``transform()`` / ``get_device_reference()`` / ``dirty()`` — the three
+  customization points a class implements to cross the host/device
+  boundary (§4.4), with the listing-4.5 defaults applied otherwise.
+- :func:`bind_types` and the ``host_type``/``device_type`` convention —
+  two independent representations per type, transformed at the boundary
+  (§4.5).
+- :class:`Vector` — the STL-vector wrapper with lazy memory copying
+  (§4.6).
+"""
+
+from repro.cupp.device import Device
+from repro.cupp.device_reference import DeviceReference
+from repro.cupp.exceptions import (
+    CuppError,
+    CuppInvalidDevice,
+    CuppLaunchError,
+    CuppMemoryError,
+    CuppTraitError,
+    CuppUsageError,
+    check,
+)
+from repro.cupp.kernel import CallStats, Kernel, plan_grid
+from repro.cupp.memory1d import Memory1D
+from repro.cupp.multidevice import DeviceGroup, MultiKernel, Sharded, shard
+from repro.cupp.nested import DeviceNestedVector, NestedVector
+from repro.cupp.serialize import Boxed, pack_object, unpack_object
+from repro.cupp.shared_ptr import DeviceSharedPtr, make_shared
+from repro.cupp.traits import (
+    ConstRef,
+    KernelTraits,
+    ParamTrait,
+    PassKind,
+    Ref,
+    analyze_kernel,
+)
+from repro.cupp.typetransform import (
+    bind_types,
+    device_type_of,
+    host_type_of,
+    unbind_types,
+    validate_binding,
+)
+from repro.cupp.vector import DeviceVector, Vector
+
+__all__ = [
+    "Boxed",
+    "CallStats",
+    "ConstRef",
+    "CuppError",
+    "CuppInvalidDevice",
+    "CuppLaunchError",
+    "CuppMemoryError",
+    "CuppTraitError",
+    "CuppUsageError",
+    "Device",
+    "DeviceGroup",
+    "DeviceNestedVector",
+    "DeviceReference",
+    "NestedVector",
+    "DeviceSharedPtr",
+    "DeviceVector",
+    "Kernel",
+    "MultiKernel",
+    "Sharded",
+    "shard",
+    "KernelTraits",
+    "Memory1D",
+    "ParamTrait",
+    "PassKind",
+    "Ref",
+    "Vector",
+    "analyze_kernel",
+    "bind_types",
+    "check",
+    "device_type_of",
+    "host_type_of",
+    "make_shared",
+    "pack_object",
+    "plan_grid",
+    "unpack_object",
+    "unbind_types",
+    "validate_binding",
+]

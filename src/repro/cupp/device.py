@@ -1,0 +1,163 @@
+"""The CuPP device handle (paper §4.1).
+
+CUDA binds a host thread to a device implicitly; CuPP makes the handle
+explicit: "the developer is forced to create a device handle
+(``cupp::device``), which is passed to all CuPP functions using the
+device".  The handle can be created from requested properties or default
+to device 0, can be queried for information, and — the RAII part — frees
+every allocation made on it when it is destroyed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.runtime import CudaMachine, CudaRuntime
+from repro.cuda.types import cudaDeviceProp, cudaMemcpyKind
+from repro.cupp.exceptions import CuppUsageError, check
+from repro.simgpu.device import SimDevice
+from repro.simgpu.memory import DevicePtr
+
+
+class Device:
+    """A handle to one simulated CUDA device.
+
+    Parameters
+    ----------
+    properties:
+        Optional :class:`cudaDeviceProp` request — the handle binds to the
+        best matching device (mirrors ``cudaChooseDevice``).
+    index:
+        Explicit device index; mutually exclusive with ``properties``.
+    machine:
+        The :class:`CudaMachine` to pick a device from.  Defaults to a
+        fresh single-8800GTS machine, so ``Device()`` "creates a default
+        device" exactly as in listing 4.1.
+    """
+
+    def __init__(
+        self,
+        properties: cudaDeviceProp | None = None,
+        index: int | None = None,
+        machine: CudaMachine | None = None,
+    ) -> None:
+        if properties is not None and index is not None:
+            raise CuppUsageError(
+                "pass either a property request or an explicit index, not both"
+            )
+        self.runtime = CudaRuntime(machine)
+        if properties is not None:
+            err, index = self.runtime.cudaChooseDevice(properties)
+            if not err.ok:
+                from repro.cupp.exceptions import CuppInvalidDevice
+
+                raise CuppInvalidDevice(
+                    "no device matches the requested properties"
+                )
+        check(self.runtime.cudaSetDevice(0 if index is None else index))
+        self._open = True
+
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if not self._open:
+            raise CuppUsageError("device handle has been destroyed")
+
+    @property
+    def sim(self) -> SimDevice:
+        """The underlying simulated device."""
+        self._ensure_open()
+        return self.runtime.device
+
+    # -- queries (§4.1: "the device handle can be queried") -------------
+    def properties(self) -> cudaDeviceProp:
+        self._ensure_open()
+        err, _ = self.runtime.cudaGetDevice()
+        check(err)
+        err, prop = self.runtime.cudaGetDeviceProperties(
+            self.runtime.cudaGetDevice()[1]
+        )
+        check(err)
+        return prop
+
+    @property
+    def name(self) -> str:
+        return self.sim.arch.name
+
+    @property
+    def total_memory(self) -> int:
+        return self.sim.arch.device_memory_bytes
+
+    @property
+    def free_memory(self) -> int:
+        return self.sim.memory.free_bytes
+
+    @property
+    def multiprocessors(self) -> int:
+        return self.sim.arch.multiprocessors
+
+    @property
+    def supports_atomics(self) -> bool:
+        return self.sim.arch.supports_atomics
+
+    # -- memory (exception-throwing variants of §3.2.3) -----------------
+    def alloc(self, nbytes: int) -> DevicePtr:
+        """Allocate global memory; raises :class:`CuppMemoryError` on
+        failure instead of returning an error code."""
+        self._ensure_open()
+        err, ptr = self.runtime.cudaMalloc(nbytes)
+        check(err, f"allocating {nbytes} bytes")
+        return ptr
+
+    def free(self, ptr: DevicePtr) -> None:
+        self._ensure_open()
+        check(self.runtime.cudaFree(ptr))
+
+    def upload(self, ptr: DevicePtr, data: np.ndarray) -> None:
+        """Host -> device transfer (blocking, implicit synchronization)."""
+        self._ensure_open()
+        raw = np.ascontiguousarray(data)
+        check(
+            self.runtime.cudaMemcpy(
+                ptr, raw, raw.nbytes, cudaMemcpyKind.cudaMemcpyHostToDevice
+            )
+        )
+
+    def download(self, ptr: DevicePtr, nbytes: int, dtype=np.uint8) -> np.ndarray:
+        """Device -> host transfer; returns a fresh host array."""
+        self._ensure_open()
+        out = np.empty(nbytes, dtype=np.uint8)
+        check(
+            self.runtime.cudaMemcpy(
+                out, ptr, nbytes, cudaMemcpyKind.cudaMemcpyDeviceToHost
+            )
+        )
+        return out.view(dtype)
+
+    def synchronize(self) -> None:
+        """Explicit host/device synchronization (rarely needed, §2.2)."""
+        self._ensure_open()
+        check(self.runtime.cudaThreadSynchronize())
+
+    # -- lifetime (§4.1) -------------------------------------------------
+    def close(self) -> None:
+        """Destroy the handle: "all memory allocated on this device is
+        freed as well"."""
+        if self._open:
+            self.runtime.device.memory.free_all()
+            self._open = False
+
+    def __enter__(self) -> "Device":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self._open else "closed"
+        return f"cupp.Device({self.runtime._device_index}, {state})"

@@ -1,0 +1,73 @@
+"""CuPP exception hierarchy.
+
+The first thing CuPP changes about raw CUDA (§4.2): "exceptions are thrown
+when an error occurs instead of returning an error code".  :func:`check`
+is the single choke point where a :class:`~repro.cuda.errors.cudaError`
+becomes an exception; every CuPP entry point funnels its runtime calls
+through it.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+from repro.cuda.errors import cudaError
+
+
+class CuppError(ReproError):
+    """Base class of all CuPP errors."""
+
+    #: The underlying CUDA error code, when one exists.
+    code: cudaError | None = None
+
+
+class CuppMemoryError(CuppError):
+    """Device memory allocation or transfer failed."""
+
+
+class CuppInvalidDevice(CuppError):
+    """No device matches the request, or the handle is unusable."""
+
+
+class CuppLaunchError(CuppError):
+    """Kernel configuration or launch failed."""
+
+
+class CuppTraitError(CuppError):
+    """A kernel signature or type-transformation declaration is invalid.
+
+    Raised at :class:`~repro.cupp.kernel.Kernel` construction time — the
+    moral equivalent of the paper's compile-time template errors.
+    """
+
+
+class CuppUsageError(CuppError):
+    """The framework was used against its documented contract (e.g.
+    resizing a vector on the device, reusing a closed handle)."""
+
+
+_ERROR_MAP: dict[cudaError, type[CuppError]] = {
+    cudaError.cudaErrorMemoryAllocation: CuppMemoryError,
+    cudaError.cudaErrorInvalidDevicePointer: CuppMemoryError,
+    cudaError.cudaErrorInvalidMemcpyDirection: CuppMemoryError,
+    cudaError.cudaErrorInvalidValue: CuppUsageError,
+    cudaError.cudaErrorInvalidDevice: CuppInvalidDevice,
+    cudaError.cudaErrorNoDevice: CuppInvalidDevice,
+    cudaError.cudaErrorSetOnActiveProcess: CuppInvalidDevice,
+    cudaError.cudaErrorInvalidConfiguration: CuppLaunchError,
+    cudaError.cudaErrorLaunchFailure: CuppLaunchError,
+}
+
+
+def check(err: cudaError, context: str = "") -> None:
+    """Raise the matching CuPP exception unless ``err`` is success."""
+    if err.ok:
+        return
+    from repro.cuda.errors import cudaGetErrorString
+
+    exc_type = _ERROR_MAP.get(err, CuppError)
+    message = f"{err.name} ({cudaGetErrorString(err)})" + (
+        f": {context}" if context else ""
+    )
+    exc = exc_type(message)
+    exc.code = err
+    raise exc

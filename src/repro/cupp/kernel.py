@@ -1,0 +1,256 @@
+"""The C++-style kernel call: ``cupp::kernel`` (paper §4.3).
+
+A :class:`Kernel` is a functor wrapping a ``__global__`` function.  Its
+``__call__`` mimics a function call with real pass-by-value and
+pass-by-reference semantics:
+
+**Call-by-value** (§4.3.1)
+    1. a copy of the object is created (copy-constructor analog),
+    2. the copy is transformed to its device type and pushed byte-wise
+       onto the kernel parameter stack,
+    3. the kernel executes,
+    4. the host copy is destroyed *after the kernel has started* — not
+       after it finishes, to avoid a pointless synchronization.
+
+**Call-by-reference** (§4.3.2)
+    1. the object's global-memory image is created
+       (``get_device_reference``),
+    2. the kernel receives the device-side object,
+    3. after the kernel, the image is copied back and the host object is
+       notified via ``dirty()`` — *unless the parameter was declared
+       const*, in which case the copy-back is skipped entirely.  That
+       elision is the paper's marquee optimization and is observable in
+       this implementation through :attr:`CallStats`.
+
+The signature analysis (which parameter is a const reference, which types
+customize the protocol) happens once at construction — the run-once
+analog of CuPP's compile-time template metaprogramming.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cuda.qualifiers import is_global
+from repro.cupp.device import Device
+from repro.cupp.device_reference import DeviceReference
+from repro.cupp.exceptions import CuppLaunchError, CuppTraitError, check
+from repro.cupp.serialize import Boxed
+from repro.cupp.traits import (
+    KernelTraits,
+    ParamTrait,
+    PassKind,
+    analyze_kernel,
+    apply_transform,
+    has_dirty,
+    has_get_device_reference,
+)
+from repro.simgpu.dims import Dim3, as_dim3
+
+
+@dataclass
+class CallStats:
+    """Observable side effects of one kernel call — the paper's
+    performance traps (value copies, forgotten const) show up here."""
+
+    value_copies: int = 0
+    ref_uploads: int = 0
+    ref_upload_bytes: int = 0
+    writebacks: int = 0
+    writeback_bytes: int = 0
+    elided_writebacks: int = 0
+
+
+def _default_get_device_reference(obj: object, device: Device) -> DeviceReference:
+    """Listing 4.5 default: copy the *transformed* object to global memory."""
+    return DeviceReference(device, apply_transform(obj, device))
+
+
+def _default_dirty(host_obj: object, device_ref: DeviceReference) -> None:
+    """Listing 4.5 default: replace ``*this`` with the updated device data.
+
+    Python cannot rebind the caller's variable, so "replace" means
+    updating the object in place.  Immutable arguments passed by mutable
+    reference are a usage error — pass :class:`Boxed` or declare the
+    parameter ``ConstRef``.
+    """
+    updated = device_ref.get()
+    if isinstance(host_obj, Boxed):
+        host_obj.value = (
+            updated.value if isinstance(updated, Boxed) else updated
+        )
+        return
+    if hasattr(host_obj, "__dict__") and hasattr(updated, "__dict__"):
+        host_obj.__dict__.update(updated.__dict__)
+        return
+    if isinstance(host_obj, list) and isinstance(updated, list):
+        host_obj[:] = updated
+        return
+    raise CuppTraitError(
+        f"cannot write device changes back into a {type(host_obj).__name__}; "
+        "pass a Boxed value, implement dirty(), or declare the parameter "
+        "ConstRef"
+    )
+
+
+def plan_grid(total_threads: int, threads_per_block: int) -> Dim3:
+    """Pick a grid for ``total_threads``, going 2D when it must.
+
+    §2.2: "When requiring more than 2^16 thread blocks, 2-dimensional
+    block-indexes have to be used" — each grid axis caps at 65535.  For
+    small launches this returns the familiar 1D grid.
+    """
+    import math
+
+    if total_threads <= 0 or threads_per_block <= 0:
+        raise CuppLaunchError("thread counts must be positive")
+    blocks = math.ceil(total_threads / threads_per_block)
+    if blocks <= 65535:
+        return Dim3(blocks, 1, 1)
+    width = 65535
+    height = math.ceil(blocks / width)
+    if height > 65535:
+        raise CuppLaunchError(
+            f"{blocks} blocks exceed the 65535x65535 grid limit"
+        )
+    # Prefer a squarer grid: fewer wasted tail blocks.
+    width = math.ceil(math.sqrt(blocks))
+    height = math.ceil(blocks / width)
+    return Dim3(width, height, 1)
+
+
+class Kernel:
+    """The ``cupp::kernel`` functor.
+
+    Parameters
+    ----------
+    fn:
+        A ``@global_``-qualified kernel (the "function pointer" of
+        listing 4.2).
+    grid_dim, block_dim:
+        Optional launch configuration; may also be set later with
+        :meth:`set_grid_dim` / :meth:`set_block_dim` (§4.3).
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        grid_dim: "Dim3 | int | tuple | None" = None,
+        block_dim: "Dim3 | int | tuple | None" = None,
+    ) -> None:
+        if not is_global(fn):
+            raise CuppTraitError(
+                f"{getattr(fn, '__name__', fn)!r} is not a __global__ "
+                "function; qualify it with @global_"
+            )
+        self.fn = fn
+        # "Compile time": the signature is analyzed exactly once.
+        self.traits: KernelTraits = analyze_kernel(fn)
+        self._grid_dim = None if grid_dim is None else as_dim3(grid_dim)
+        self._block_dim = None if block_dim is None else as_dim3(block_dim)
+        self.last_stats: CallStats | None = None
+
+    # ------------------------------------------------------------------
+    def set_grid_dim(self, grid_dim: "Dim3 | int | tuple") -> None:
+        self._grid_dim = as_dim3(grid_dim)
+
+    def set_block_dim(self, block_dim: "Dim3 | int | tuple") -> None:
+        self._block_dim = as_dim3(block_dim)
+
+    @property
+    def grid_dim(self) -> Dim3 | None:
+        return self._grid_dim
+
+    @property
+    def block_dim(self) -> Dim3 | None:
+        return self._block_dim
+
+    # ------------------------------------------------------------------
+    def __call__(self, device: Device, *args: object) -> CallStats:
+        """Launch: ``f(device_hdl, arg0, arg1, ...)`` (listing 4.3)."""
+        if self._grid_dim is None or self._block_dim is None:
+            raise CuppLaunchError(
+                f"kernel {self.traits.name!r}: grid/block dimensions not set"
+            )
+        if len(args) != self.traits.arity:
+            raise CuppLaunchError(
+                f"kernel {self.traits.name!r} takes {self.traits.arity} "
+                f"argument(s), got {len(args)}"
+            )
+
+        stats = CallStats()
+        rt = device.runtime
+        check(
+            rt.cudaConfigureCall(self._grid_dim, self._block_dim),
+            f"configuring {self.traits.name!r}",
+        )
+
+        # Prepare each argument per its declared pass semantics.
+        pending_writeback: list[tuple[object, DeviceReference, ParamTrait]] = []
+        host_copies: list[object] = []  # destroyed after the launch starts
+        offset = 0
+        from repro.cuda.runtime import sizeof_argument
+
+        for trait, arg in zip(self.traits.params, args):
+            if trait.kind is PassKind.VALUE:
+                host_copy = _copy.copy(arg)  # step 1: copy constructor
+                stats.value_copies += 1
+                device_obj = apply_transform(host_copy, device)
+                host_copies.append(host_copy)
+            else:
+                readonly_gdr = getattr(
+                    type(arg), "get_device_reference_readonly", None
+                )
+                if trait.kind is PassKind.CONST_REF and callable(readonly_gdr):
+                    # Chapter-7 extension: the traits analysis knows this
+                    # parameter is const, so the argument may serve it
+                    # from a read-only cached space.
+                    dref = arg.get_device_reference_readonly(device)  # type: ignore[attr-defined]
+                elif has_get_device_reference(arg):
+                    dref = arg.get_device_reference(device)  # type: ignore[attr-defined]
+                else:
+                    dref = _default_get_device_reference(arg, device)
+                if not isinstance(dref, DeviceReference):
+                    raise CuppTraitError(
+                        f"{type(arg).__name__}.get_device_reference() must "
+                        "return a DeviceReference"
+                    )
+                stats.ref_uploads += 1
+                stats.ref_upload_bytes += dref.nbytes
+                device_obj = dref.deref()
+                if trait.kind is PassKind.REF:
+                    pending_writeback.append((arg, dref, trait))
+                else:
+                    stats.elided_writebacks += 1
+            size = sizeof_argument(device_obj)
+            check(
+                rt.cudaSetupArgument(device_obj, offset, size=size),
+                f"pushing argument {trait.name!r}",
+            )
+            offset += max(size, 4)
+
+        check(rt.cudaLaunch(self.fn), f"launching {self.traits.name!r}")
+        # Step 4 of call-by-value: the host copies die here, after the
+        # kernel has *started* — no synchronization with completion.
+        host_copies.clear()
+
+        # Call-by-reference step 4: copy back and notify, unless const.
+        for host_obj, dref, _trait in pending_writeback:
+            dref.put()  # device-side mutations -> global memory image
+            stats.writebacks += 1
+            stats.writeback_bytes += dref.nbytes
+            if has_dirty(host_obj):
+                host_obj.dirty(dref)  # type: ignore[attr-defined]
+            else:
+                _default_dirty(host_obj, dref)
+
+        self.last_stats = stats
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"cupp.Kernel({self.traits.name}, grid={self._grid_dim}, "
+            f"block={self._block_dim})"
+        )

@@ -1,0 +1,199 @@
+"""Nested vectors: ``vector< vector<T> >`` across the kernel boundary.
+
+§4.6: "The type transformation is not only done to the vector itself,
+but also to the type of the values stored by the vector.  Therefore
+``vector<T>::device_type`` is identical to
+``deviceT::vector<T::device_type>`` ...  This kind of transformation
+makes it possible to pass e.g. a two dimensional vector
+(``vector< vector<T> >``) to a kernel."
+
+The host side is a list of :class:`~repro.cupp.vector.Vector` rows that
+can grow and shrink independently; the device type flattens them into
+the classic ragged-array (CSR) pair — ``offsets`` + ``values`` — because
+the device cannot allocate and wants linear scans.  The element
+transformation is applied recursively, exactly as the paper specifies:
+each row's *own* ``transform`` result is what gets linearized.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterable
+
+import numpy as np
+
+from repro.cupp.device import Device
+from repro.cupp.device_reference import DeviceReference
+from repro.cupp.exceptions import CuppUsageError
+from repro.cupp.memory1d import Memory1D
+from repro.cupp.vector import Vector
+from repro.simgpu.memory import DeviceArrayView, DevicePtr
+
+
+class DeviceNestedVector:
+    """Device type of :class:`NestedVector`: CSR offsets + flat values.
+
+    Row ``r`` occupies ``values[offsets[r] .. offsets[r+1]]``.  Like every
+    device container, its shape is frozen (§4.6: the size cannot be
+    changed on the device); the *values* are writable.
+    """
+
+    kernel_arg_size = 12  # two pointers + a row count
+
+    host_type: type = None  # bound below (listing 4.6)
+    device_type: type = None
+
+    def __init__(
+        self, offsets: DeviceArrayView, values: DeviceArrayView, rows: int
+    ) -> None:
+        self.offsets = offsets
+        self.values = values
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return self.rows
+
+    def pack(self) -> np.ndarray:
+        meta = (
+            self.offsets.ptr.addr,
+            self.offsets.count,
+            self.values.ptr.addr,
+            self.values.count,
+            self.values.dtype.str,
+            self.rows,
+        )
+        return np.frombuffer(pickle.dumps(meta), dtype=np.uint8).copy()
+
+    @classmethod
+    def unpack(cls, blob: np.ndarray, device: Device) -> "DeviceNestedVector":
+        o_addr, o_n, v_addr, v_n, v_dtype, rows = pickle.loads(blob.tobytes())
+        mem = device.sim.memory
+        return cls(
+            DeviceArrayView(mem, DevicePtr(o_addr), np.dtype(np.int32), o_n),
+            DeviceArrayView(mem, DevicePtr(v_addr), np.dtype(v_dtype), v_n),
+            rows,
+        )
+
+
+class NestedVector:
+    """A growable vector of :class:`Vector` rows (``vector<vector<T>>``)."""
+
+    host_type: type = None
+    device_type = DeviceNestedVector
+
+    def __init__(
+        self, rows: "Iterable[Iterable] | None" = None, dtype=np.float32
+    ) -> None:
+        self.dtype = np.dtype(dtype)
+        self._rows: list[Vector] = []
+        self._mem_offsets: Memory1D | None = None
+        self._mem_values: Memory1D | None = None
+        self._device_valid = False
+        self._host_valid = True
+        self.uploads = 0
+        self.downloads = 0
+        if rows is not None:
+            for row in rows:
+                self.push_back(row)
+
+    # ------------------------------------------------------------------
+    # host interface
+    # ------------------------------------------------------------------
+    def _ensure_host(self) -> None:
+        if self._host_valid:
+            return
+        flat = self._mem_values.copy_to_host()
+        offsets = self._mem_offsets.copy_to_host()
+        for r, row in enumerate(self._rows):
+            row_data = flat[offsets[r] : offsets[r + 1]]
+            for i, v in enumerate(row_data):
+                row[i] = v
+        self._host_valid = True
+        self.downloads += 1
+
+    def _before_host_write(self) -> None:
+        self._ensure_host()
+        self._device_valid = False
+
+    def push_back(self, row: "Iterable | Vector") -> None:
+        self._before_host_write()
+        if isinstance(row, Vector):
+            if row.dtype != self.dtype:
+                raise CuppUsageError(
+                    f"row dtype {row.dtype} != nested dtype {self.dtype}"
+                )
+            self._rows.append(row)
+        else:
+            self._rows.append(Vector(row, dtype=self.dtype))
+
+    def pop_back(self) -> Vector:
+        self._before_host_write()
+        if not self._rows:
+            raise CuppUsageError("pop_back on an empty nested vector")
+        return self._rows.pop()
+
+    def __len__(self) -> int:
+        self._ensure_host()
+        return len(self._rows)
+
+    def __getitem__(self, index: int) -> Vector:
+        self._ensure_host()
+        # Handing out the row lets the caller mutate it behind our back;
+        # conservatively invalidate the device copy, like any host write.
+        self._device_valid = False
+        return self._rows[index]
+
+    def row_lengths(self) -> list[int]:
+        self._ensure_host()
+        return [len(r) for r in self._rows]
+
+    def total_elements(self) -> int:
+        return sum(self.row_lengths())
+
+    def to_lists(self) -> "list[list]":
+        self._ensure_host()
+        return [list(r) for r in self._rows]
+
+    # ------------------------------------------------------------------
+    # the CuPP protocol: recursive transformation + lazy copying
+    # ------------------------------------------------------------------
+    def transform(self, device: Device) -> DeviceNestedVector:
+        self._ensure_host()
+        if not self._device_valid:
+            # Element-wise transformation first (§4.6: the value type is
+            # transformed too), then linearization in traversal order.
+            offsets = np.zeros(len(self._rows) + 1, dtype=np.int32)
+            chunks = []
+            for r, row in enumerate(self._rows):
+                chunks.append(row.to_numpy())
+                offsets[r + 1] = offsets[r] + len(row)
+            flat = (
+                np.concatenate(chunks)
+                if chunks
+                else np.zeros(0, dtype=self.dtype)
+            )
+            if self._mem_offsets is not None:
+                self._mem_offsets.close()
+            if self._mem_values is not None:
+                self._mem_values.close()
+            self._mem_offsets = Memory1D.from_host(device, offsets)
+            self._mem_values = Memory1D.from_host(
+                device,
+                flat if flat.size else np.zeros(1, dtype=self.dtype),
+            )
+            self._device_valid = True
+            self.uploads += 1
+        return DeviceNestedVector(
+            self._mem_offsets.view(), self._mem_values.view(), len(self._rows)
+        )
+
+    def get_device_reference(self, device: Device) -> DeviceReference:
+        return DeviceReference(device, self.transform(device))
+
+    def dirty(self, device_ref: DeviceReference) -> None:
+        self._host_valid = False
+
+
+NestedVector.host_type = NestedVector
+DeviceNestedVector.device_type = DeviceNestedVector
+DeviceNestedVector.host_type = NestedVector

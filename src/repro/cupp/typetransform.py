@@ -1,0 +1,85 @@
+"""Host/device type transformation (paper §4.5).
+
+CPUs and GPUs want different data layouts: "the developer can define two
+independent types, which get transformed into one another when transferred
+from one memory domain to the other".  A class opts in either by declaring
+``device_type`` / ``host_type`` attributes (the paper's typedef pair,
+listing 4.6) or by calling :func:`bind_types`.  The matching must be a
+1:1 relation — we enforce that at registration.
+
+A type without a binding is its own device type (the POD case).
+"""
+
+from __future__ import annotations
+
+from repro.cupp.exceptions import CuppTraitError
+
+#: Explicit registry for types that cannot carry class attributes.
+_host_to_device: dict[type, type] = {}
+_device_to_host: dict[type, type] = {}
+
+
+def bind_types(host_cls: type, device_cls: type) -> None:
+    """Register ``host_cls <-> device_cls`` as a transformation pair.
+
+    Raises :class:`CuppTraitError` if either side is already bound to a
+    different partner (the 1:1 rule of §4.5).
+    """
+    existing_d = _host_to_device.get(host_cls) or getattr(
+        host_cls, "device_type", None
+    )
+    if existing_d is not None and existing_d is not device_cls:
+        raise CuppTraitError(
+            f"{host_cls.__name__} is already bound to device type "
+            f"{existing_d.__name__}; the host/device matching must be 1:1"
+        )
+    existing_h = _device_to_host.get(device_cls) or getattr(
+        device_cls, "host_type", None
+    )
+    if existing_h is not None and existing_h is not host_cls:
+        raise CuppTraitError(
+            f"{device_cls.__name__} is already bound to host type "
+            f"{existing_h.__name__}; the host/device matching must be 1:1"
+        )
+    _host_to_device[host_cls] = device_cls
+    _device_to_host[device_cls] = host_cls
+
+
+def unbind_types(host_cls: type, device_cls: type) -> None:
+    """Remove a registry binding (primarily for test isolation)."""
+    _host_to_device.pop(host_cls, None)
+    _device_to_host.pop(device_cls, None)
+
+
+def device_type_of(cls: type) -> type:
+    """The device type of ``cls`` (itself when unbound — the POD case)."""
+    declared = getattr(cls, "device_type", None)
+    if isinstance(declared, type):
+        return declared
+    return _host_to_device.get(cls, cls)
+
+
+def host_type_of(cls: type) -> type:
+    """The host type of ``cls`` (itself when unbound)."""
+    declared = getattr(cls, "host_type", None)
+    if isinstance(declared, type):
+        return declared
+    return _device_to_host.get(cls, cls)
+
+
+def validate_binding(cls: type) -> None:
+    """Check that a declared host/device pair points back at itself.
+
+    Mirrors the paper's listing 4.6, where *both* structs carry both
+    typedefs; an asymmetric declaration is a latent bug we surface early.
+    """
+    dev = device_type_of(cls)
+    if dev is cls:
+        return
+    back = host_type_of(dev)
+    if back is not cls:
+        raise CuppTraitError(
+            f"type transformation of {cls.__name__} is not 1:1: its device "
+            f"type {dev.__name__} maps back to "
+            f"{getattr(back, '__name__', back)!r}"
+        )

@@ -1,0 +1,463 @@
+"""``cupp::vector`` — an STL-style vector with lazy memory copying (§4.6).
+
+The host side behaves like ``std::vector`` (grow/shrink, random access);
+the device side is a fixed-size window onto global memory ("it is not
+possible to allocate memory on the device.  Therefore the size of the
+vector cannot be changed on the device").
+
+Lazy memory copying implements §4.6 to the letter:
+
+* ``transform()`` and ``get_device_reference()`` copy the vector data to
+  global memory **iff** the device copy is out of date or absent;
+* ``dirty()`` marks the *host* data out of date;
+* any host read checks the flag and downloads first if needed;
+* any host write marks the *device* data out of date.
+
+So "the developer may pass a vector directly to one or multiple kernels,
+without the need to think about how memory transfers may be minimized".
+
+A note on the paper's proxy classes: C++ cannot tell ``v[i]`` reads from
+``v[i] = x`` writes without a proxy object (§4.6 footnote).  Python's
+``__getitem__``/``__setitem__`` split gives us that distinction natively,
+so the read/write detection here is exact rather than proxy-approximate.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.cupp.device import Device
+from repro.cupp.device_reference import DeviceReference
+from repro.cupp.exceptions import CuppUsageError
+from repro.cupp.memory1d import Memory1D
+from repro.simgpu.memory import DeviceArrayView, DevicePtr
+
+
+class DeviceVector:
+    """The device type of :class:`Vector`: ``{pointer, size}`` plus a typed
+    view.  Kernels index it through the thread context; it has no resize
+    operations because the device cannot allocate (§4.6).
+
+    ``space`` implements the chapter-7 extension: a const-reference vector
+    may live behind the texture cache (``"texture"``) or in constant
+    memory (``"constant"``) instead of plain global memory.  Kernels that
+    want to profit read through :func:`repro.simgpu.devicelib.ld_auto`.
+    """
+
+    #: Stack footprint: a device pointer plus a 32-bit size.
+    kernel_arg_size = 8
+
+    host_type: "type | None" = None  # filled in below (listing 4.6)
+    device_type: "type | None" = None
+
+    def __init__(
+        self,
+        view: "DeviceArrayView | None",
+        space: str = "global",
+        texref: object | None = None,
+        const_view: object | None = None,
+    ) -> None:
+        self.view = view
+        self.space = space
+        self.texref = texref
+        self.const_view = const_view
+
+    def __len__(self) -> int:
+        if self.space == "constant":
+            return self.const_view.count
+        return self.view.count
+
+    @property
+    def size(self) -> int:
+        return len(self)
+
+    @property
+    def read_handle(self) -> object:
+        """What device code reads through, per space (used by
+        ``devicelib.ld_auto``)."""
+        if self.space == "texture":
+            return self.texref
+        if self.space == "constant":
+            return self.const_view
+        return self.view
+
+    # -- device-byte layout: exactly a pointer + size + element type ----
+    def pack(self) -> np.ndarray:
+        if self.space == "constant":
+            meta = (
+                "constant",
+                self.const_view.offset,
+                self.const_view.count,
+                self.const_view.dtype.str,
+            )
+        else:
+            meta = (
+                self.space,
+                self.view.ptr.addr,
+                self.view.count,
+                self.view.dtype.str,
+            )
+        return np.frombuffer(pickle.dumps(meta), dtype=np.uint8).copy()
+
+    @classmethod
+    def unpack(cls, blob: np.ndarray, device: Device) -> "DeviceVector":
+        space, addr_or_offset, count, dtype_str = pickle.loads(blob.tobytes())
+        if space == "constant":
+            from repro.simgpu.caches import ConstantArrayView
+
+            const_view = ConstantArrayView(
+                device.sim.constant, addr_or_offset, np.dtype(dtype_str), count
+            )
+            return cls(None, "constant", const_view=const_view)
+        view = DeviceArrayView(
+            device.sim.memory, DevicePtr(addr_or_offset), np.dtype(dtype_str), count
+        )
+        if space == "texture":
+            from repro.simgpu.caches import TextureReference
+
+            return cls(view, "texture", texref=TextureReference(view))
+        return cls(view)
+
+
+class Vector:
+    """Host-side growable vector with a lazily synchronized device twin.
+
+    Parameters
+    ----------
+    data:
+        Optional initial contents (iterable or ndarray).
+    dtype:
+        Element type; defaults to float32 (the GPU-native scalar).
+    """
+
+    host_type: "type | None" = None
+    device_type = DeviceVector
+
+    _GROWTH = 2  # capacity doubling, the std::vector idiom
+
+    #: Constant memory is precious (64 KiB, bump-allocated): "auto" only
+    #: places vectors at most this large there.
+    CONSTANT_AUTO_LIMIT = 4096
+
+    def __init__(
+        self,
+        data: "Iterable | None" = None,
+        dtype=np.float32,
+        readonly_space: str = "global",
+    ) -> None:
+        if readonly_space not in ("global", "texture", "constant", "auto"):
+            raise CuppUsageError(
+                f"unknown readonly_space {readonly_space!r}; use global, "
+                "texture, constant or auto"
+            )
+        #: Chapter-7 extension: where to place the data when a kernel
+        #: declares this vector as a *const* reference.
+        self.readonly_space = readonly_space
+        self._texref = None
+        self._const_view = None
+        self._const_valid = False
+        self.dtype = np.dtype(dtype)
+        if data is None:
+            self._store = np.empty(4, dtype=self.dtype)
+            self._size = 0
+        else:
+            arr = np.asarray(list(data) if not isinstance(data, np.ndarray) else data)
+            self._store = arr.astype(self.dtype).reshape(-1).copy()
+            self._size = self._store.size
+        # Lazy-copy state.
+        self._mem: Memory1D | None = None
+        self._host_valid = True
+        self._device_valid = False
+        # Transfer counters, observable by tests and benchmarks.
+        self.uploads = 0
+        self.downloads = 0
+
+    # ------------------------------------------------------------------
+    # host-side freshness management
+    # ------------------------------------------------------------------
+    def _ensure_host(self) -> None:
+        """Host read path: download from the device if the host is stale."""
+        if not self._host_valid:
+            assert self._mem is not None, "host marked stale with no device data"
+            fresh = self._mem.copy_to_host()
+            self._store = fresh.copy()
+            self._size = fresh.size
+            self._host_valid = True
+            self.downloads += 1
+
+    def _before_host_write(self) -> None:
+        """Host write path: refresh first, then invalidate the device."""
+        self._ensure_host()
+        self._device_valid = False
+        self._const_valid = False
+
+    def _ensure_device(self, device: Device) -> Memory1D:
+        """Upload iff the device copy is absent, undersized, or stale."""
+        if self._mem is not None and self._mem.device is not device:
+            raise CuppUsageError(
+                "vector is bound to a different device; CuPP supports one "
+                "device per vector"
+            )
+        # The device can never resize the vector (§4.6), so _size is
+        # trustworthy even while the host copy is stale — and if the
+        # device copy is current we must NOT touch the host at all:
+        # that deferred download is the whole point of lazy copying.
+        if self._mem is None or self._mem.count != self._size:
+            self._ensure_host()
+            if self._mem is not None:
+                self._mem.close()
+            self._mem = Memory1D(device, self.dtype, self._size)
+            self._device_valid = False
+        if not self._device_valid:
+            self._ensure_host()
+            self._mem.copy_from_host(self._store[: self._size])
+            self._device_valid = True
+            self.uploads += 1
+        return self._mem
+
+    # ------------------------------------------------------------------
+    # the CuPP protocol (§4.4/§4.6)
+    # ------------------------------------------------------------------
+    def transform(self, device: Device) -> DeviceVector:
+        """Called for pass-by-value: upload if needed, return the device
+        type.  (The expensive part of by-value passing is the host-side
+        copy constructor, which already ran by the time this is called.)"""
+        mem = self._ensure_device(device)
+        return DeviceVector(mem.view())
+
+    def get_device_reference(self, device: Device) -> DeviceReference:
+        """Called for pass-by-reference: upload if needed, wrap the device
+        type in a global-memory reference."""
+        return DeviceReference(device, self.transform(device))
+
+    def dirty(self, device_ref: DeviceReference) -> None:
+        """The kernel mutated the device data: host copy is now stale."""
+        self._host_valid = False
+        self._const_valid = False  # a constant mirror would now be stale
+
+    # ------------------------------------------------------------------
+    # chapter-7 extension: read-only placement for const references
+    # ------------------------------------------------------------------
+    def _resolved_readonly_space(self) -> str:
+        if self.readonly_space != "auto":
+            return self.readonly_space
+        self._ensure_host()
+        nbytes = self._size * self.dtype.itemsize
+        return "constant" if nbytes <= self.CONSTANT_AUTO_LIMIT else "texture"
+
+    def transform_readonly(self, device: Device) -> DeviceVector:
+        """Like :meth:`transform`, but for parameters the kernel declared
+        ``const``: the data may be served from the texture or constant
+        cache ("if it is known that the vector is passed as a const
+        reference to a kernel, texture or constant memory could
+        automatically be used", ch. 7)."""
+        space = self._resolved_readonly_space()
+        if space == "global":
+            return self.transform(device)
+        if space == "texture":
+            mem = self._ensure_device(device)
+            from repro.cupp.exceptions import check
+
+            from repro.simgpu.caches import TextureReference
+
+            if self._texref is None:
+                self._texref = TextureReference()
+            check(
+                device.runtime.cudaBindTexture(
+                    self._texref, mem.ptr, self.dtype, self._size
+                ),
+                "binding the vector's texture reference",
+            )
+            return DeviceVector(mem.view(), "texture", texref=self._texref)
+        # constant space
+        self._ensure_host()
+        from repro.cupp.exceptions import check
+
+        if (
+            self._const_view is None
+            or self._const_view.count != self._size
+        ):
+            err, sym = device.runtime.constant_symbol(self.dtype, self._size)
+            check(err, "allocating a __constant__ mirror for the vector")
+            self._const_view = sym
+            self._const_valid = False
+        if not self._const_valid:
+            check(
+                device.runtime.cudaMemcpyToSymbol(
+                    self._const_view, self._store[: self._size]
+                )
+            )
+            self._const_valid = True
+            self.uploads += 1
+        return DeviceVector(None, "constant", const_view=self._const_view)
+
+    def get_device_reference_readonly(self, device: Device) -> DeviceReference:
+        return DeviceReference(device, self.transform_readonly(device))
+
+    # ------------------------------------------------------------------
+    # std::vector-like host interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        self._ensure_host()
+        return self._size
+
+    @property
+    def size(self) -> int:
+        return len(self)
+
+    def _grow_to(self, capacity: int) -> None:
+        if capacity <= self._store.size:
+            return
+        new_cap = max(capacity, self._store.size * self._GROWTH, 4)
+        grown = np.empty(new_cap, dtype=self.dtype)
+        grown[: self._size] = self._store[: self._size]
+        self._store = grown
+
+    def push_back(self, value: object) -> None:
+        self._before_host_write()
+        self._grow_to(self._size + 1)
+        self._store[self._size] = value
+        self._size += 1
+
+    def pop_back(self) -> object:
+        self._before_host_write()
+        if self._size == 0:
+            raise CuppUsageError("pop_back on an empty vector")
+        self._size -= 1
+        return self._store[self._size].item()
+
+    def resize(self, count: int, fill: object = 0) -> None:
+        self._before_host_write()
+        if count > self._size:
+            self._grow_to(count)
+            self._store[self._size : count] = fill
+        self._size = int(count)
+
+    def reserve(self, capacity: int) -> None:
+        self._ensure_host()
+        self._grow_to(capacity)
+
+    def clear(self) -> None:
+        self._before_host_write()
+        self._size = 0
+
+    def insert(self, index: int, value: object) -> None:
+        """Insert ``value`` before ``index`` (``v.insert(begin()+i, x)``)."""
+        self._before_host_write()
+        if not 0 <= index <= self._size:
+            raise IndexError(
+                f"insert position {index} out of range for size {self._size}"
+            )
+        self._grow_to(self._size + 1)
+        self._store[index + 1 : self._size + 1] = self._store[index : self._size]
+        self._store[index] = value
+        self._size += 1
+
+    def erase(self, index: int) -> object:
+        """Remove and return the element at ``index`` (``v.erase(...)``)."""
+        self._before_host_write()
+        index = self._check_index(index)
+        value = self._store[index].item()
+        self._store[index : self._size - 1] = self._store[index + 1 : self._size]
+        self._size -= 1
+        return value
+
+    def extend(self, items: Iterable) -> None:
+        for item in items:
+            self.push_back(item)
+
+    def empty(self) -> bool:
+        """``v.empty()`` — true when the vector holds no elements."""
+        return len(self) == 0
+
+    def front(self) -> object:
+        """``v.front()`` — the first element."""
+        self._ensure_host()
+        if self._size == 0:
+            raise CuppUsageError("front() on an empty vector")
+        return self._store[0].item()
+
+    def back(self) -> object:
+        """``v.back()`` — the last element."""
+        self._ensure_host()
+        if self._size == 0:
+            raise CuppUsageError("back() on an empty vector")
+        return self._store[self._size - 1].item()
+
+    def swap(self, other: "Vector") -> None:
+        """``a.swap(b)`` — exchange contents (host *and* device state, so
+        neither side loses its lazy-copy bookkeeping)."""
+        if not isinstance(other, Vector):
+            raise CuppUsageError("swap requires another cupp.Vector")
+        for attr in (
+            "dtype", "_store", "_size", "_mem", "_host_valid",
+            "_device_valid", "uploads", "downloads", "readonly_space",
+            "_texref", "_const_view", "_const_valid",
+        ):
+            mine, theirs = getattr(self, attr), getattr(other, attr)
+            setattr(self, attr, theirs)
+            setattr(other, attr, mine)
+
+    def _check_index(self, index: int) -> int:
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range for size {self._size}")
+        return index
+
+    def __getitem__(self, index: int) -> object:
+        self._ensure_host()  # read detection (§4.6)
+        return self._store[self._check_index(index)].item()
+
+    def __setitem__(self, index: int, value: object) -> None:
+        self._before_host_write()  # write detection (§4.6)
+        self._store[self._check_index(index)] = value
+
+    def __iter__(self) -> Iterator:
+        self._ensure_host()
+        return iter(self._store[: self._size].tolist())
+
+    def to_numpy(self) -> np.ndarray:
+        """A read-only snapshot of the host data (a mutable view would
+        bypass the write detection the laziness depends on)."""
+        self._ensure_host()
+        out = self._store[: self._size].copy()
+        out.flags.writeable = False
+        return out
+
+    # ------------------------------------------------------------------
+    # copy semantics: "when a vector is copied, the copy is expected to
+    # have its own dataset" (§4.2) — the by-value performance trap.
+    # ------------------------------------------------------------------
+    def __copy__(self) -> "Vector":
+        self._ensure_host()
+        return Vector(self._store[: self._size].copy(), dtype=self.dtype)
+
+    def __deepcopy__(self, memo: dict) -> "Vector":
+        return self.__copy__()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vector):
+            return NotImplemented
+        return bool(np.array_equal(other.to_numpy(), self.to_numpy()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = []
+        if not self._host_valid:
+            state.append("host-stale")
+        if self._device_valid:
+            state.append("on-device")
+        return (
+            f"cupp.Vector(size={self._size}, dtype={self.dtype}"
+            + (", " + ",".join(state) if state else "")
+            + ")"
+        )
+
+
+# Listing 4.6: both types carry both typedefs, matched 1:1.
+Vector.host_type = Vector
+DeviceVector.host_type = Vector
+DeviceVector.device_type = DeviceVector

@@ -1,0 +1,253 @@
+"""Grid-accelerated neighbor search — chapter 7's future work, built.
+
+"Regarding the example application ... spatial data structures could
+improve the neighbor search performance.  Data structures must be
+constructed at the host, due to the low arithmetic intensity of such a
+process, and then be transferred to the GPU.  With CuPP it would be easy
+to use two different data representations, the host data structure could
+be designed for fast construction, whereas the device data structure
+could be designed for fast memory transfer to device memory and fast
+neighborhood lookup."
+
+Exactly that:
+
+* :class:`HostGrid` — built on the host in O(n) (append into a
+  dict-of-cells; "fast construction");
+* :class:`DeviceGrid` — its ``device_type``: two flat CSR arrays ("fast
+  memory transfer ... and fast neighborhood lookup");
+* :func:`find_neighbors_grid` — the device kernel: each agent scans only
+  the 27 cells around it instead of all ``n`` agents.
+
+Cell edge = search radius, so the 3x3x3 neighborhood is guaranteed to
+contain every agent within the radius; the kernel therefore returns the
+*identical* neighbor sets the brute-force kernels return (asserted in
+the test suite), while testing a small fraction of the candidates.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.cuda.qualifiers import global_
+from repro.cupp.device import Device
+from repro.cupp.device_reference import DeviceReference
+from repro.cupp.memory1d import Memory1D
+from repro.cupp.traits import ConstRef, Ref
+from repro.cupp.vector import DeviceVector
+from repro.simgpu import devicelib as dl
+from repro.simgpu.costs import OpClass
+from repro.simgpu.isa import ld, op, reconv
+from repro.simgpu.memory import DeviceArrayView, DevicePtr
+
+from repro.gpusteer.kernels_emu import (
+    _candidate_test,
+    _insert_neighbor,
+    _write_results,
+)
+
+
+class DeviceGrid:
+    """CSR cell lists in global memory + the grid geometry."""
+
+    kernel_arg_size = 16
+    host_type: type = None  # bound below (listing 4.6)
+    device_type: type = None
+
+    def __init__(
+        self,
+        starts: DeviceArrayView,
+        members: DeviceArrayView,
+        cells_per_axis: int,
+        extent: float,
+    ) -> None:
+        self.starts = starts
+        self.members = members
+        self.cells_per_axis = cells_per_axis
+        self.extent = extent
+
+    def pack(self) -> np.ndarray:
+        meta = (
+            self.starts.ptr.addr,
+            self.starts.count,
+            self.members.ptr.addr,
+            self.members.count,
+            self.cells_per_axis,
+            self.extent,
+        )
+        return np.frombuffer(pickle.dumps(meta), dtype=np.uint8).copy()
+
+    @classmethod
+    def unpack(cls, blob: np.ndarray, device: Device) -> "DeviceGrid":
+        s_addr, s_n, m_addr, m_n, cpa, extent = pickle.loads(blob.tobytes())
+        mem = device.sim.memory
+        return cls(
+            DeviceArrayView(mem, DevicePtr(s_addr), np.dtype(np.int32), s_n),
+            DeviceArrayView(mem, DevicePtr(m_addr), np.dtype(np.int32), m_n),
+            cpa,
+            extent,
+        )
+
+
+class HostGrid:
+    """Uniform grid over the world, rebuilt on the host every frame."""
+
+    host_type: type = None
+    device_type = DeviceGrid
+
+    def __init__(self, world_radius: float, cell_edge: float) -> None:
+        # Positions can overshoot the sphere by one step before wrapping;
+        # pad the extent so no point is ever clamped across a cell.
+        self.extent = world_radius * 1.05 + cell_edge
+        self.cells_per_axis = max(1, int(2 * self.extent / cell_edge))
+        self.cell_edge = 2 * self.extent / self.cells_per_axis
+        self._starts: np.ndarray | None = None
+        self._members: np.ndarray | None = None
+        self._blocks: list[Memory1D] = []
+
+    @property
+    def total_cells(self) -> int:
+        return self.cells_per_axis**3
+
+    def cell_coords(self, positions: np.ndarray) -> np.ndarray:
+        scaled = (positions + self.extent) / (2 * self.extent)
+        return np.clip(
+            (scaled * self.cells_per_axis).astype(np.int64),
+            0,
+            self.cells_per_axis - 1,
+        )
+
+    def build(self, positions: np.ndarray) -> None:
+        """O(n) counting-sort build ("fast construction")."""
+        ijk = self.cell_coords(positions)
+        c = self.cells_per_axis
+        flat = ijk[:, 0] + ijk[:, 1] * c + ijk[:, 2] * c * c
+        counts = np.bincount(flat, minlength=self.total_cells)
+        starts = np.zeros(self.total_cells + 1, dtype=np.int32)
+        np.cumsum(counts, out=starts[1:])
+        members = np.argsort(flat, kind="stable").astype(np.int32)
+        self._starts = starts
+        self._members = members
+
+    # --- the CuPP protocol (§4.4/§4.5) ----------------------------------
+    def transform(self, device: Device) -> DeviceGrid:
+        if self._starts is None:
+            raise RuntimeError("HostGrid.build() must run before transfer")
+        s = Memory1D.from_host(device, self._starts)
+        m = Memory1D.from_host(
+            device,
+            self._members if self._members.size else np.zeros(1, np.int32),
+        )
+        self._blocks = [s, m]  # keep allocations alive across the launch
+        return DeviceGrid(s.view(), m.view(), self.cells_per_axis, self.extent)
+
+    def get_device_reference(self, device: Device) -> DeviceReference:
+        return DeviceReference(device, self.transform(device))
+
+
+HostGrid.host_type = HostGrid
+DeviceGrid.device_type = DeviceGrid
+DeviceGrid.host_type = HostGrid
+
+
+def project_cost(
+    profile_small,
+    profile_big,
+    n_small: int,
+    n_big: int,
+    n_target: int,
+    threads_per_block: int,
+    costs=None,
+):
+    """Extrapolate a kernel's cost to ``n_target`` agents.
+
+    Measures at two emulable populations *in the same world* (so density
+    scales with n), fits the per-warp work as ``a + b*n`` (fixed per-agent
+    overhead + per-candidate work whose candidate count grows with n), and
+    evaluates at the target.  Returns a
+    :class:`~repro.simgpu.perfmodel.KernelCostInputs`.
+    """
+    import math
+
+    from repro.simgpu.costs import G80_COSTS
+    from repro.simgpu.perfmodel import KernelCostInputs
+
+    costs = costs or G80_COSTS
+
+    def per_warp(profile, n, extract):
+        warps = n / 32
+        return extract(profile) / warps
+
+    def fit(extract):
+        y1 = per_warp(profile_small, n_small, extract)
+        y2 = per_warp(profile_big, n_big, extract)
+        b = (y2 - y1) / (n_big - n_small)
+        a = y1 - b * n_small
+        return max(0.0, a + b * n_target)
+
+    warps_target = math.ceil(n_target / 32)
+    blocks = math.ceil(n_target / threads_per_block)
+    return KernelCostInputs(
+        blocks=blocks,
+        threads_per_block=threads_per_block,
+        issue_cycles=int(fit(lambda p: p.issue_cycles(costs)) * warps_target),
+        global_reads=int(fit(lambda p: p.global_reads) * warps_target),
+        bytes_moved=int(
+            fit(lambda p: p.bytes_read + p.bytes_written) * warps_target
+        ),
+        registers_per_thread=14,
+    )
+
+
+@global_
+def find_neighbors_grid(
+    ctx,
+    grid: ConstRef[DeviceGrid],
+    positions: ConstRef[DeviceVector],
+    search_radius: float,
+    results: Ref[DeviceVector],
+):
+    """Listing 5.2's semantics over the 27-cell neighborhood."""
+    i = ctx.global_thread_id
+    my_pos = yield from dl.ld_vec3(positions.view, i)
+    yield op(OpClass.FMUL)
+    r2 = search_radius * search_radius
+
+    # Locate my cell (scale + clamp: a handful of arithmetic issues).
+    cpa = grid.cells_per_axis
+    yield op(OpClass.FADD, 3)
+    yield op(OpClass.FMUL, 3)
+    yield op(OpClass.MINMAX, 6)
+    ijk = [
+        min(max(int((my_pos[a] + grid.extent) / (2 * grid.extent) * cpa), 0), cpa - 1)
+        for a in range(3)
+    ]
+
+    best: list = []
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                yield dl.iadd(3)
+                yield dl.compare(3)
+                x, y, z = ijk[0] + dx, ijk[1] + dy, ijk[2] + dz
+                if not (0 <= x < cpa and 0 <= y < cpa and 0 <= z < cpa):
+                    yield reconv()
+                    continue
+                cell = x + y * cpa + z * cpa * cpa
+                yield dl.iadd(2)
+                start = yield ld(grid.starts, cell)
+                stop = yield ld(grid.starts, cell + 1)
+                for slot in range(start, stop):
+                    yield dl.compare()
+                    yield dl.iadd()
+                    j = yield ld(grid.members, slot)
+                    other = yield from dl.ld_vec3(positions.view, j)
+                    in_radius, d2 = yield from _candidate_test(
+                        my_pos, other, r2, j, i
+                    )
+                    if in_radius:
+                        yield from _insert_neighbor(best, d2, j)
+                    yield reconv()
+                yield reconv()
+    yield from _write_results(results.view, i, best)

@@ -1,0 +1,194 @@
+"""The five development versions of the GPU port (paper Table 6.1).
+
+======== ==================== ==================== ============
+version  neighbor search      steering calculation modification
+======== ==================== ==================== ============
+CPU      host                 host                 host
+1        device (global mem)  host                 host
+2        device (shared mem)  host                 host
+3        device (shared mem)  device (local cache) host
+4        device (shared mem)  device (recompute)   host
+5        device (shared mem)  device (recompute)   device
+======== ==================== ==================== ============
+
+:class:`VersionSpec` is the feature matrix; :func:`update_time` is the
+per-version timing model that combines host work (CPU cost model), kernel
+times (closed-form counts -> analytic perf model), and transfers (PCIe
+model).  The correctness of each version's *computation* is established
+separately, by running the emulated kernels against the pure reference
+(``tests/gpusteer/``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.gpusteer.cost_model import (
+    LaunchGeometry,
+    WorkloadStats,
+    modify_cost,
+    neighbor_v1_cost,
+    neighbor_v2_cost,
+    simulate_cost,
+)
+from repro.simgpu.arch import ArchSpec, G80_8800GTS
+from repro.simgpu.perfmodel import kernel_time
+from repro.steer.params import BoidsParams
+
+#: Block size the GPU port launches with (agents padded to a multiple).
+THREADS_PER_BLOCK = 128
+
+#: Bytes per agent moved for drawing: a 4x4 float matrix (§6.2.3).
+DRAW_MATRIX_BYTES = 64
+
+
+@dataclass(frozen=True)
+class VersionSpec:
+    """One row of Table 6.1."""
+
+    number: int
+    name: str
+    neighbor_on_device: bool
+    steering_on_device: bool
+    modification_on_device: bool
+    uses_shared_memory: bool
+    local_mem_caching: bool
+
+
+CPU_VERSION = VersionSpec(0, "CPU", False, False, False, False, False)
+VERSIONS: dict[int, VersionSpec] = {
+    0: CPU_VERSION,
+    1: VersionSpec(1, "v1 naive neighbor search", True, False, False, False, False),
+    2: VersionSpec(2, "v2 shared-memory neighbor search", True, False, False, True, False),
+    3: VersionSpec(3, "v3 simulation substage (local cache)", True, True, False, True, True),
+    4: VersionSpec(4, "v4 simulation substage (recompute)", True, True, False, True, False),
+    5: VersionSpec(5, "v5 full update on device", True, True, True, True, False),
+}
+
+
+@dataclass(frozen=True)
+class UpdateBreakdown:
+    """Where one update stage's time goes, per version."""
+
+    version: int
+    host_compute_s: float  # CPU-resident substages + extraction loops
+    gpu_kernel_s: float  # device execution (runs async; bounded below)
+    transfer_s: float  # cudaMemcpy calls (block the host)
+    launch_overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Serial update time (no draw overlap — Fig. 6.2/6.3 metric)."""
+        return (
+            self.host_compute_s
+            + self.gpu_kernel_s
+            + self.transfer_s
+            + self.launch_overhead_s
+        )
+
+    @property
+    def updates_per_second(self) -> float:
+        return 1.0 / self.total_s
+
+
+def _cohort_size(n: int, params: BoidsParams) -> int:
+    """Thinking agents per step, padded to the block size (the kernels
+    require a thread-count multiple of threads_per_block, §6.2.1)."""
+    thinkers = max(1, math.ceil(n / params.think_every))
+    return THREADS_PER_BLOCK * math.ceil(thinkers / THREADS_PER_BLOCK)
+
+
+def update_time(
+    version: int,
+    n: int,
+    params: BoidsParams,
+    stats: WorkloadStats | None = None,
+    calib: Calibration = DEFAULT_CALIBRATION,
+    arch: ArchSpec = G80_8800GTS,
+) -> UpdateBreakdown:
+    """Model one update stage of ``version`` at population ``n``."""
+    spec = VERSIONS[version]
+    cpu = calib.cpu_model()
+    pcie = calib.pcie_model()
+    if stats is None:
+        stats = WorkloadStats.estimate(n, params, calib.density_clustering)
+    thinkers = max(1, n // params.think_every)
+    cohort_threads = _cohort_size(n, params)
+    geom = LaunchGeometry(cohort_threads, THREADS_PER_BLOCK)
+    all_geom = LaunchGeometry(
+        THREADS_PER_BLOCK * math.ceil(n / THREADS_PER_BLOCK), THREADS_PER_BLOCK
+    )
+
+    host = 0.0
+    gpu = 0.0
+    transfer = 0.0
+    launches = 0
+
+    if not spec.neighbor_on_device:
+        # Pure CPU version: everything on the host.
+        return UpdateBreakdown(
+            version,
+            host_compute_s=cpu.seconds(cpu.update_cycles(n, thinkers)),
+            gpu_kernel_s=0.0,
+            transfer_s=0.0,
+            launch_overhead_s=0.0,
+        )
+
+    if not spec.steering_on_device:
+        # v1/v2: neighbor kernel only.  Host extracts positions each frame
+        # (listing 6.1), then finishes steering + modification itself.
+        host += calib.extract_seconds(3 * n)  # positions into cupp::vector
+        transfer += pcie.transfer_time(12 * n)  # positions upload
+        kernel = neighbor_v1_cost if version == 1 else neighbor_v2_cost
+        gpu += kernel_time(kernel(geom, stats), arch).total_s
+        launches += 1
+        transfer += pcie.transfer_time(4 * 7 * thinkers)  # results download
+        host += calib.extract_seconds(7 * thinkers)  # results back out
+        host += cpu.seconds(cpu.steering_cycles(thinkers))
+        host += cpu.seconds(cpu.modification_cycles(n))
+    elif not spec.modification_on_device:
+        # v3/v4: simulation substage on device; modification on host, so
+        # the full agent state crosses the bus both ways every step.
+        host += calib.extract_seconds(6 * n)  # positions + forwards out
+        transfer += pcie.transfer_time(12 * n)  # positions
+        transfer += pcie.transfer_time(12 * n)  # forwards
+        gpu += kernel_time(
+            simulate_cost(geom, stats, local_cache=spec.local_mem_caching),
+            arch,
+        ).total_s
+        launches += 1
+        transfer += pcie.transfer_time(12 * thinkers)  # steering download
+        host += calib.extract_seconds(3 * thinkers)
+        host += cpu.seconds(cpu.modification_cycles(n))
+    else:
+        # v5: everything stays on the device; lazy copying (§4.6) means no
+        # per-frame uploads at all — only the draw matrices come back
+        # (handled in the frame model, not the update stage).
+        gpu += kernel_time(
+            simulate_cost(geom, stats, local_cache=False), arch
+        ).total_s
+        gpu += kernel_time(modify_cost(all_geom), arch).total_s
+        launches += 2
+
+    return UpdateBreakdown(
+        version,
+        host_compute_s=host,
+        gpu_kernel_s=gpu,
+        transfer_s=transfer,
+        launch_overhead_s=launches * calib.launch_overhead_s,
+    )
+
+
+def speedup_vs_cpu(
+    version: int,
+    n: int,
+    params: BoidsParams,
+    stats: WorkloadStats | None = None,
+    calib: Calibration = DEFAULT_CALIBRATION,
+) -> float:
+    """The Fig. 6.2 metric: CPU update time over version update time."""
+    cpu_t = update_time(0, n, params, stats, calib).total_s
+    ver_t = update_time(version, n, params, stats, calib).total_s
+    return cpu_t / ver_t

@@ -1,0 +1,85 @@
+"""A G80-class SIMT GPU simulator.
+
+This subpackage is the hardware substrate the reproduction runs on: warp
+lockstep execution with divergence serialization, the Table 2.2 cycle cost
+model, a first-fit linear device-memory allocator, CC 1.0 coalescing rules,
+per-multiprocessor occupancy, an analytic kernel-timing model, and a PCIe
+transfer/async-execution timeline.
+
+Public entry points:
+
+- :class:`SimDevice` — construct a device and ``launch`` kernels on it.
+- :class:`ArchSpec` / :data:`G80_8800GTS` — hardware descriptions.
+- :data:`G80_COSTS` — the Table 2.2 instruction cost table.
+- :mod:`repro.simgpu.isa` / :mod:`repro.simgpu.devicelib` — what simulated
+  kernels are written against.
+- :func:`kernel_time` — analytic timing from instruction counts.
+"""
+
+from repro.simgpu.arch import ATHLON64_3700, ArchSpec, CpuSpec, G80_8800GTS, scaled_arch
+from repro.simgpu.block import BarrierDeadlock, ThreadCtx
+from repro.simgpu.costs import CostTable, G80_COSTS, OpClass
+from repro.simgpu.device import LaunchResult, SimDevice
+from repro.simgpu.dims import Dim3, as_dim3, make_dim3
+from repro.simgpu.memory import (
+    DeviceArrayView,
+    DeviceMemory,
+    DeviceMemoryError,
+    DevicePtr,
+    InvalidDeviceAccess,
+    InvalidFree,
+    NULL_PTR,
+    OutOfDeviceMemory,
+    SharedArrayView,
+)
+from repro.simgpu.multiprocessor import Occupancy, compute_occupancy
+from repro.simgpu.perfmodel import (
+    KernelCostInputs,
+    KernelTimeBreakdown,
+    kernel_time,
+    time_from_profile,
+)
+from repro.simgpu.profile import InstructionProfile
+from repro.simgpu.ptx import KernelTrace, find_local_spills, trace_kernel
+from repro.simgpu.transfer import DeviceTimeline, PcieModel
+from repro.simgpu.warp import KernelFault
+
+__all__ = [
+    "ATHLON64_3700",
+    "ArchSpec",
+    "BarrierDeadlock",
+    "CostTable",
+    "CpuSpec",
+    "DeviceArrayView",
+    "DeviceMemory",
+    "DeviceMemoryError",
+    "DevicePtr",
+    "DeviceTimeline",
+    "Dim3",
+    "G80_8800GTS",
+    "G80_COSTS",
+    "InstructionProfile",
+    "InvalidDeviceAccess",
+    "InvalidFree",
+    "KernelCostInputs",
+    "KernelFault",
+    "KernelTimeBreakdown",
+    "KernelTrace",
+    "find_local_spills",
+    "trace_kernel",
+    "LaunchResult",
+    "NULL_PTR",
+    "Occupancy",
+    "OpClass",
+    "OutOfDeviceMemory",
+    "PcieModel",
+    "SharedArrayView",
+    "SimDevice",
+    "ThreadCtx",
+    "as_dim3",
+    "compute_occupancy",
+    "kernel_time",
+    "make_dim3",
+    "scaled_arch",
+    "time_from_profile",
+]

@@ -1,0 +1,146 @@
+"""Architecture specification for the simulated GPU.
+
+The paper evaluates on a GeForce 8800 GTS 640 MB — a G80-class part with
+12 multiprocessors of 8 scalar processors each (96 processors total, §5.3),
+a 500 MHz core clock, 1.2 GHz shader clock, and a warp size of 32.  This
+module captures those constants in :class:`ArchSpec` so the execution
+engine, the occupancy calculator, and the analytic performance model all
+agree on the hardware they are simulating.
+
+The host CPU of the paper's testbed (AMD Athlon 64 3700+, single core,
+2.2 GHz) is described by :class:`CpuSpec` and used by the OpenSteer CPU
+timing model and the Fig. 1.1 peak-FLOPS comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Immutable description of a CUDA 1.0 class device.
+
+    The defaults describe the GeForce 8800 GTS 640 MB used in the paper.
+    All limits are the CUDA 1.0 / compute-capability 1.0 limits quoted in
+    chapter 2 of the paper.
+    """
+
+    name: str = "GeForce 8800 GTS (simulated)"
+    multiprocessors: int = 12
+    processors_per_mp: int = 8
+    warp_size: int = 32
+    core_clock_hz: float = 500.0e6
+    shader_clock_hz: float = 1200.0e6
+    device_memory_bytes: int = 640 * MIB
+    memory_bandwidth_bytes_per_s: float = 64.0e9  # 320-bit GDDR3 @ 1.6 GT/s
+    shared_mem_per_mp: int = 16 * KIB
+    registers_per_mp: int = 8192
+    #: Constant memory: 64 KiB total, cached per multiprocessor (§2.1:
+    #: "texture and constant caches are available on every
+    #: multiprocessor").
+    constant_mem_bytes: int = 64 * KIB
+    constant_cache_per_mp: int = 8 * KIB
+    texture_cache_per_mp: int = 8 * KIB
+    max_threads_per_block: int = 512
+    max_threads_per_mp: int = 768
+    max_blocks_per_mp: int = 8
+    max_grid_dim: tuple[int, int] = (65535, 65535)
+    max_block_dim: tuple[int, int, int] = (512, 512, 64)
+    # CUDA 1.0 kernel parameter stack size (256 bytes).
+    kernel_stack_bytes: int = 256
+    compute_capability: tuple[int, int] = (1, 0)
+    supports_atomics: bool = False  # compute capability 1.0 has none
+
+    def __post_init__(self) -> None:
+        if self.warp_size % self.processors_per_mp != 0:
+            raise ConfigurationError(
+                "warp_size must be a multiple of processors_per_mp "
+                f"(got {self.warp_size} / {self.processors_per_mp})"
+            )
+
+    @property
+    def total_processors(self) -> int:
+        """Total scalar processors on the device (96 on the 8800 GTS)."""
+        return self.multiprocessors * self.processors_per_mp
+
+    @property
+    def cycles_per_warp_instruction(self) -> int:
+        """Shader cycles for one warp to issue one simple instruction.
+
+        With a warp of 32 threads and 8 processors per multiprocessor, a
+        warp needs at least 32/8 = 4 clock cycles per instruction (§2.2).
+        """
+        return self.warp_size // self.processors_per_mp
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOP/s (MAD counted as 2 FLOPs)."""
+        return self.total_processors * self.shader_clock_hz * 2 / 1e9
+
+    @property
+    def bytes_per_core_cycle(self) -> float:
+        """Device-memory bandwidth expressed per core-clock cycle."""
+        return self.memory_bandwidth_bytes_per_s / self.core_clock_hz
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """The paper's host CPU: AMD Athlon 64 3700+ (single core, 2.2 GHz)."""
+
+    name: str = "AMD Athlon 64 3700+ (modelled)"
+    clock_hz: float = 2200.0e6
+    cores: int = 1
+    # Peak SSE single-precision throughput: 4-wide SIMD, one ADD + one MUL
+    # port -> 8 FLOPs/cycle is generous for K8; the paper's Fig 1.1 uses
+    # vendor peak numbers, we use 4 FLOPs/cycle (one 4-wide op per cycle).
+    flops_per_cycle: float = 4.0
+    memory_bandwidth_bytes_per_s: float = 6.4e9  # dual-channel DDR-400
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOP/s of the modelled CPU."""
+        return self.cores * self.clock_hz * self.flops_per_cycle / 1e9
+
+
+#: The device the paper benchmarks on.
+G80_8800GTS = ArchSpec()
+
+#: The host the paper benchmarks on.
+ATHLON64_3700 = CpuSpec()
+
+
+def scaled_arch(
+    name: str,
+    multiprocessors: int,
+    *,
+    base: ArchSpec = G80_8800GTS,
+    bandwidth_scale: float = 1.0,
+    memory_bytes: int | None = None,
+) -> ArchSpec:
+    """Derive an ArchSpec with a different multiprocessor count.
+
+    Used by the Fig. 1.1 generation sweep (G80 parts differed mainly in MP
+    count and memory bus width) and by tests that want a tiny device.
+    """
+    return ArchSpec(
+        name=name,
+        multiprocessors=multiprocessors,
+        processors_per_mp=base.processors_per_mp,
+        warp_size=base.warp_size,
+        core_clock_hz=base.core_clock_hz,
+        shader_clock_hz=base.shader_clock_hz,
+        device_memory_bytes=(
+            base.device_memory_bytes if memory_bytes is None else memory_bytes
+        ),
+        memory_bandwidth_bytes_per_s=base.memory_bandwidth_bytes_per_s
+        * bandwidth_scale,
+        shared_mem_per_mp=base.shared_mem_per_mp,
+        registers_per_mp=base.registers_per_mp,
+        max_threads_per_block=base.max_threads_per_block,
+        max_threads_per_mp=base.max_threads_per_mp,
+        max_blocks_per_mp=base.max_blocks_per_mp,
+    )

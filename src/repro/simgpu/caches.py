@@ -1,0 +1,174 @@
+"""Constant memory and texture references — the cached read-only spaces.
+
+Chapter 2 places "texture and constant caches ... on every
+multiprocessor"; chapter 7 proposes using them to back ``cupp::vector``
+automatically when it is passed as a const reference.  This module
+provides both:
+
+* :class:`ConstantMemory` — the 64 KiB constant space.  Host-writable
+  (``cudaMemcpyToSymbol``), device-readable.  Reads are cached and
+  *broadcast*: when every active thread of a warp reads the same address
+  a hit costs about as much as a register access; distinct addresses are
+  served serially (one issue per distinct address) — the real G80
+  behaviour, and the reason constant memory suits uniform lookups
+  (simulation parameters) but not per-thread indexing.
+* :class:`TextureReference` — a read-only cached window onto *linear
+  global memory* (``cudaBindTexture``).  Per-thread addressing is fine;
+  a cache-line tracker charges the first touch of each line as a device
+  memory transaction and later touches as cheap hits — the paper's
+  neighbor-search access pattern (every block streams all positions) is
+  exactly the locality textures reward.
+* :class:`CacheSim` — the per-launch line tracker used for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.common.units import align_up
+from repro.simgpu.memory import DeviceArrayView, InvalidDeviceAccess
+
+
+class ConstantMemoryError(ReproError):
+    """Constant-space exhaustion or invalid access."""
+
+
+#: Cache line sizes of the read-only caches (bytes).
+CONSTANT_LINE_BYTES = 64
+TEXTURE_LINE_BYTES = 32
+
+
+class ConstantMemory:
+    """The device's constant address space (64 KiB, host-writable)."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity = int(capacity_bytes)
+        self._data = np.zeros(self.capacity, dtype=np.uint8)
+        self._cursor = 0
+
+    def alloc_symbol(self, dtype, count: int) -> "ConstantArrayView":
+        """Declare a ``__constant__`` symbol of ``count`` elements."""
+        dtype = np.dtype(dtype)
+        nbytes = align_up(dtype.itemsize * int(count), 4)
+        if self._cursor + nbytes > self.capacity:
+            raise ConstantMemoryError(
+                f"constant memory exhausted: {self._cursor} + {nbytes} > "
+                f"{self.capacity} bytes"
+            )
+        offset = self._cursor
+        self._cursor += nbytes
+        return ConstantArrayView(self, offset, dtype, int(count))
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if offset + raw.size > self.capacity:
+            raise ConstantMemoryError("write overruns constant memory")
+        self._data[offset : offset + raw.size] = raw
+
+    def read_raw(self, offset: int, nbytes: int) -> np.ndarray:
+        return self._data[offset : offset + nbytes]
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+
+class ConstantArrayView:
+    """Typed handle to a ``__constant__`` symbol.
+
+    Device code reads it through ``ldc`` events; the host writes it
+    through ``cudaMemcpyToSymbol``.
+    """
+
+    __slots__ = ("memory", "offset", "dtype", "count")
+
+    def __init__(
+        self, memory: ConstantMemory, offset: int, dtype: np.dtype, count: int
+    ) -> None:
+        self.memory = memory
+        self.offset = offset
+        self.dtype = np.dtype(dtype)
+        self.count = count
+
+    def addr_of(self, index: int) -> int:
+        if not 0 <= index < self.count:
+            raise InvalidDeviceAccess(
+                f"constant index {index} out of bounds for {self.count}"
+            )
+        return self.offset + index * self.dtype.itemsize
+
+    def _raw(self) -> np.ndarray:
+        return self.memory.read_raw(
+            self.offset, self.count * self.dtype.itemsize
+        ).view(self.dtype)
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class TextureReference:
+    """A texture reference bound to linear global memory (1D fetch)."""
+
+    __slots__ = ("view",)
+
+    def __init__(self, view: DeviceArrayView | None = None) -> None:
+        self.view = view
+
+    def bind(self, view: DeviceArrayView) -> None:
+        self.view = view
+
+    def unbind(self) -> None:
+        self.view = None
+
+    @property
+    def bound(self) -> bool:
+        return self.view is not None
+
+    def addr_of(self, index: int) -> int:
+        if self.view is None:
+            raise InvalidDeviceAccess("texture fetch through an unbound reference")
+        return self.view.addr_of(index)
+
+    def _raw(self) -> np.ndarray:
+        if self.view is None:
+            raise InvalidDeviceAccess("texture fetch through an unbound reference")
+        return self.view._raw()
+
+    def __len__(self) -> int:
+        return 0 if self.view is None else self.view.count
+
+
+@dataclass
+class CacheSim:
+    """Line-granular hit/miss tracking for one read-only cache.
+
+    Capacity is enforced as a line budget with FIFO eviction — crude but
+    adequate: the quantities the timing model needs are hit/miss counts,
+    which for streaming workloads depend on footprint vs capacity, not
+    on replacement subtleties.
+    """
+
+    capacity_bytes: int
+    line_bytes: int
+    _lines: "dict[int, None]" = field(default_factory=dict)  # ordered set
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def max_lines(self) -> int:
+        return max(1, self.capacity_bytes // self.line_bytes)
+
+    def access(self, addr: int) -> bool:
+        """Touch the line holding ``addr``; returns True on a hit."""
+        line = addr // self.line_bytes
+        if line in self._lines:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lines[line] = None
+        while len(self._lines) > self.max_lines:
+            self._lines.pop(next(iter(self._lines)))
+        return False

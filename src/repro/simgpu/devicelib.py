@@ -1,0 +1,227 @@
+"""Device-side math helpers for simulated kernels.
+
+Kernels yield one event per instruction; writing 3-vector math that way is
+noisy, so this module provides composite helpers used with ``yield from``::
+
+    offset = yield from dl.sub3(pos_a, pos_b)     # 3 FADD
+    d2 = yield from dl.length_squared3(offset)    # FMUL + 2 FMAD
+
+Each helper yields the instruction events the G80 would execute for the
+operation and *returns* the computed value, so cycle accounting and the
+actual arithmetic can never disagree.  Values are plain Python tuples of
+floats — registers, in hardware terms (cost 0 to access, Table 2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from repro.simgpu.costs import OpClass
+from repro.simgpu.isa import OpEvent, ld, lds, op, st, sts
+from repro.simgpu.memory import DeviceArrayView, SharedArrayView
+
+Vec = tuple[float, float, float]
+
+ZERO3: Vec = (0.0, 0.0, 0.0)
+
+
+def add3(a: Vec, b: Vec) -> Generator:
+    """Component-wise addition: 3 FADD."""
+    yield op(OpClass.FADD, 3)
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def sub3(a: Vec, b: Vec) -> Generator:
+    """Component-wise subtraction: 3 FADD."""
+    yield op(OpClass.FADD, 3)
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def scale3(a: Vec, s: float) -> Generator:
+    """Scalar multiply: 3 FMUL."""
+    yield op(OpClass.FMUL, 3)
+    return (a[0] * s, a[1] * s, a[2] * s)
+
+
+def dot3(a: Vec, b: Vec) -> Generator:
+    """Dot product: 1 FMUL + 2 FMAD."""
+    yield op(OpClass.FMUL, 1)
+    yield op(OpClass.FMAD, 2)
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def length_squared3(a: Vec) -> Generator:
+    """Squared length: 1 FMUL + 2 FMAD."""
+    return (yield from dot3(a, a))
+
+
+def rsqrt(x: float) -> Generator:
+    """Reciprocal square root: 16-cycle transcendental (Table 2.2)."""
+    yield op(OpClass.RSQRT)
+    return 1.0 / math.sqrt(x) if x > 0.0 else 0.0
+
+
+def length3(a: Vec) -> Generator:
+    """Length: length_squared + rsqrt + FMUL (x * rsqrt(x) = sqrt(x))."""
+    d2 = yield from length_squared3(a)
+    r = yield from rsqrt(d2)
+    yield op(OpClass.FMUL)
+    return d2 * r
+
+
+def normalize3(a: Vec) -> Generator:
+    """Unit vector (zero stays zero): length_squared + rsqrt + scale."""
+    d2 = yield from length_squared3(a)
+    r = yield from rsqrt(d2)
+    return (yield from scale3(a, r))
+
+
+def ld_vec3(array: DeviceArrayView, index: int) -> Generator:
+    """Load a float3 stored as 3 consecutive float32 at ``index*3``.
+
+    Three separate 32-bit loads — the G80 pattern for float3, and the
+    reason position loads in the Boids kernels do not coalesce.
+    """
+    base = index * 3
+    x = yield ld(array, base)
+    y = yield ld(array, base + 1)
+    z = yield ld(array, base + 2)
+    return (x, y, z)
+
+
+def st_vec3(array: DeviceArrayView, index: int, value: Vec) -> Generator:
+    """Store a float3 as 3 consecutive float32 stores."""
+    base = index * 3
+    yield st(array, base, value[0])
+    yield st(array, base + 1, value[1])
+    yield st(array, base + 2, value[2])
+
+
+def lds_vec3(array: SharedArrayView, index: int) -> Generator:
+    """Load a float3 from shared memory (3 shared reads)."""
+    base = index * 3
+    x = yield lds(array, base)
+    y = yield lds(array, base + 1)
+    z = yield lds(array, base + 2)
+    return (x, y, z)
+
+
+def sts_vec3(array: SharedArrayView, index: int, value: Vec) -> Generator:
+    """Store a float3 to shared memory (3 shared writes)."""
+    base = index * 3
+    yield sts(array, base, value[0])
+    yield sts(array, base + 1, value[1])
+    yield sts(array, base + 2, value[2])
+
+
+def ld_auto(device_vector, index: int) -> Generator:
+    """Load one element of a DeviceVector-like from whatever space it
+    lives in (global / texture / constant — the ch. 7 extension)."""
+    from repro.simgpu.isa import ldc, ldt
+
+    space = getattr(device_vector, "space", "global")
+    if space == "texture":
+        value = yield ldt(device_vector.texref, index)
+    elif space == "constant":
+        value = yield ldc(device_vector.const_view, index)
+    else:
+        value = yield ld(device_vector.view, index)
+    return value
+
+
+def ld_vec3_auto(device_vector, index: int) -> Generator:
+    """float3 variant of :func:`ld_auto` (3 consecutive loads)."""
+    base = index * 3
+    x = yield from ld_auto(device_vector, base)
+    y = yield from ld_auto(device_vector, base + 1)
+    z = yield from ld_auto(device_vector, base + 2)
+    return (x, y, z)
+
+
+# ----------------------------------------------------------------------
+# Device runtime library: mathematical / conversion functions (§3.1.4).
+# The G80's special function unit serves transcendentals at rcp-like
+# throughput; conversions ride the plain ALU pipe.
+# ----------------------------------------------------------------------
+def sinf(x: float) -> Generator:
+    """``__sinf`` — fast sine on the SFU."""
+    yield op(OpClass.TRANSCENDENTAL)
+    return math.sin(x)
+
+
+def cosf(x: float) -> Generator:
+    """``__cosf`` — fast cosine on the SFU."""
+    yield op(OpClass.TRANSCENDENTAL)
+    return math.cos(x)
+
+
+def expf(x: float) -> Generator:
+    """``__expf`` — fast exponential on the SFU."""
+    yield op(OpClass.TRANSCENDENTAL)
+    return math.exp(x)
+
+
+def logf(x: float) -> Generator:
+    """``__logf`` — fast natural log on the SFU (x > 0)."""
+    yield op(OpClass.TRANSCENDENTAL)
+    return math.log(x)
+
+
+def rcp(x: float) -> Generator:
+    """Reciprocal (Table 2.2: 16 cycles)."""
+    yield op(OpClass.RCP)
+    return 0.0 if x == 0.0 else 1.0 / x
+
+
+def sqrtf(x: float) -> Generator:
+    """``sqrtf`` — compiled as rsqrt + multiply on the G80."""
+    r = yield from rsqrt(x)
+    yield op(OpClass.FMUL)
+    return x * r
+
+
+def float2int(x: float) -> Generator:
+    """``__float2int_rz`` — round-toward-zero conversion (§3.1.4)."""
+    yield op(OpClass.CONVERT)
+    return math.trunc(x)
+
+
+def int2float(x: int) -> Generator:
+    """``__int2float_rn`` conversion."""
+    yield op(OpClass.CONVERT)
+    return float(x)
+
+
+def fminf(a: float, b: float) -> Generator:
+    """``fminf`` (Table 2.2: min/max cost 4)."""
+    yield op(OpClass.MINMAX)
+    return a if a < b else b
+
+
+def fmaxf(a: float, b: float) -> Generator:
+    """``fmaxf``."""
+    yield op(OpClass.MINMAX)
+    return a if a > b else b
+
+
+def clampf(x: float, lo: float, hi: float) -> Generator:
+    """Clamp via fmin/fmax (two MINMAX issues)."""
+    x = yield from fmaxf(x, lo)
+    return (yield from fminf(x, hi))
+
+
+def iadd(count: int = 1) -> OpEvent:
+    """Integer add/increment issue (loop counters, index math)."""
+    return op(OpClass.IADD, count)
+
+
+def compare(count: int = 1) -> OpEvent:
+    """Comparison issue (loop conditions, radius tests)."""
+    return op(OpClass.COMPARE, count)
+
+
+def branch(count: int = 1) -> OpEvent:
+    """Control-flow instruction issue (§2.3: executed even when the warp
+    does not diverge)."""
+    return op(OpClass.BRANCH, count)

@@ -1,0 +1,56 @@
+"""Dimension triples used to configure launches and index threads.
+
+CUDA's ``dim3`` is a 3-component unsigned-integer vector whose unspecified
+components default to 1 (§3.1.3); ``uint3`` is the same shape without the
+defaulting.  We model both with one immutable class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class Dim3:
+    """A ``dim3``/``uint3`` value: three non-negative integers ``x, y, z``.
+
+    Components left unspecified default to 1, matching ``dim3``.
+    """
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("x", "y", "z"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v < 0:
+                raise ConfigurationError(
+                    f"Dim3.{name} must be a non-negative int, got {v!r}"
+                )
+
+    @property
+    def volume(self) -> int:
+        """Total number of elements addressed (x*y*z)."""
+        return self.x * self.y * self.z
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+        yield self.z
+
+
+def make_dim3(x: int = 1, y: int = 1, z: int = 1) -> Dim3:
+    """CUDA's ``make_dim3`` helper (used in the paper's listing 4.3)."""
+    return Dim3(int(x), int(y), int(z))
+
+
+def as_dim3(value: "Dim3 | int | tuple") -> Dim3:
+    """Coerce an int or tuple to a :class:`Dim3` (1D launches are common)."""
+    if isinstance(value, Dim3):
+        return value
+    if isinstance(value, int):
+        return Dim3(value)
+    return Dim3(*(int(v) for v in value))

@@ -1,0 +1,204 @@
+"""Instruction events — the contract between kernels and the warp executor.
+
+Simulated kernels are Python *generator functions*.  Each thread of a launch
+runs one generator; every ``yield`` hands the executor one instruction event
+(an arithmetic op, a memory access, or a barrier).  The executor runs all
+threads of a warp in lockstep, detects control-flow divergence by comparing
+the events the threads yielded, performs the memory accesses, accounts the
+Table 2.2 cycle costs, and ``send``\\ s load results back into the
+generators.
+
+A kernel therefore looks like ordinary code with ``yield`` at the points
+where the hardware would execute an instruction::
+
+    def saxpy(ctx, a, x, y, out):
+        i = ctx.global_thread_id
+        if i < len(x):
+            xi = yield ld(x, i)
+            yi = yield ld(y, i)
+            yield op(OpClass.FMAD)
+            yield st(out, i, a * xi + yi)
+
+Composite helpers for 3-vector math used heavily by the Boids kernels live
+in :mod:`repro.simgpu.devicelib`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simgpu.costs import OpClass
+from repro.simgpu.memory import DeviceArrayView, SharedArrayView
+
+
+@dataclass(frozen=True)
+class OpEvent:
+    """``count`` back-to-back arithmetic instructions of one class."""
+
+    op: OpClass
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class GlobalReadEvent:
+    """Read element ``index`` of a global-memory array; the executor sends
+    the value back into the generator."""
+
+    array: DeviceArrayView
+    index: int
+
+
+@dataclass(frozen=True)
+class GlobalWriteEvent:
+    """Write ``value`` to element ``index`` of a global-memory array.
+
+    Fire-and-forget (§2.3): costs only the issue slot.
+    """
+
+    array: DeviceArrayView
+    index: int
+    value: object
+
+
+@dataclass(frozen=True)
+class SharedReadEvent:
+    """Read element ``index`` of a shared-memory array."""
+
+    array: SharedArrayView
+    index: int
+
+
+@dataclass(frozen=True)
+class SharedWriteEvent:
+    """Write ``value`` to element ``index`` of a shared-memory array."""
+
+    array: SharedArrayView
+    index: int
+    value: object
+
+
+@dataclass(frozen=True)
+class ConstantReadEvent:
+    """Read element ``index`` of a ``__constant__`` symbol.
+
+    Broadcast semantics: one issue serves a warp reading a single
+    address; distinct addresses serialize (see
+    :mod:`repro.simgpu.caches`).
+    """
+
+    array: object  # ConstantArrayView
+    index: int
+
+
+@dataclass(frozen=True)
+class TextureReadEvent:
+    """1D texture fetch (``tex1Dfetch``) through a bound reference."""
+
+    texref: object  # TextureReference
+    index: int
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """``__syncthreads()`` — block-wide barrier (§3.1.4)."""
+
+
+@dataclass(frozen=True)
+class ReconvergeEvent:
+    """A warp reconvergence point (branch post-dominator).
+
+    Real SIMT hardware re-joins diverged threads at the immediate
+    post-dominator of the branch; generator kernels mark those points
+    explicitly (typically the bottom of a loop body).  Costs nothing —
+    it models where the hardware's reconvergence stack pops.
+    """
+
+
+Event = (
+    OpEvent
+    | GlobalReadEvent
+    | GlobalWriteEvent
+    | SharedReadEvent
+    | SharedWriteEvent
+    | ConstantReadEvent
+    | TextureReadEvent
+    | SyncEvent
+    | ReconvergeEvent
+)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (keep kernel bodies readable)
+# ----------------------------------------------------------------------
+def op(op_class: OpClass, count: int = 1) -> OpEvent:
+    """An arithmetic instruction event of the given class."""
+    return OpEvent(op_class, count)
+
+
+def ld(array: DeviceArrayView, index: int) -> GlobalReadEvent:
+    """A global-memory load event; ``yield`` returns the element."""
+    return GlobalReadEvent(array, int(index))
+
+
+def st(array: DeviceArrayView, index: int, value: object) -> GlobalWriteEvent:
+    """A global-memory store event."""
+    return GlobalWriteEvent(array, int(index), value)
+
+
+def lds(array: SharedArrayView, index: int) -> SharedReadEvent:
+    """A shared-memory load event; ``yield`` returns the element."""
+    return SharedReadEvent(array, int(index))
+
+
+def sts(array: SharedArrayView, index: int, value: object) -> SharedWriteEvent:
+    """A shared-memory store event."""
+    return SharedWriteEvent(array, int(index), value)
+
+
+def ldc(array: object, index: int) -> ConstantReadEvent:
+    """A constant-memory load event; ``yield`` returns the element."""
+    return ConstantReadEvent(array, int(index))
+
+
+def ldt(texref: object, index: int) -> TextureReadEvent:
+    """A texture fetch event; ``yield`` returns the element."""
+    return TextureReadEvent(texref, int(index))
+
+
+def sync() -> SyncEvent:
+    """A ``__syncthreads()`` barrier event."""
+    return SyncEvent()
+
+
+def reconv() -> ReconvergeEvent:
+    """A warp reconvergence point (free; see :class:`ReconvergeEvent`)."""
+    return ReconvergeEvent()
+
+
+def signature(event: Event) -> tuple:
+    """Divergence signature of an event.
+
+    Two threads of a warp execute "the same instruction" iff their events
+    have equal signatures; differing signatures in one lockstep round mean
+    the warp diverged and the executor serializes the groups (§2.3).
+    Operand *values* never contribute — only what instruction is executed.
+    """
+    if isinstance(event, OpEvent):
+        return ("op", event.op, event.count)
+    if isinstance(event, GlobalReadEvent):
+        return ("gld",)
+    if isinstance(event, GlobalWriteEvent):
+        return ("gst",)
+    if isinstance(event, SharedReadEvent):
+        return ("slds",)
+    if isinstance(event, SharedWriteEvent):
+        return ("ssts",)
+    if isinstance(event, ConstantReadEvent):
+        return ("ldc",)
+    if isinstance(event, TextureReadEvent):
+        return ("ldt",)
+    if isinstance(event, SyncEvent):
+        return ("sync",)
+    if isinstance(event, ReconvergeEvent):
+        return ("reconv",)
+    raise TypeError(f"kernel yielded a non-event object: {event!r}")

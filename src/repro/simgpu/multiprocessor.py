@@ -1,0 +1,73 @@
+"""Multiprocessor occupancy: how many blocks and warps stay resident.
+
+Multiple thread blocks can be mapped onto the same multiprocessor and then
+execute concurrently, splitting its registers and shared memory (§2.2).
+The number of concurrently *resident* warps is what lets the hardware hide
+the 400-600 cycle device-memory latency by switching between warps (§2.3),
+so the occupancy computed here is a first-class input to the analytic
+performance model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.simgpu.arch import ArchSpec
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel configuration on one multiprocessor."""
+
+    blocks_per_mp: int
+    warps_per_block: int
+    limited_by: str
+
+    @property
+    def warps_per_mp(self) -> int:
+        return self.blocks_per_mp * self.warps_per_block
+
+
+def compute_occupancy(
+    arch: ArchSpec,
+    threads_per_block: int,
+    shared_bytes_per_block: int = 0,
+    registers_per_thread: int = 10,
+) -> Occupancy:
+    """Blocks resident per multiprocessor for a launch configuration.
+
+    Applies the four CUDA 1.0 limits: block slots, thread slots, shared
+    memory, and the register file.  ``limited_by`` names the binding
+    constraint (useful in reports and the ablation benchmarks).
+    """
+    if threads_per_block <= 0:
+        raise ConfigurationError(
+            f"threads_per_block must be positive, got {threads_per_block}"
+        )
+    if threads_per_block > arch.max_threads_per_block:
+        raise ConfigurationError(
+            f"{threads_per_block} threads per block exceeds the device "
+            f"limit of {arch.max_threads_per_block}"
+        )
+
+    limits = {
+        "block slots": arch.max_blocks_per_mp,
+        "thread slots": arch.max_threads_per_mp // threads_per_block,
+    }
+    if shared_bytes_per_block > 0:
+        limits["shared memory"] = arch.shared_mem_per_mp // shared_bytes_per_block
+    if registers_per_thread > 0:
+        limits["registers"] = arch.registers_per_mp // (
+            registers_per_thread * threads_per_block
+        )
+
+    limited_by, blocks = min(limits.items(), key=lambda kv: kv[1])
+    blocks = max(0, blocks)
+    warps_per_block = math.ceil(threads_per_block / arch.warp_size)
+    return Occupancy(
+        blocks_per_mp=blocks,
+        warps_per_block=warps_per_block,
+        limited_by=limited_by,
+    )

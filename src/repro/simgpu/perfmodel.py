@@ -1,0 +1,164 @@
+"""Analytic kernel timing: instruction counts -> cycles -> seconds.
+
+The emulator (:mod:`repro.simgpu.warp`) answers *what* a launch executed;
+this module answers *how long* the G80 would take.  The model has three
+terms, all direct consequences of chapter 2 of the paper:
+
+``t_issue``
+    Every warp instruction occupies the multiprocessor pipeline for its
+    Table 2.2 issue cost (4 cycles for arithmetic, 16 for rcp/rsqrt, ...).
+    Work distributes over the multiprocessors the grid can cover.
+
+``t_mem``
+    Device-memory throughput: payload bytes (after coalescing analysis,
+    including the 32-byte minimum segment of uncoalesced accesses) over
+    the device bandwidth.  This is what makes the naive neighbor search
+    (version 1) memory-bound and the shared-memory version 3.3x faster.
+
+``t_exposed``
+    The 400-600 cycle read latency is hidden by switching among the
+    resident warps (§2.3).  With ``W`` resident warps each issuing ``g``
+    cycles of work between consecutive reads, a read exposes
+    ``max(0, L - (W-1)*g)`` cycles of stall to the multiprocessor.
+
+The kernel time is ``max(t_issue, t_mem) + t_exposed``.  The same function
+serves emulator profiles (tests, microbenchmarks) and the closed-form
+Boids kernel counts (paper-scale benchmarks), so the two paths cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simgpu.arch import ArchSpec, G80_8800GTS
+from repro.simgpu.costs import CostTable, G80_COSTS
+from repro.simgpu.multiprocessor import Occupancy, compute_occupancy
+from repro.simgpu.profile import InstructionProfile
+
+
+@dataclass(frozen=True)
+class KernelCostInputs:
+    """Warp-level aggregate counts for one kernel launch.
+
+    ``issue_cycles`` are shader-clock cycles of pipeline occupancy summed
+    over all warps; ``global_reads`` are warp-level read instructions
+    (after divergence serialization); ``bytes_moved`` is total device
+    memory traffic after coalescing analysis.
+    """
+
+    blocks: int
+    threads_per_block: int
+    issue_cycles: int
+    global_reads: int
+    bytes_moved: int
+    shared_bytes_per_block: int = 0
+    registers_per_thread: int = 10
+
+    @property
+    def warps(self) -> int:
+        # Warps per block times blocks; per-block warp count rounds up.
+        per_block = -(-self.threads_per_block // 32)
+        return self.blocks * per_block
+
+    @staticmethod
+    def from_profile(
+        profile: InstructionProfile,
+        blocks: int,
+        threads_per_block: int,
+        shared_bytes_per_block: int = 0,
+        registers_per_thread: int = 10,
+        costs: CostTable = G80_COSTS,
+    ) -> "KernelCostInputs":
+        """Build model inputs from an emulator profile."""
+        return KernelCostInputs(
+            blocks=blocks,
+            threads_per_block=threads_per_block,
+            issue_cycles=profile.issue_cycles(costs),
+            global_reads=profile.global_reads,
+            bytes_moved=profile.bytes_read + profile.bytes_written,
+            shared_bytes_per_block=shared_bytes_per_block,
+            registers_per_thread=registers_per_thread,
+        )
+
+
+@dataclass(frozen=True)
+class KernelTimeBreakdown:
+    """Per-term timing result; ``total_s`` is the modelled kernel time."""
+
+    t_issue_s: float
+    t_mem_s: float
+    t_exposed_s: float
+    occupancy: Occupancy
+    mps_used: int
+
+    @property
+    def total_s(self) -> float:
+        return max(self.t_issue_s, self.t_mem_s) + self.t_exposed_s
+
+    @property
+    def bound_by(self) -> str:
+        return "memory" if self.t_mem_s > self.t_issue_s else "issue"
+
+
+def kernel_time(
+    inputs: KernelCostInputs,
+    arch: ArchSpec = G80_8800GTS,
+    costs: CostTable = G80_COSTS,
+) -> KernelTimeBreakdown:
+    """Model the execution time of one kernel launch (see module docstring)."""
+    occupancy = compute_occupancy(
+        arch,
+        inputs.threads_per_block,
+        inputs.shared_bytes_per_block,
+        inputs.registers_per_thread,
+    )
+    mps_used = max(1, min(arch.multiprocessors, inputs.blocks))
+
+    t_issue = inputs.issue_cycles / mps_used / arch.shader_clock_hz
+    t_mem = inputs.bytes_moved / arch.memory_bandwidth_bytes_per_s
+
+    t_exposed = 0.0
+    if inputs.global_reads > 0 and inputs.warps > 0:
+        resident_warps = max(1, occupancy.warps_per_mp)
+        reads_per_warp = inputs.global_reads / inputs.warps
+        issue_per_warp = inputs.issue_cycles / inputs.warps
+        gap = issue_per_warp / max(reads_per_warp, 1.0)
+        exposed_per_read = max(
+            0.0, costs.global_read_latency - (resident_warps - 1) * gap
+        )
+        read_rounds = inputs.global_reads / mps_used / resident_warps
+        t_exposed = read_rounds * exposed_per_read / arch.shader_clock_hz
+
+    return KernelTimeBreakdown(
+        t_issue_s=t_issue,
+        t_mem_s=t_mem,
+        t_exposed_s=t_exposed,
+        occupancy=occupancy,
+        mps_used=mps_used,
+    )
+
+
+def time_from_profile(
+    profile: InstructionProfile,
+    blocks: int,
+    threads_per_block: int,
+    *,
+    shared_bytes_per_block: int = 0,
+    registers_per_thread: int = 10,
+    arch: ArchSpec = G80_8800GTS,
+    costs: CostTable = G80_COSTS,
+) -> KernelTimeBreakdown:
+    """Convenience wrapper: model the time of an emulator launch."""
+    return kernel_time(
+        KernelCostInputs.from_profile(
+            profile,
+            blocks,
+            threads_per_block,
+            shared_bytes_per_block,
+            registers_per_thread,
+            costs,
+        ),
+        arch,
+        costs,
+    )

@@ -1,0 +1,138 @@
+"""Execution profiles: what a kernel launch actually did.
+
+The warp executor fills an :class:`InstructionProfile` while it runs.  The
+analytic performance model (:mod:`repro.simgpu.perfmodel`) converts a
+profile plus launch configuration into cycles and seconds; the closed-form
+kernel cost models in :mod:`repro.gpusteer.cost_model` are validated against
+these profiles in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.simgpu.costs import CostTable, FLOP_CLASSES, OpClass
+
+
+@dataclass
+class InstructionProfile:
+    """Warp-level instruction counts and memory traffic for one launch.
+
+    All ``*_instructions`` counts are **per warp issue slots**: one entry
+    means one warp executed one instruction (32 threads in lockstep, or
+    fewer after divergence serialization — serialized groups each count
+    one issue).
+    """
+
+    op_counts: Counter = field(default_factory=Counter)
+    #: Number of lockstep rounds where a warp had >1 distinct event group.
+    divergent_rounds: int = 0
+    #: Extra serialized groups beyond the first in divergent rounds.
+    serialized_groups: int = 0
+    #: Global memory transactions after coalescing analysis.
+    global_read_transactions: int = 0
+    global_write_transactions: int = 0
+    #: Payload bytes moved to/from device memory by the kernel.
+    bytes_read: int = 0
+    bytes_written: int = 0
+    #: Barrier events (per warp arrival).
+    sync_count: int = 0
+    #: Number of warps that executed at least one instruction.
+    warps_launched: int = 0
+    #: Read-only cache behaviour (constant/texture, ch. 7 extension).
+    constant_hits: int = 0
+    constant_misses: int = 0
+    texture_hits: int = 0
+    texture_misses: int = 0
+    #: Extra serialized shared-memory accesses from bank conflicts
+    #: (the ">=" in Table 2.2's shared-memory row).
+    shared_bank_conflicts: int = 0
+
+    # ------------------------------------------------------------------
+    def count(self, op: OpClass, n: int = 1) -> None:
+        self.op_counts[op] += n
+
+    def merge(self, other: "InstructionProfile") -> None:
+        """Accumulate another profile into this one (per-block merge)."""
+        self.op_counts.update(other.op_counts)
+        self.divergent_rounds += other.divergent_rounds
+        self.serialized_groups += other.serialized_groups
+        self.global_read_transactions += other.global_read_transactions
+        self.global_write_transactions += other.global_write_transactions
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.sync_count += other.sync_count
+        self.warps_launched += other.warps_launched
+        self.constant_hits += other.constant_hits
+        self.constant_misses += other.constant_misses
+        self.texture_hits += other.texture_hits
+        self.texture_misses += other.texture_misses
+        self.shared_bank_conflicts += other.shared_bank_conflicts
+
+    # ------------------------------------------------------------------
+    @property
+    def total_instructions(self) -> int:
+        """All warp instruction issues, including memory and sync."""
+        return sum(self.op_counts.values())
+
+    @property
+    def global_reads(self) -> int:
+        return self.op_counts[OpClass.GLOBAL_READ]
+
+    @property
+    def global_writes(self) -> int:
+        return self.op_counts[OpClass.GLOBAL_WRITE]
+
+    @property
+    def shared_accesses(self) -> int:
+        return (
+            self.op_counts[OpClass.SHARED_READ]
+            + self.op_counts[OpClass.SHARED_WRITE]
+        )
+
+    @property
+    def flops(self) -> int:
+        """Warp-level FLOP issues (FMAD counted twice)."""
+        total = 0
+        for op, n in self.op_counts.items():
+            if op in FLOP_CLASSES:
+                total += n * (2 if op is OpClass.FMAD else 1)
+        return total
+
+    def issue_cycles(self, costs: CostTable) -> int:
+        """Pipeline issue cycles across all warps (no latency, no hiding)."""
+        return sum(
+            costs.issue_cost(op) * n for op, n in self.op_counts.items()
+        )
+
+    def serialized_cycles(self, costs: CostTable) -> int:
+        """Worst-case cycles with every global-read latency fully exposed.
+
+        This is what a single resident warp would take; Table 2.2
+        microbenchmarks measure exactly this.
+        """
+        return sum(
+            costs.serialized_cost(op) * n for op, n in self.op_counts.items()
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Plain-dict summary for reports and assertions."""
+        return {
+            "instructions": self.total_instructions,
+            "global_reads": self.global_reads,
+            "global_writes": self.global_writes,
+            "read_transactions": self.global_read_transactions,
+            "write_transactions": self.global_write_transactions,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "shared_accesses": self.shared_accesses,
+            "divergent_rounds": self.divergent_rounds,
+            "serialized_groups": self.serialized_groups,
+            "syncs": self.sync_count,
+            "warps": self.warps_launched,
+            "constant_hits": self.constant_hits,
+            "constant_misses": self.constant_misses,
+            "texture_hits": self.texture_hits,
+            "texture_misses": self.texture_misses,
+        }

@@ -1,0 +1,84 @@
+"""Host<->device transfer timing and asynchronous-execution bookkeeping.
+
+Two facts from §2.2 drive the double-buffering result of Fig. 6.4:
+
+1. *A kernel invocation does not block the host* — host and device run in
+   parallel after a launch.
+2. *Device memory can only be accessed by the host if no kernel is active*
+   — a ``cudaMemcpy`` (and therefore every lazy ``cupp::vector`` read)
+   blocks the host until the device is idle.
+
+:class:`DeviceTimeline` models both with two clocks: the host clock, which
+the caller advances as host work happens, and ``device_busy_until``, which
+kernel launches push forward.  :class:`PcieModel` supplies the transfer
+cost itself: a fixed per-call overhead (driver + DMA setup dominated
+real-world CUDA 1.0 transfers of small buffers) plus bytes over effective
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PcieModel:
+    """PCIe 1.0 x16 era interconnect: ~4 GB/s raw, ~2.5 GB/s effective for
+    pageable host memory, and tens of microseconds of per-call overhead."""
+
+    bandwidth_bytes_per_s: float = 2.5e9
+    per_call_overhead_s: float = 15e-6
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` in one ``cudaMemcpy``-style call."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.per_call_overhead_s + nbytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class DeviceTimeline:
+    """Async host/device clocks (seconds since an arbitrary origin)."""
+
+    pcie: PcieModel = field(default_factory=PcieModel)
+    host_time: float = 0.0
+    device_busy_until: float = 0.0
+    #: Fixed host cost to configure + launch one kernel (driver call chain
+    #: cudaConfigureCall/cudaSetupArgument*/cudaLaunch).
+    launch_overhead_s: float = 10e-6
+
+    def reset(self) -> None:
+        self.host_time = 0.0
+        self.device_busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    def host_work(self, seconds: float) -> None:
+        """The host computes for ``seconds`` (device may run in parallel)."""
+        self.host_time += seconds
+
+    def launch_kernel(self, duration_s: float) -> None:
+        """Asynchronously enqueue a kernel that runs for ``duration_s``.
+
+        The host pays only the launch overhead; the device starts when it
+        is free (kernels never overlap each other, §2.2).
+        """
+        self.host_time += self.launch_overhead_s
+        start = max(self.host_time, self.device_busy_until)
+        self.device_busy_until = start + duration_s
+
+    def synchronize(self) -> float:
+        """Block the host until the device is idle; returns the wait."""
+        wait = max(0.0, self.device_busy_until - self.host_time)
+        self.host_time += wait
+        return wait
+
+    def memcpy(self, nbytes: int) -> float:
+        """A blocking host<->device copy: implicit synchronization plus the
+        transfer itself.  Returns the total host time consumed."""
+        wait = self.synchronize()
+        cost = self.pcie.transfer_time(nbytes)
+        self.host_time += cost
+        # The bus is busy during the copy; the device cannot start a new
+        # kernel before it completes.
+        self.device_busy_until = self.host_time
+        return wait + cost

@@ -1,0 +1,354 @@
+"""Warp-lockstep execution with SIMD divergence serialization.
+
+A warp advances all of its runnable threads one instruction event per
+*round*.  Events are grouped by :func:`repro.simgpu.isa.signature`; one
+group means the warp executed the instruction in lockstep, more than one
+means the control flow diverged and the hardware serializes the groups
+(§2.3: "the different execution paths are then executed one after
+another").  Every serialized group pays the full warp issue cost, which is
+exactly how divergence loses performance on the real part.
+
+Global-memory accesses inside a round go through a CUDA-1.0-style
+coalescing analysis per half-warp: thread ``k`` must read the ``k``-th
+consecutive aligned word for the half-warp to merge into one transaction;
+anything else — including all threads reading the *same* address, which is
+what the naive Boids neighbor search does — issues one transaction per
+thread.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.common.errors import ReproError
+from repro.simgpu.costs import OpClass
+from repro.simgpu.isa import (
+    ConstantReadEvent,
+    Event,
+    GlobalReadEvent,
+    GlobalWriteEvent,
+    OpEvent,
+    ReconvergeEvent,
+    SharedReadEvent,
+    SharedWriteEvent,
+    SyncEvent,
+    TextureReadEvent,
+    signature,
+)
+from repro.simgpu.profile import InstructionProfile
+
+#: Half-warp size used by the CC 1.0 coalescing rules.
+HALF_WARP = 16
+
+#: Minimum device-memory transaction size in bytes (uncoalesced accesses
+#: still move a full 32-byte segment on G80).
+MIN_TRANSACTION_BYTES = 32
+
+#: Word sizes the coalescer can merge (32-, 64-, 128-bit accesses).
+COALESCABLE_ITEMSIZES = (4, 8, 16)
+
+#: Shared-memory banks on the G80 (32-bit words, round-robin).
+SHARED_BANKS = 16
+
+
+class KernelFault(ReproError):
+    """A kernel thread raised or yielded something invalid."""
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    AT_SYNC = "at_sync"
+    AT_RECONV = "at_reconv"  # parked at a warp reconvergence point
+    DONE = "done"
+
+
+@dataclass
+class Thread:
+    """One device thread: a generator plus its lockstep bookkeeping."""
+
+    lane: int  # flat index within the block
+    gen: Generator[Event, object, None]
+    state: ThreadState = ThreadState.RUNNABLE
+    send_value: object = None  # value to send into the generator next step
+    started: bool = False
+    pending: Event | None = None  # event yielded, not yet executed
+
+
+class Warp:
+    """A SIMD group of up to ``warp_size`` threads executed in lockstep."""
+
+    def __init__(
+        self,
+        threads: list[Thread],
+        warp_size: int,
+        caches: "dict[str, object] | None" = None,
+    ) -> None:
+        if len(threads) > warp_size:
+            raise KernelFault(
+                f"warp constructed with {len(threads)} > {warp_size} threads"
+            )
+        self.threads = threads
+        self.warp_size = warp_size
+        #: Read-only cache simulators shared across the block's warps
+        #: ("constant"/"texture" -> CacheSim), or None when absent.
+        self.caches = caches or {}
+
+    # ------------------------------------------------------------------
+    @property
+    def live_threads(self) -> list[Thread]:
+        return [t for t in self.threads if t.state is not ThreadState.DONE]
+
+    @property
+    def runnable_threads(self) -> list[Thread]:
+        return [t for t in self.threads if t.state is ThreadState.RUNNABLE]
+
+    @property
+    def done(self) -> bool:
+        return not self.live_threads
+
+    # ------------------------------------------------------------------
+    def step_round(self, profile: InstructionProfile) -> bool:
+        """Advance every runnable thread one event and execute the events.
+
+        Returns True if any thread made progress.  Threads that yield a
+        :class:`SyncEvent` transition to AT_SYNC and stay parked until the
+        block releases the barrier.
+        """
+        runnable = self.runnable_threads
+        if not runnable:
+            # Reconvergence: the warp re-joins once no thread can advance
+            # past the marker — diverged paths have all caught up.
+            parked = [
+                t for t in self.threads if t.state is ThreadState.AT_RECONV
+            ]
+            if parked:
+                for t in parked:
+                    t.state = ThreadState.RUNNABLE
+                return True
+            return False
+
+        # 1. Fetch: advance each runnable generator to its next event.
+        fetched: list[Thread] = []
+        for t in runnable:
+            if t.pending is None:
+                try:
+                    if t.started:
+                        t.pending = t.gen.send(t.send_value)
+                    else:
+                        t.started = True
+                        t.pending = next(t.gen)
+                    t.send_value = None
+                except StopIteration:
+                    t.state = ThreadState.DONE
+                    continue
+                except Exception as exc:  # surface kernel bugs loudly
+                    raise KernelFault(
+                        f"thread {t.lane} raised {type(exc).__name__}: {exc}"
+                    ) from exc
+            fetched.append(t)
+        if not fetched:
+            return True  # every runnable thread just finished
+
+        # 2. Group by divergence signature, in first-lane order.
+        groups: dict[tuple, list[Thread]] = {}
+        for t in fetched:
+            groups.setdefault(signature(t.pending), []).append(t)
+        if len(groups) > 1:
+            profile.divergent_rounds += 1
+            profile.serialized_groups += len(groups) - 1
+
+        # 3. Execute each group serialized; each pays a full warp issue.
+        for _sig, members in sorted(
+            groups.items(), key=lambda kv: kv[1][0].lane
+        ):
+            self._execute_group(members, profile)
+        return True
+
+    # ------------------------------------------------------------------
+    def _execute_group(
+        self, members: list[Thread], profile: InstructionProfile
+    ) -> None:
+        event = members[0].pending
+        if isinstance(event, OpEvent):
+            profile.count(event.op, event.count)
+            for t in members:
+                t.pending = None
+        elif isinstance(event, GlobalReadEvent):
+            profile.count(OpClass.GLOBAL_READ)
+            self._coalesce(members, profile, is_read=True)
+            for t in members:
+                ev: GlobalReadEvent = t.pending  # type: ignore[assignment]
+                t.send_value = ev.array._raw()[ev.index].item()
+                t.pending = None
+        elif isinstance(event, GlobalWriteEvent):
+            profile.count(OpClass.GLOBAL_WRITE)
+            self._coalesce(members, profile, is_read=False)
+            for t in members:
+                ev: GlobalWriteEvent = t.pending  # type: ignore[assignment]
+                ev.array._raw()[ev.index] = ev.value
+                t.pending = None
+        elif isinstance(event, SharedReadEvent):
+            degree = self._shared_conflict_degree(members)
+            profile.count(OpClass.SHARED_READ, degree)
+            profile.shared_bank_conflicts += degree - 1
+            for t in members:
+                ev: SharedReadEvent = t.pending  # type: ignore[assignment]
+                t.send_value = ev.array.data[ev.index].item()
+                t.pending = None
+        elif isinstance(event, SharedWriteEvent):
+            degree = self._shared_conflict_degree(members)
+            profile.count(OpClass.SHARED_WRITE, degree)
+            profile.shared_bank_conflicts += degree - 1
+            for t in members:
+                ev: SharedWriteEvent = t.pending  # type: ignore[assignment]
+                ev.array.data[ev.index] = ev.value
+                t.pending = None
+        elif isinstance(event, ConstantReadEvent):
+            self._execute_constant_reads(members, profile)
+        elif isinstance(event, TextureReadEvent):
+            self._execute_texture_reads(members, profile)
+        elif isinstance(event, SyncEvent):
+            profile.count(OpClass.SYNC)
+            profile.sync_count += 1
+            for t in members:
+                t.state = ThreadState.AT_SYNC
+                t.pending = None
+        elif isinstance(event, ReconvergeEvent):
+            # Free: reconvergence is the branch stack popping, not an
+            # issued instruction.
+            for t in members:
+                t.state = ThreadState.AT_RECONV
+                t.pending = None
+        else:
+            raise KernelFault(f"kernel yielded a non-event: {event!r}")
+
+    # ------------------------------------------------------------------
+    def _shared_conflict_degree(self, members: list[Thread]) -> int:
+        """Shared-memory bank conflicts (the "≥" in Table 2.2's ">= 4").
+
+        The G80's shared memory has 16 banks of 32-bit words; a half-warp
+        whose threads hit the same bank with *different* addresses
+        serializes, multiplying the access cost by the conflict degree.
+        All threads reading one identical address broadcast for free.
+        Returns the worst half-warp's degree (>= 1).
+        """
+        worst = 1
+        by_half: dict[int, list[Thread]] = {}
+        for t in members:
+            by_half.setdefault(
+                (t.lane % self.warp_size) // HALF_WARP, []
+            ).append(t)
+        for group in by_half.values():
+            banks: dict[int, set[int]] = {}
+            for t in group:
+                ev = t.pending
+                word = (
+                    ev.index * ev.array.data.dtype.itemsize
+                ) // 4  # 32-bit word address
+                banks.setdefault(word % SHARED_BANKS, set()).add(word)
+            degree = max(
+                (len(words) for words in banks.values()), default=1
+            )
+            worst = max(worst, degree)
+        return worst
+
+    # ------------------------------------------------------------------
+    def _execute_constant_reads(
+        self, members: list[Thread], profile: InstructionProfile
+    ) -> None:
+        """Constant reads broadcast: one issue per *distinct address* in
+        the group; first touch of a cache line is a device-memory miss."""
+        cache = self.caches.get("constant")
+        addresses: dict[int, None] = {}
+        for t in members:
+            ev: ConstantReadEvent = t.pending  # type: ignore[assignment]
+            addresses[ev.array.addr_of(ev.index)] = None
+            t.send_value = ev.array._raw()[ev.index].item()
+            t.pending = None
+        profile.count(OpClass.CONSTANT_READ, len(addresses))
+        for addr in addresses:
+            if cache is not None and not cache.access(addr):
+                profile.constant_misses += 1
+                profile.global_read_transactions += 1
+                profile.bytes_read += MIN_TRANSACTION_BYTES
+            else:
+                profile.constant_hits += 1
+
+    def _execute_texture_reads(
+        self, members: list[Thread], profile: InstructionProfile
+    ) -> None:
+        """Texture fetches: per-thread addressing, cached in lines; each
+        missed line is one device-memory transaction."""
+        cache = self.caches.get("texture")
+        profile.count(OpClass.TEXTURE_READ)
+        for t in members:
+            ev: TextureReadEvent = t.pending  # type: ignore[assignment]
+            addr = ev.texref.addr_of(ev.index)
+            t.send_value = ev.texref._raw()[ev.index].item()
+            t.pending = None
+            if cache is not None and not cache.access(addr):
+                profile.texture_misses += 1
+                profile.global_read_transactions += 1
+                profile.bytes_read += MIN_TRANSACTION_BYTES
+            else:
+                profile.texture_hits += 1
+
+    # ------------------------------------------------------------------
+    def _coalesce(
+        self,
+        members: list[Thread],
+        profile: InstructionProfile,
+        *,
+        is_read: bool,
+    ) -> None:
+        """CC 1.0 coalescing per half-warp.
+
+        Coalesced: every active thread ``k`` (in lane order) accesses
+        ``base + k * itemsize`` with ``itemsize`` in {4, 8, 16} and
+        ``base`` aligned to ``HALF_WARP * itemsize``.  Then the half-warp
+        issues one transaction.  Otherwise each active thread issues its
+        own >= 32-byte transaction — the G80 has no cache to merge them.
+        """
+        by_half: dict[int, list[Thread]] = {}
+        for t in members:
+            by_half.setdefault((t.lane % self.warp_size) // HALF_WARP, []).append(t)
+        for _hw, group in by_half.items():
+            group.sort(key=lambda t: t.lane)
+            accesses = []
+            for t in group:
+                ev = t.pending
+                itemsize = ev.array.dtype.itemsize
+                addr = (
+                    ev.array.addr_of(ev.index)
+                    if hasattr(ev.array, "addr_of")
+                    else None
+                )
+                accesses.append((addr, itemsize))
+            itemsizes = {sz for _a, sz in accesses}
+            coalesced = False
+            if len(itemsizes) == 1:
+                itemsize = next(iter(itemsizes))
+                if itemsize in COALESCABLE_ITEMSIZES:
+                    lane0 = group[0].lane % HALF_WARP
+                    base = accesses[0][0] - lane0 * itemsize
+                    coalesced = base % (HALF_WARP * itemsize) == 0 and all(
+                        addr == base + (t.lane % HALF_WARP) * itemsize
+                        for (addr, _sz), t in zip(accesses, group)
+                    )
+            payload = sum(sz for _a, sz in accesses)
+            if coalesced:
+                transactions = 1
+                moved = max(payload, MIN_TRANSACTION_BYTES)
+            else:
+                transactions = len(group)
+                moved = sum(
+                    max(sz, MIN_TRANSACTION_BYTES) for _a, sz in accesses
+                )
+            if is_read:
+                profile.global_read_transactions += transactions
+                profile.bytes_read += moved
+            else:
+                profile.global_write_transactions += transactions
+                profile.bytes_written += moved

@@ -1,0 +1,144 @@
+"""The three basic steering behaviors and their flocking combination
+(paper §5.2, listings 5.1 / 5.3 / 5.4 / 5.5).
+
+Each behavior maps an agent and its neighborhood to a steering vector:
+
+* **separation** — keep distance: sum of ``-offset.normalize()/|offset|``
+  over neighbors (1/d falloff);
+* **cohesion** — move toward the neighborhood: sum of position offsets;
+* **alignment** — fly the same way: sum of neighbor headings minus
+  ``count * my_forward``;
+* **flocking** — ``wA*norm(sep) + wB*norm(align) + wC*norm(coh)``.
+
+Pure (Vec3) versions are the reference the GPU kernels are tested
+against; the numpy versions vectorize over all agents at once for the
+benchmark-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.steer.neighbors import NO_NEIGHBOR
+from repro.steer.params import BoidsParams
+from repro.steer.vec3 import Vec3
+
+
+# ----------------------------------------------------------------------
+# Pure reference implementations (listings 5.3-5.5, one agent at a time)
+# ----------------------------------------------------------------------
+def separation_pure(
+    me: int, positions: "list[Vec3]", neighborhood: "list[int]"
+) -> Vec3:
+    """Listing 5.3: repulsion with 1/d falloff."""
+    steering = Vec3()
+    for j in neighborhood:
+        if j == NO_NEIGHBOR:
+            continue
+        offset = positions[j] - positions[me]
+        length = offset.length()
+        if length > 1e-12:
+            steering = steering - offset.normalize() / length
+    return steering
+
+
+def cohesion_pure(
+    me: int, positions: "list[Vec3]", neighborhood: "list[int]"
+) -> Vec3:
+    """Listing 5.4: accumulate offsets toward the neighbors."""
+    steering = Vec3()
+    for j in neighborhood:
+        if j == NO_NEIGHBOR:
+            continue
+        steering = steering + (positions[j] - positions[me])
+    return steering
+
+
+def alignment_pure(
+    me: int, forwards: "list[Vec3]", neighborhood: "list[int]"
+) -> Vec3:
+    """Listing 5.5: average of neighbor headings, relative to mine."""
+    steering = Vec3()
+    count = 0
+    for j in neighborhood:
+        if j == NO_NEIGHBOR:
+            continue
+        steering = steering + forwards[j]
+        count += 1
+    return steering - forwards[me] * count
+
+
+def flocking_pure(
+    me: int,
+    positions: "list[Vec3]",
+    forwards: "list[Vec3]",
+    neighborhood: "list[int]",
+    params: BoidsParams,
+) -> Vec3:
+    """Listing 5.1: the weighted combination."""
+    sep = separation_pure(me, positions, neighborhood).normalize()
+    ali = alignment_pure(me, forwards, neighborhood).normalize()
+    coh = cohesion_pure(me, positions, neighborhood).normalize()
+    return (
+        sep * params.separation_weight
+        + ali * params.alignment_weight
+        + coh * params.cohesion_weight
+    )
+
+
+# ----------------------------------------------------------------------
+# Vectorized implementations (all agents at once)
+# ----------------------------------------------------------------------
+def _normalize_rows(v: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(v, axis=-1, keepdims=True)
+    return np.divide(v, norms, out=np.zeros_like(v), where=norms > 1e-12)
+
+
+def _gather(values: np.ndarray, neighbors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Gather per-neighbor rows; returns (gathered (n,k,3), valid (n,k))."""
+    valid = neighbors != NO_NEIGHBOR
+    safe = np.where(valid, neighbors, 0)
+    return values[safe], valid
+
+
+def separation_np(positions: np.ndarray, neighbors: np.ndarray) -> np.ndarray:
+    """Vectorized listing 5.3 over an ``(n, 3)`` position array."""
+    npos, valid = _gather(positions, neighbors)
+    offset = npos - positions[:, None, :]
+    length = np.linalg.norm(offset, axis=2)
+    ok = valid & (length > 1e-12)
+    # -offset.normalize()/length == -offset / length^2
+    inv = np.where(ok, 1.0 / np.where(ok, length, 1.0) ** 2, 0.0)
+    return -(offset * inv[:, :, None]).sum(axis=1)
+
+
+def cohesion_np(positions: np.ndarray, neighbors: np.ndarray) -> np.ndarray:
+    """Vectorized listing 5.4."""
+    npos, valid = _gather(positions, neighbors)
+    offset = (npos - positions[:, None, :]) * valid[:, :, None]
+    return offset.sum(axis=1)
+
+
+def alignment_np(forwards: np.ndarray, neighbors: np.ndarray) -> np.ndarray:
+    """Vectorized listing 5.5."""
+    nfwd, valid = _gather(forwards, neighbors)
+    total = (nfwd * valid[:, :, None]).sum(axis=1)
+    counts = valid.sum(axis=1)
+    return total - forwards * counts[:, None]
+
+
+def flocking_np(
+    positions: np.ndarray,
+    forwards: np.ndarray,
+    neighbors: np.ndarray,
+    params: BoidsParams,
+) -> np.ndarray:
+    """Vectorized listing 5.1: the full flocking steering vector."""
+    sep = _normalize_rows(separation_np(positions, neighbors))
+    ali = _normalize_rows(alignment_np(forwards, neighbors))
+    coh = _normalize_rows(cohesion_np(positions, neighbors))
+    return (
+        sep * params.separation_weight
+        + ali * params.alignment_weight
+        + coh * params.cohesion_weight
+    )

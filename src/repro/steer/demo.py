@@ -1,0 +1,175 @@
+"""OpenSteerDemo: the plugin-based demo application (paper §5.3, Fig 5.4).
+
+"OpenSteerDemo currently offers different scenarios — among others the
+Boids scenario.  The design of OpenSteerDemo is similar to the ones of
+games.  It runs a main loop, which first recalculates all agent states
+and then draws the new states to the screen."
+
+Reproduced here headless: a :class:`Clock` with fixed simulation steps, a
+:class:`PlugIn` interface scenarios implement, an :class:`Annotation`
+recorder standing in for the debug-drawing layer (OpenSteer exists "to
+simulate and debug some artificial intelligence aspects of games",
+ch. 1), and the staged main loop — update stage (simulation substage,
+then modification substage), then draw stage — with per-stage cycle
+accounting feeding the same :class:`StageProfile` Fig. 5.5 reads.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+from repro.steer.profiler import StageProfile
+
+
+class DemoError(ReproError):
+    """Plugin registry / main-loop misuse."""
+
+
+@dataclass
+class Clock:
+    """Fixed-timestep simulation clock with pause support."""
+
+    dt: float = 1.0 / 60.0
+    elapsed: float = 0.0
+    step_count: int = 0
+    paused: bool = False
+
+    def tick(self) -> float:
+        """Advance one simulation step; returns the dt consumed (0 when
+        paused — the draw stage still runs, as in the real demo)."""
+        if self.paused:
+            return 0.0
+        self.elapsed += self.dt
+        self.step_count += 1
+        return self.dt
+
+    def toggle_pause(self) -> bool:
+        self.paused = not self.paused
+        return self.paused
+
+
+@dataclass(frozen=True)
+class AnnotationItem:
+    """One debug-drawing primitive recorded during a frame."""
+
+    kind: str  # "line" | "circle" | "text"
+    data: tuple
+    color: str = "white"
+
+
+class Annotation:
+    """Headless stand-in for OpenSteer's annotation (debug drawing)."""
+
+    def __init__(self) -> None:
+        self.frames: list[list[AnnotationItem]] = []
+        self._current: list[AnnotationItem] = []
+
+    def line(self, start, end, color: str = "white") -> None:
+        self._current.append(AnnotationItem("line", (start, end), color))
+
+    def circle(self, center, radius: float, color: str = "white") -> None:
+        self._current.append(AnnotationItem("circle", (center, radius), color))
+
+    def text(self, position, message: str, color: str = "white") -> None:
+        self._current.append(AnnotationItem("text", (position, message), color))
+
+    def end_frame(self) -> None:
+        self.frames.append(self._current)
+        self._current = []
+
+    @property
+    def last_frame(self) -> list[AnnotationItem]:
+        return self.frames[-1] if self.frames else []
+
+
+class PlugIn(abc.ABC):
+    """One scenario: the interface OpenSteerDemo drives (Fig 5.4).
+
+    The update stage is split into the two substages the GPU port depends
+    on (§5.3/§6.1): ``simulation_substage`` computes without mutating
+    shared agent state; ``modification_substage`` applies the results.
+    """
+
+    name: str = "unnamed plugin"
+
+    @abc.abstractmethod
+    def open(self, annotation: Annotation) -> None:
+        """Build the scenario's world."""
+
+    @abc.abstractmethod
+    def simulation_substage(self, dt: float) -> None:
+        ...
+
+    @abc.abstractmethod
+    def modification_substage(self, dt: float) -> None:
+        ...
+
+    @abc.abstractmethod
+    def redraw(self, annotation: Annotation) -> None:
+        """Emit this frame's drawing (annotations, headless)."""
+
+    def reset(self) -> None:  # pragma: no cover - optional hook
+        """Restore the initial state (the demo's 'r' key)."""
+
+    def close(self) -> None:  # pragma: no cover - optional hook
+        """Tear the scenario down."""
+
+
+class OpenSteerDemo:
+    """The main-loop driver: plugin registry + staged frame execution."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock or Clock()
+        self.annotation = Annotation()
+        self.profile = StageProfile()
+        self._plugins: dict[str, PlugIn] = {}
+        self._active: PlugIn | None = None
+        self.frames_run = 0
+
+    # -- registry --------------------------------------------------------
+    def register(self, plugin: PlugIn) -> None:
+        if plugin.name in self._plugins:
+            raise DemoError(f"plugin {plugin.name!r} already registered")
+        self._plugins[plugin.name] = plugin
+
+    @property
+    def plugin_names(self) -> list[str]:
+        return sorted(self._plugins)
+
+    def select(self, name: str) -> PlugIn:
+        try:
+            plugin = self._plugins[name]
+        except KeyError:
+            raise DemoError(
+                f"no plugin {name!r}; registered: {self.plugin_names}"
+            ) from None
+        if self._active is not None:
+            self._active.close()
+        self._active = plugin
+        plugin.open(self.annotation)
+        return plugin
+
+    @property
+    def active(self) -> PlugIn:
+        if self._active is None:
+            raise DemoError("no plugin selected")
+        return self._active
+
+    # -- the main loop (Fig 5.4) -----------------------------------------
+    def run_frame(self) -> None:
+        """Update stage (simulation substage, modification substage) then
+        draw stage — one full main-loop iteration."""
+        plugin = self.active
+        dt = self.clock.tick()
+        if dt > 0.0:
+            plugin.simulation_substage(dt)
+            plugin.modification_substage(dt)
+        plugin.redraw(self.annotation)
+        self.annotation.end_frame()
+        self.frames_run += 1
+
+    def run(self, frames: int) -> None:
+        for _ in range(frames):
+            self.run_frame()

@@ -1,0 +1,59 @@
+"""Per-stage cycle accounting — the instrument behind Fig. 5.5.
+
+The paper profiles the CPU demo and finds the neighbor search eats ~82%
+of the cycles.  :class:`StageProfile` accumulates modelled cycles per
+stage across steps and reports shares; the Fig. 5.5 benchmark prints its
+:meth:`breakdown`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+#: Canonical stage names, in pipeline order (Fig. 5.4).
+STAGES = ("neighbor_search", "steering", "modification", "draw", "other")
+
+
+@dataclass
+class StageProfile:
+    """Accumulated cycles per pipeline stage."""
+
+    cycles: "OrderedDict[str, float]" = field(
+        default_factory=lambda: OrderedDict((s, 0.0) for s in STAGES)
+    )
+
+    def add(self, stage: str, cycles: float) -> None:
+        if stage not in self.cycles:
+            raise KeyError(f"unknown stage {stage!r}; expected one of {STAGES}")
+        self.cycles[stage] += cycles
+
+    @property
+    def total(self) -> float:
+        return sum(self.cycles.values())
+
+    def share(self, stage: str) -> float:
+        """Fraction of all cycles spent in ``stage`` (0.0 when idle)."""
+        total = self.total
+        return self.cycles[stage] / total if total else 0.0
+
+    def update_share(self, stage: str) -> float:
+        """Share within the update stage only (draw excluded), which is
+        what Fig. 5.5 reports."""
+        update_total = sum(
+            c for s, c in self.cycles.items() if s != "draw"
+        )
+        return self.cycles[stage] / update_total if update_total else 0.0
+
+    def breakdown(self) -> "OrderedDict[str, float]":
+        """Stage -> share of total cycles."""
+        total = self.total
+        return OrderedDict(
+            (s, (c / total if total else 0.0)) for s, c in self.cycles.items()
+        )
+
+    def merged(self, other: "StageProfile") -> "StageProfile":
+        out = StageProfile()
+        for s in STAGES:
+            out.cycles[s] = self.cycles[s] + other.cycles[s]
+        return out

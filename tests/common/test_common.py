@@ -1,0 +1,58 @@
+"""Shared infrastructure: units, rng, error roots."""
+
+import numpy as np
+import pytest
+
+from repro.common import GIB, KIB, MIB, ReproError, cycles_to_seconds, seconds_to_cycles
+from repro.common.rng import make_rng
+from repro.common.units import align_up
+
+
+class TestUnits:
+    def test_byte_sizes(self):
+        assert KIB == 1024
+        assert MIB == 1024**2
+        assert GIB == 1024**3
+
+    def test_cycle_roundtrip(self):
+        s = cycles_to_seconds(1_200_000, 1.2e9)
+        assert s == pytest.approx(1e-3)
+        assert seconds_to_cycles(s, 1.2e9) == pytest.approx(1_200_000)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(10, 0)
+        with pytest.raises(ValueError):
+            seconds_to_cycles(10, -1)
+
+    def test_align_up(self):
+        assert align_up(0, 256) == 0
+        assert align_up(1, 256) == 256
+        assert align_up(256, 256) == 256
+        assert align_up(257, 256) == 512
+
+    def test_align_up_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+
+class TestRng:
+    def test_deterministic_default(self):
+        a = make_rng().random(4)
+        b = make_rng().random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_stream(self):
+        a = make_rng(1).random(4)
+        b = make_rng(2).random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestErrorRoots:
+    def test_every_layer_derives_from_repro_error(self):
+        from repro.cupp import CuppError
+        from repro.simgpu import DeviceMemoryError, KernelFault
+        from repro.simgpu.block import BarrierDeadlock
+
+        for exc in (CuppError, DeviceMemoryError, KernelFault, BarrierDeadlock):
+            assert issubclass(exc, ReproError)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simgpu import ArchSpec, SimDevice
+
+
+@pytest.fixture
+def tiny_arch() -> ArchSpec:
+    """A 2-multiprocessor device with 1 MiB of memory — fast to emulate."""
+    return ArchSpec(
+        name="tiny-g80",
+        multiprocessors=2,
+        device_memory_bytes=1 << 20,
+    )
+
+
+@pytest.fixture
+def device(tiny_arch: ArchSpec) -> SimDevice:
+    return SimDevice(tiny_arch)
+
+
+@pytest.fixture
+def big_device() -> SimDevice:
+    """The full 8800 GTS configuration (12 MPs, 640 MiB)."""
+    return SimDevice()

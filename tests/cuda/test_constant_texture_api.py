@@ -1,0 +1,78 @@
+"""CUDA API surface for constant symbols and texture references."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaMachine, CudaRuntime, cudaError
+from repro.simgpu import scaled_arch
+from repro.simgpu.caches import TextureReference
+from repro.simgpu.memory import DevicePtr
+
+
+@pytest.fixture
+def rt() -> CudaRuntime:
+    return CudaRuntime(CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 20)]))
+
+
+class TestConstantSymbols:
+    def test_symbol_allocation_and_write(self, rt):
+        err, sym = rt.constant_symbol(np.float32, 16)
+        assert err.ok
+        data = np.arange(16, dtype=np.float32)
+        assert rt.cudaMemcpyToSymbol(sym, data).ok
+        np.testing.assert_array_equal(sym._raw(), data)
+
+    def test_symbol_exhaustion_returns_error_code(self, rt):
+        err, sym = rt.constant_symbol(np.float32, 16 * 1024)  # 64 KiB
+        assert err.ok
+        err, sym2 = rt.constant_symbol(np.float32, 1)
+        assert err is cudaError.cudaErrorMemoryAllocation
+        assert sym2 is None
+
+    def test_oversized_write_rejected(self, rt):
+        _, sym = rt.constant_symbol(np.float32, 4)
+        err = rt.cudaMemcpyToSymbol(sym, np.zeros(8, np.float32))
+        assert err is cudaError.cudaErrorInvalidValue
+
+    def test_write_counts_as_memcpy(self, rt):
+        _, sym = rt.constant_symbol(np.float32, 4)
+        before = rt.memcpy_count
+        rt.cudaMemcpyToSymbol(sym, np.zeros(4, np.float32))
+        assert rt.memcpy_count == before + 1
+
+
+class TestTextureBinding:
+    def test_bind_and_unbind(self, rt):
+        err, ptr = rt.cudaMalloc(64)
+        tex = TextureReference()
+        assert rt.cudaBindTexture(tex, ptr, np.float32, 16).ok
+        assert tex.bound
+        assert rt.cudaUnbindTexture(tex).ok
+        assert not tex.bound
+
+    def test_bind_to_invalid_pointer_rejected(self, rt):
+        tex = TextureReference()
+        err = rt.cudaBindTexture(tex, DevicePtr(4), np.float32, 16)
+        assert err is cudaError.cudaErrorInvalidDevicePointer
+        assert not tex.bound
+
+    def test_bind_overrun_rejected(self, rt):
+        _, ptr = rt.cudaMalloc(64)
+        tex = TextureReference()
+        err = rt.cudaBindTexture(tex, ptr, np.float32, 1000)
+        assert err is cudaError.cudaErrorInvalidDevicePointer
+
+    def test_rebinding_replaces_window(self, rt):
+        _, a = rt.cudaMalloc(64)
+        _, b = rt.cudaMalloc(64)
+        rt.cudaMemcpy(
+            a, np.full(16, 1.0, np.float32), 64,
+            __import__("repro.cuda", fromlist=["cudaMemcpyKind"]).cudaMemcpyKind.cudaMemcpyHostToDevice,
+        )
+        tex = TextureReference()
+        rt.cudaBindTexture(tex, a, np.float32, 16)
+        first = tex._raw()[0]
+        rt.cudaBindTexture(tex, b, np.float32, 16)
+        second = tex._raw()[0]
+        assert first == 1.0
+        assert second == 0.0

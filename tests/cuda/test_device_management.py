@@ -1,0 +1,83 @@
+"""Device management API (§3.2.1)."""
+
+import pytest
+
+from repro.cuda import CudaMachine, CudaRuntime, cudaDeviceProp, cudaError
+from repro.simgpu import ArchSpec, scaled_arch
+
+
+@pytest.fixture
+def two_device_machine() -> CudaMachine:
+    return CudaMachine(
+        [
+            scaled_arch("small", 4, memory_bytes=1 << 24),
+            scaled_arch("large", 16, memory_bytes=1 << 26),
+        ]
+    )
+
+
+class TestSetDevice:
+    def test_set_device_binds(self, two_device_machine):
+        rt = CudaRuntime(two_device_machine)
+        assert rt.cudaSetDevice(1).ok
+        assert rt.device.arch.name == "large"
+
+    def test_rebinding_is_an_error(self, two_device_machine):
+        # One host thread is bound to at most one device (§3.2.1).
+        rt = CudaRuntime(two_device_machine)
+        assert rt.cudaSetDevice(0).ok
+        assert rt.cudaSetDevice(1) is cudaError.cudaErrorSetOnActiveProcess
+
+    def test_invalid_index_rejected(self, two_device_machine):
+        rt = CudaRuntime(two_device_machine)
+        assert rt.cudaSetDevice(7) is cudaError.cudaErrorInvalidDevice
+
+    def test_device_0_selected_implicitly(self, two_device_machine):
+        # "If no device has been selected before the first kernel call,
+        # device 0 is automatically selected."
+        rt = CudaRuntime(two_device_machine)
+        err, ptr = rt.cudaMalloc(64)
+        assert err.ok
+        err, dev = rt.cudaGetDevice()
+        assert dev == 0
+        # The implicit binding is just as permanent as an explicit one.
+        assert rt.cudaSetDevice(1) is cudaError.cudaErrorSetOnActiveProcess
+
+
+class TestChooseDevice:
+    def test_choose_by_memory(self, two_device_machine):
+        rt = CudaRuntime(two_device_machine)
+        err, dev = rt.cudaChooseDevice(cudaDeviceProp(totalGlobalMem=1 << 25))
+        assert err.ok
+        assert dev == 1
+
+    def test_choose_prefers_more_multiprocessors(self, two_device_machine):
+        rt = CudaRuntime(two_device_machine)
+        err, dev = rt.cudaChooseDevice(cudaDeviceProp())
+        assert err.ok and dev == 1
+
+    def test_unsatisfiable_request(self, two_device_machine):
+        rt = CudaRuntime(two_device_machine)
+        err, dev = rt.cudaChooseDevice(cudaDeviceProp(supportsAtomics=True))
+        assert err is cudaError.cudaErrorInvalidValue
+        assert dev == -1
+
+
+class TestProperties:
+    def test_get_device_properties(self, two_device_machine):
+        rt = CudaRuntime(two_device_machine)
+        err, prop = rt.cudaGetDeviceProperties(1)
+        assert err.ok
+        assert prop.multiProcessorCount == 16
+        assert prop.warpSize == 32
+
+    def test_invalid_device_properties(self, two_device_machine):
+        rt = CudaRuntime(two_device_machine)
+        err, prop = rt.cudaGetDeviceProperties(9)
+        assert err is cudaError.cudaErrorInvalidDevice
+        assert prop is None
+
+    def test_device_count(self, two_device_machine):
+        rt = CudaRuntime(two_device_machine)
+        err, n = rt.cudaGetDeviceCount()
+        assert err.ok and n == 2

@@ -1,0 +1,186 @@
+"""Execution control (§3.2.2) and function qualifiers (§3.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import (
+    CudaMachine,
+    CudaQualifierError,
+    CudaRuntime,
+    cudaError,
+    cudaMemcpyKind,
+    device_fn,
+    global_,
+    host_fn,
+)
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st
+from repro.simgpu.memory import DeviceArrayView
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+
+
+@pytest.fixture
+def rt() -> CudaRuntime:
+    return CudaRuntime(CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 22)]))
+
+
+@global_
+def double_kernel(ctx, arr):
+    i = ctx.global_thread_id
+    v = yield ld(arr, i)
+    yield op(OpClass.FMUL)
+    yield st(arr, i, v * 2.0)
+
+
+def make_view(rt, dtype, count):
+    _, ptr = rt.cudaMalloc(np.dtype(dtype).itemsize * count)
+    return DeviceArrayView(rt.device.memory, ptr, np.dtype(dtype), count)
+
+
+class TestThreeStepLaunch:
+    def test_full_protocol(self, rt):
+        arr = make_view(rt, np.float32, 64)
+        data = np.arange(64, dtype=np.float32)
+        rt.cudaMemcpy(arr.ptr, data, data.nbytes, H2D)
+
+        assert rt.cudaConfigureCall(2, 32).ok  # step 1
+        assert rt.cudaSetupArgument(arr, 0, size=8).ok  # step 2
+        assert rt.cudaLaunch(double_kernel).ok  # step 3
+
+        back = np.zeros_like(data)
+        rt.cudaMemcpy(back, arr.ptr, data.nbytes, D2H)
+        np.testing.assert_array_equal(back, data * 2)
+
+    def test_launch_without_configure_fails(self, rt):
+        assert (
+            rt.cudaLaunch(double_kernel)
+            is cudaError.cudaErrorInvalidConfiguration
+        )
+
+    def test_setup_argument_without_configure_fails(self, rt):
+        assert rt.cudaSetupArgument(1, 0) is cudaError.cudaErrorInvalidValue
+
+    def test_configuration_is_consumed_by_launch(self, rt):
+        arr = make_view(rt, np.float32, 32)
+        rt.cudaConfigureCall(1, 32)
+        rt.cudaSetupArgument(arr, 0, size=8)
+        assert rt.cudaLaunch(double_kernel).ok
+        # Second launch without reconfiguring must fail.
+        assert (
+            rt.cudaLaunch(double_kernel)
+            is cudaError.cudaErrorInvalidConfiguration
+        )
+
+    def test_arguments_ordered_by_offset_not_push_order(self, rt):
+        seen = {}
+
+        @global_
+        def k(ctx, a, b):
+            seen["a"], seen["b"] = a, b
+            yield op(OpClass.IADD)
+
+        rt.cudaConfigureCall(1, 1)
+        rt.cudaSetupArgument(20, 4, size=4)  # second slot pushed first
+        rt.cudaSetupArgument(10, 0, size=4)
+        assert rt.cudaLaunch(k).ok
+        assert seen == {"a": 10, "b": 20}
+
+    def test_overlapping_arguments_rejected(self, rt):
+        rt.cudaConfigureCall(1, 1)
+        assert rt.cudaSetupArgument(1.0, 0, size=8).ok
+        assert rt.cudaSetupArgument(2.0, 4, size=4) is cudaError.cudaErrorInvalidValue
+
+    def test_kernel_stack_limit(self, rt):
+        # The parameter stack is 256 bytes on CUDA 1.0.
+        rt.cudaConfigureCall(1, 1)
+        assert rt.cudaSetupArgument(0, 256, size=4) is cudaError.cudaErrorInvalidValue
+
+    def test_invalid_configuration_rejected(self, rt):
+        assert (
+            rt.cudaConfigureCall(1, 1024)
+            is cudaError.cudaErrorInvalidConfiguration
+        )
+
+    def test_launching_non_global_fails(self, rt):
+        def plain(ctx):
+            yield op(OpClass.IADD)
+
+        rt.cudaConfigureCall(1, 1)
+        assert rt.cudaLaunch(plain) is cudaError.cudaErrorInvalidValue
+
+    def test_kernel_fault_becomes_launch_failure(self, rt):
+        @global_
+        def crashing(ctx):
+            yield op(OpClass.IADD)
+            raise RuntimeError("bad kernel")
+
+        rt.cudaConfigureCall(1, 1)
+        assert rt.cudaLaunch(crashing) is cudaError.cudaErrorLaunchFailure
+
+    def test_launch_is_asynchronous(self, rt):
+        # §2.2: "A kernel invocation does not block the host."
+        arr = make_view(rt, np.float32, 32)
+        rt.cudaConfigureCall(1, 32)
+        rt.cudaSetupArgument(arr, 0, size=8)
+        rt.cudaLaunch(double_kernel)
+        tl = rt.device.timeline
+        assert tl.device_busy_until > tl.host_time or (
+            tl.device_busy_until == pytest.approx(tl.host_time)
+        )
+
+    def test_thread_synchronize(self, rt):
+        rt.device.timeline.launch_kernel(0.01)
+        assert rt.cudaThreadSynchronize().ok
+        assert rt.device.timeline.host_time >= 0.01
+
+
+class TestQualifiers:
+    def test_global_cannot_be_called_directly(self):
+        with pytest.raises(CudaQualifierError, match="__global__"):
+            double_kernel(None, None)
+
+    def test_device_fn_rejected_on_host(self):
+        @device_fn
+        def helper(x):
+            return x + 1
+
+        with pytest.raises(CudaQualifierError, match="__device__"):
+            helper(1)
+
+    def test_device_fn_usable_inside_kernel(self, rt):
+        @device_fn
+        def helper(x):
+            return x + 1
+
+        out = {}
+
+        @global_
+        def k(ctx):
+            out["v"] = helper(41)
+            yield op(OpClass.IADD)
+
+        rt.cudaConfigureCall(1, 1)
+        assert rt.cudaLaunch(k).ok
+        assert out["v"] == 42
+
+    def test_host_fn_rejected_in_kernel(self, rt):
+        @host_fn
+        def host_only():
+            return 1
+
+        @global_
+        def k(ctx):
+            host_only()
+            yield op(OpClass.IADD)
+
+        rt.cudaConfigureCall(1, 1)
+        assert rt.cudaLaunch(k) is cudaError.cudaErrorLaunchFailure
+
+    def test_host_fn_works_on_host(self):
+        @host_fn
+        def host_only():
+            return 7
+
+        assert host_only() == 7

@@ -1,0 +1,122 @@
+"""OpenGL interoperability (§3.2): register/map/write/unmap protocol."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import (
+    CudaMachine,
+    CudaRuntime,
+    GLBufferObject,
+    cudaError,
+    global_,
+)
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import op, st
+from repro.simgpu.memory import DeviceArrayView
+
+
+@pytest.fixture
+def rt() -> CudaRuntime:
+    return CudaRuntime(CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 20)]))
+
+
+class TestProtocol:
+    def test_register_map_unmap_cycle(self, rt):
+        buf = GLBufferObject(name=1, nbytes=256)
+        assert rt.cudaGLRegisterBufferObject(buf).ok
+        err, ptr = rt.cudaGLMapBufferObject(buf)
+        assert err.ok and ptr
+        assert rt.cudaGLUnmapBufferObject(buf).ok
+        assert rt.cudaGLUnregisterBufferObject(buf).ok
+
+    def test_double_register_rejected(self, rt):
+        buf = GLBufferObject(1, 64)
+        rt.cudaGLRegisterBufferObject(buf)
+        assert (
+            rt.cudaGLRegisterBufferObject(buf) is cudaError.cudaErrorInvalidValue
+        )
+
+    def test_map_before_register_rejected(self, rt):
+        buf = GLBufferObject(1, 64)
+        err, ptr = rt.cudaGLMapBufferObject(buf)
+        assert err is cudaError.cudaErrorInvalidValue and ptr is None
+
+    def test_double_map_rejected(self, rt):
+        buf = GLBufferObject(1, 64)
+        rt.cudaGLRegisterBufferObject(buf)
+        rt.cudaGLMapBufferObject(buf)
+        err, _ = rt.cudaGLMapBufferObject(buf)
+        assert err is cudaError.cudaErrorInvalidValue
+
+    def test_unregister_while_mapped_rejected(self, rt):
+        buf = GLBufferObject(1, 64)
+        rt.cudaGLRegisterBufferObject(buf)
+        rt.cudaGLMapBufferObject(buf)
+        assert (
+            rt.cudaGLUnregisterBufferObject(buf)
+            is cudaError.cudaErrorInvalidValue
+        )
+
+    def test_unregister_frees_the_backing(self, rt):
+        before = rt.device.memory.allocation_count
+        buf = GLBufferObject(1, 4096)
+        rt.cudaGLRegisterBufferObject(buf)
+        assert rt.device.memory.allocation_count == before + 1
+        rt.cudaGLUnregisterBufferObject(buf)
+        assert rt.device.memory.allocation_count == before
+
+
+class TestKernelWritesIntoGlBuffer:
+    def test_renderer_sees_kernel_output_without_memcpy(self, rt):
+        # The interop payoff: a kernel fills the mapped buffer; "GL"
+        # (here: a direct view) reads it in place.
+        buf = GLBufferObject(1, 32 * 4)
+        rt.cudaGLRegisterBufferObject(buf)
+        err, ptr = rt.cudaGLMapBufferObject(buf)
+        view = DeviceArrayView(rt.device.memory, ptr, np.dtype(np.float32), 32)
+
+        @global_
+        def fill(ctx, out):
+            i = ctx.global_thread_id
+            yield st(out, i, float(i) * 2)
+
+        rt.cudaConfigureCall(1, 32)
+        rt.cudaSetupArgument(view, 0, size=8)
+        assert rt.cudaLaunch(fill).ok
+        rt.cudaGLUnmapBufferObject(buf)
+
+        memcpys_before_render = rt.memcpy_count
+        rendered = rt.device.memory.view(ptr, np.float32, 32)  # GL reads
+        np.testing.assert_array_equal(rendered, np.arange(32) * 2.0)
+        assert rt.memcpy_count == memcpys_before_render  # no transfer!
+
+
+class TestInteropFrameModel:
+    def test_interop_raises_fps_at_scale(self):
+        from repro.gpusteer.double_buffer import simulate_frames
+        from repro.steer import DEFAULT_PARAMS
+
+        n = 32768
+        plain = simulate_frames(
+            n, DEFAULT_PARAMS, double_buffered=True, gl_interop=False
+        )
+        interop = simulate_frames(
+            n, DEFAULT_PARAMS, double_buffered=True, gl_interop=True
+        )
+        assert interop < plain  # shorter frame period
+        # The saving is roughly the 64-byte-per-agent transfer.
+        saved = plain - interop
+        assert saved > 0.1e-3  # >0.1 ms at 32k agents
+
+    def test_interop_gain_negligible_for_small_flocks(self):
+        from repro.gpusteer.double_buffer import simulate_frames
+        from repro.steer import DEFAULT_PARAMS
+
+        n = 1024
+        plain = simulate_frames(
+            n, DEFAULT_PARAMS, double_buffered=True, gl_interop=False
+        )
+        interop = simulate_frames(
+            n, DEFAULT_PARAMS, double_buffered=True, gl_interop=True
+        )
+        assert abs(plain - interop) / plain < 0.05

@@ -1,0 +1,115 @@
+"""Memory management API (§3.2.3): malloc/free/memcpy with error codes."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaMachine, CudaRuntime, cudaError, cudaMemcpyKind
+from repro.simgpu import scaled_arch
+from repro.simgpu.memory import DevicePtr
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+D2D = cudaMemcpyKind.cudaMemcpyDeviceToDevice
+H2H = cudaMemcpyKind.cudaMemcpyHostToHost
+
+
+@pytest.fixture
+def rt() -> CudaRuntime:
+    return CudaRuntime(CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 22)]))
+
+
+class TestMallocFree:
+    def test_malloc_returns_pointer(self, rt):
+        err, ptr = rt.cudaMalloc(1024)
+        assert err.ok and isinstance(ptr, DevicePtr)
+
+    def test_malloc_failure_returns_error_code(self, rt):
+        err, ptr = rt.cudaMalloc(1 << 30)
+        assert err is cudaError.cudaErrorMemoryAllocation
+        assert ptr is None
+
+    def test_free_roundtrip(self, rt):
+        _, ptr = rt.cudaMalloc(128)
+        assert rt.cudaFree(ptr).ok
+
+    def test_double_free_returns_error_code(self, rt):
+        # This is the C-style behaviour CuPP replaces with exceptions.
+        _, ptr = rt.cudaMalloc(128)
+        rt.cudaFree(ptr)
+        assert rt.cudaFree(ptr) is cudaError.cudaErrorInvalidDevicePointer
+
+
+class TestMemcpy:
+    def test_h2d_d2h_roundtrip(self, rt):
+        data = np.arange(32, dtype=np.float32)
+        _, ptr = rt.cudaMalloc(data.nbytes)
+        assert rt.cudaMemcpy(ptr, data, data.nbytes, H2D).ok
+        back = np.zeros_like(data)
+        assert rt.cudaMemcpy(back, ptr, data.nbytes, D2H).ok
+        np.testing.assert_array_equal(back, data)
+
+    def test_d2d_copy(self, rt):
+        data = np.arange(8, dtype=np.int32)
+        _, a = rt.cudaMalloc(data.nbytes)
+        _, b = rt.cudaMalloc(data.nbytes)
+        rt.cudaMemcpy(a, data, data.nbytes, H2D)
+        assert rt.cudaMemcpy(b, a, data.nbytes, D2D).ok
+        back = np.zeros_like(data)
+        rt.cudaMemcpy(back, b, data.nbytes, D2H)
+        np.testing.assert_array_equal(back, data)
+
+    def test_h2h_copy(self, rt):
+        src = np.arange(4, dtype=np.float64)
+        dst = np.zeros_like(src)
+        assert rt.cudaMemcpy(dst, src, src.nbytes, H2H).ok
+        np.testing.assert_array_equal(dst, src)
+
+    def test_kind_mismatch_rejected(self, rt):
+        # Passing a host array where the kind says device (and vice versa)
+        data = np.zeros(4, dtype=np.float32)
+        _, ptr = rt.cudaMalloc(16)
+        assert (
+            rt.cudaMemcpy(data, data, 16, H2D)
+            is cudaError.cudaErrorInvalidMemcpyDirection
+        )
+        assert (
+            rt.cudaMemcpy(ptr, ptr, 16, D2H)
+            is cudaError.cudaErrorInvalidMemcpyDirection
+        )
+
+    def test_stale_pointer_rejected(self, rt):
+        data = np.zeros(4, dtype=np.float32)
+        _, ptr = rt.cudaMalloc(16)
+        rt.cudaFree(ptr)
+        assert (
+            rt.cudaMemcpy(data, ptr, 16, D2H)
+            is cudaError.cudaErrorInvalidDevicePointer
+        )
+
+    def test_d2d_copy_avoids_the_pcie_bus(self, rt):
+        # Device-to-device copies run at device-memory bandwidth (64 GB/s
+        # class), not PCIe (2.5 GB/s) — over an order of magnitude faster.
+        nbytes = 1 << 20
+        _, a = rt.cudaMalloc(nbytes)
+        _, b = rt.cudaMalloc(nbytes)
+        data = np.zeros(nbytes, np.uint8)
+
+        t0 = rt.device.timeline.host_time
+        rt.cudaMemcpy(a, data, nbytes, H2D)
+        pcie_cost = rt.device.timeline.host_time - t0
+
+        t0 = rt.device.timeline.host_time
+        rt.cudaMemcpy(b, a, nbytes, D2D)
+        d2d_cost = rt.device.timeline.host_time - t0
+
+        assert d2d_cost * 5 < pcie_cost
+
+    def test_memcpy_synchronizes_with_kernel(self, rt):
+        # A memcpy issued while the device is busy blocks the host until
+        # the kernel finishes (§2.2).
+        rt.device.timeline.launch_kernel(0.05)
+        data = np.zeros(4, dtype=np.float32)
+        _, ptr = rt.cudaMalloc(16)
+        before = rt.device.timeline.host_time
+        rt.cudaMemcpy(ptr, data, 16, H2D)
+        assert rt.device.timeline.host_time - before >= 0.05 - 1e-9

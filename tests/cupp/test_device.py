@@ -1,0 +1,122 @@
+"""cupp.Device: explicit handles, property queries, RAII cleanup (§4.1)."""
+
+import pytest
+
+from repro.cuda import CudaMachine, cudaDeviceProp
+from repro.cupp import CuppInvalidDevice, CuppMemoryError, CuppUsageError, Device
+from repro.simgpu import scaled_arch
+
+
+@pytest.fixture
+def machine() -> CudaMachine:
+    return CudaMachine(
+        [
+            scaled_arch("alpha", 4, memory_bytes=1 << 22),
+            scaled_arch("beta", 16, memory_bytes=1 << 24),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_default_device(self):
+        # Listing 4.1: "creates a default device".
+        dev = Device()
+        assert dev.multiprocessors == 12
+        dev.close()
+
+    def test_device_by_index(self, machine):
+        dev = Device(index=1, machine=machine)
+        assert dev.name == "beta"
+
+    def test_device_by_properties(self, machine):
+        # "The creation of a device handle can be done by specifying
+        # properties (similar to the original CUDA concept)".
+        dev = Device(
+            properties=cudaDeviceProp(totalGlobalMem=1 << 23), machine=machine
+        )
+        assert dev.name == "beta"
+
+    def test_unsatisfiable_properties_raise(self, machine):
+        with pytest.raises(CuppInvalidDevice):
+            Device(
+                properties=cudaDeviceProp(multiProcessorCount=99),
+                machine=machine,
+            )
+
+    def test_index_and_properties_are_exclusive(self, machine):
+        with pytest.raises(CuppUsageError):
+            Device(properties=cudaDeviceProp(), index=0, machine=machine)
+
+
+class TestQueries:
+    def test_queryable_information(self, machine):
+        # §4.1: "The device handle can be queried to get information about
+        # the device, e.g. supported functionality or total amount of
+        # memory."
+        dev = Device(index=0, machine=machine)
+        assert dev.total_memory == 1 << 22
+        assert dev.supports_atomics is False
+        prop = dev.properties()
+        assert prop.multiProcessorCount == 4
+
+    def test_free_memory_tracks_allocations(self, machine):
+        dev = Device(index=0, machine=machine)
+        before = dev.free_memory
+        dev.alloc(4096)
+        assert dev.free_memory == before - 4096
+
+
+class TestMemoryApi:
+    def test_alloc_raises_instead_of_error_code(self, machine):
+        # §4.2: "exceptions are thrown when an error occurs instead of
+        # returning an error code".
+        dev = Device(index=0, machine=machine)
+        with pytest.raises(CuppMemoryError):
+            dev.alloc(1 << 30)
+
+    def test_upload_download_roundtrip(self, machine):
+        import numpy as np
+
+        dev = Device(index=0, machine=machine)
+        ptr = dev.alloc(64)
+        data = np.arange(16, dtype=np.float32)
+        dev.upload(ptr, data)
+        back = dev.download(ptr, 64, np.float32)
+        np.testing.assert_array_equal(back, data)
+
+    def test_free_invalid_pointer_raises(self, machine):
+        dev = Device(index=0, machine=machine)
+        ptr = dev.alloc(64)
+        dev.free(ptr)
+        with pytest.raises(CuppMemoryError):
+            dev.free(ptr)
+
+
+class TestLifetime:
+    def test_close_frees_all_memory(self, machine):
+        # §4.1: "When the device handle is destroyed, all memory allocated
+        # on this device is freed as well."
+        dev = Device(index=0, machine=machine)
+        for _ in range(4):
+            dev.alloc(1024)
+        sim = dev.runtime.device
+        assert sim.memory.allocation_count == 4
+        dev.close()
+        assert sim.memory.allocation_count == 0
+
+    def test_context_manager(self, machine):
+        with Device(index=0, machine=machine) as dev:
+            dev.alloc(128)
+        with pytest.raises(CuppUsageError):
+            dev.alloc(128)
+
+    def test_close_is_idempotent(self, machine):
+        dev = Device(index=0, machine=machine)
+        dev.close()
+        dev.close()
+
+    def test_use_after_close_raises(self, machine):
+        dev = Device(index=0, machine=machine)
+        dev.close()
+        with pytest.raises(CuppUsageError):
+            _ = dev.total_memory

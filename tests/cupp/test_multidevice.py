@@ -1,0 +1,159 @@
+"""Multi-device support (ch. 7 future work): DeviceGroup + MultiKernel."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaMachine, global_
+from repro.cupp import (
+    ConstRef,
+    CuppUsageError,
+    DeviceGroup,
+    DeviceVector,
+    MultiKernel,
+    Ref,
+    Vector,
+    shard,
+)
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st
+
+
+def make_machine(n_devices=2) -> CudaMachine:
+    return CudaMachine(
+        [scaled_arch(f"gpu{i}", 2, memory_bytes=1 << 22) for i in range(n_devices)]
+    )
+
+
+@global_
+def double_chunk(ctx, v: Ref[DeviceVector]):
+    i = ctx.global_thread_id
+    if i < len(v):
+        x = yield ld(v.view, i)
+        yield op(OpClass.FMUL)
+        yield st(v.view, i, x * 2.0)
+
+
+@global_
+def axpy_chunk(ctx, a: float, x: ConstRef[DeviceVector], y: Ref[DeviceVector]):
+    i = ctx.global_thread_id
+    if i < len(y):
+        xi = yield ld(x.view, i)
+        yi = yield ld(y.view, i)
+        yield op(OpClass.FMAD)
+        yield st(y.view, i, a * xi + yi)
+
+
+class TestDeviceGroup:
+    def test_one_handle_per_device(self):
+        group = DeviceGroup(make_machine(3))
+        assert len(group) == 3
+        names = {d.name for d in group}
+        assert names == {"gpu0", "gpu1", "gpu2"}
+
+    def test_each_handle_keeps_its_own_runtime_binding(self):
+        # §3.2.1's one-device-per-thread rule is honored per runtime.
+        group = DeviceGroup(make_machine(2))
+        ids = {d.runtime.device.device_id for d in group}
+        assert len(ids) == 2
+
+    def test_subset_selection(self):
+        group = DeviceGroup(make_machine(3), indices=[2])
+        assert len(group) == 1
+        assert group.devices[0].name == "gpu2"
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(CuppUsageError):
+            DeviceGroup(make_machine(2), indices=[])
+
+    def test_chunk_bounds_cover_everything(self):
+        group = DeviceGroup(make_machine(3))
+        bounds = group.chunk_bounds(100)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 100
+        sizes = [b - a for a, b in bounds]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_context_manager_closes_all(self):
+        with DeviceGroup(make_machine(2)) as group:
+            for d in group:
+                d.alloc(256)
+        for d in group:
+            with pytest.raises(CuppUsageError):
+                d.alloc(1)
+
+
+class TestMultiKernel:
+    def test_sharded_mutation_gathers_back(self):
+        group = DeviceGroup(make_machine(2))
+        v = Vector(np.arange(64, dtype=np.float32))
+        mk = MultiKernel(double_chunk, 1, 32)
+        stats = mk(group, shard(v))
+        assert len(stats) == 2
+        np.testing.assert_array_equal(
+            v.to_numpy(), np.arange(64, dtype=np.float32) * 2
+        )
+
+    def test_mixed_sharded_and_replicated_args(self):
+        group = DeviceGroup(make_machine(2))
+        x = Vector(np.ones(64, np.float32))
+        y = Vector(np.full(64, 10.0, np.float32))
+        mk = MultiKernel(axpy_chunk, 1, 32)
+        mk(group, 3.0, shard(x), shard(y))
+        np.testing.assert_array_equal(y.to_numpy(), np.full(64, 13.0))
+        np.testing.assert_array_equal(x.to_numpy(), np.ones(64))  # const
+
+    def test_uneven_split(self):
+        group = DeviceGroup(make_machine(3))
+        v = Vector(np.arange(50, dtype=np.float32))
+        mk = MultiKernel(double_chunk, 1, 32)
+        mk(group, shard(v))
+        np.testing.assert_array_equal(
+            v.to_numpy(), np.arange(50, dtype=np.float32) * 2
+        )
+
+    def test_every_device_received_work(self):
+        group = DeviceGroup(make_machine(2))
+        v = Vector(np.ones(64, np.float32))
+        MultiKernel(double_chunk, 1, 32)(group, shard(v))
+        for d in group:
+            assert d.runtime.launch_count == 1
+
+    def test_devices_overlap_in_time(self):
+        # The group's makespan must be far below the sum of device times:
+        # the launches run concurrently on independent timelines.
+        group = DeviceGroup(make_machine(2))
+        v = Vector(np.ones(64, np.float32))
+        MultiKernel(double_chunk, 1, 32)(group, shard(v))
+        busy = [d.sim.timeline.device_busy_until for d in group]
+        assert group.makespan_s <= sum(busy)
+        assert all(b > 0 for b in busy)
+
+    def test_no_sharded_argument_rejected(self):
+        group = DeviceGroup(make_machine(2))
+        mk = MultiKernel(double_chunk, 1, 32)
+        with pytest.raises(CuppUsageError, match="sharded"):
+            mk(group, Vector(np.ones(4, np.float32)))
+
+    def test_mismatched_shard_lengths_rejected(self):
+        group = DeviceGroup(make_machine(2))
+        mk = MultiKernel(axpy_chunk, 1, 32)
+        with pytest.raises(CuppUsageError, match="same length"):
+            mk(
+                group,
+                1.0,
+                shard(Vector(np.ones(8, np.float32))),
+                shard(Vector(np.ones(9, np.float32))),
+            )
+
+    def test_shard_requires_vector(self):
+        with pytest.raises(CuppUsageError):
+            shard([1, 2, 3])
+
+    def test_for_chunks_sets_dimensions(self):
+        group = DeviceGroup(make_machine(2))
+        mk = MultiKernel(double_chunk)
+        mk.for_chunks(group, total=64, block=16)
+        v = Vector(np.ones(64, np.float32))
+        mk(group, shard(v))
+        np.testing.assert_array_equal(v.to_numpy(), np.full(64, 2.0))

@@ -1,0 +1,127 @@
+"""The chapter-7 extension: const-reference vectors served from texture
+or constant memory, automatically."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaMachine, global_
+from repro.cupp import ConstRef, CuppUsageError, Device, DeviceVector, Kernel, Ref, Vector
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu import devicelib as dl
+from repro.simgpu.isa import op, st
+
+
+@pytest.fixture
+def dev() -> Device:
+    return Device(machine=CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 22)]))
+
+
+@global_
+def gather_sum(ctx, src: ConstRef[DeviceVector], out: Ref[DeviceVector]):
+    """Every thread reads the whole source — the Boids access pattern."""
+    i = ctx.global_thread_id
+    total = 0.0
+    for j in range(len(src)):
+        v = yield from dl.ld_auto(src, j)
+        total += v
+        yield op(OpClass.FADD)
+    yield st(out.view, i, total)
+
+
+def run(dev, source_vector, n=32):
+    out = Vector(np.zeros(n, np.float32), dtype=np.float32)
+    Kernel(gather_sum, 1, n)(dev, source_vector, out)
+    return out.to_numpy(), dev.runtime.last_launch.profile
+
+
+class TestTexturePlacement:
+    def test_results_identical_to_global(self, dev):
+        data = np.arange(16, dtype=np.float32)
+        got_g, _ = run(dev, Vector(data, readonly_space="global"))
+        got_t, _ = run(dev, Vector(data, readonly_space="texture"))
+        np.testing.assert_array_equal(got_g, got_t)
+        assert got_t[0] == data.sum()
+
+    def test_texture_reads_used(self, dev):
+        _, profile = run(dev, Vector(np.ones(16, np.float32), readonly_space="texture"))
+        assert profile.op_counts[OpClass.TEXTURE_READ] > 0
+        assert profile.texture_hits > 0
+
+    def test_traffic_reduction(self, dev):
+        data = np.ones(64, np.float32)
+        _, p_global = run(dev, Vector(data, readonly_space="global"))
+        _, p_texture = run(dev, Vector(data, readonly_space="texture"))
+        assert p_texture.bytes_read * 20 < p_global.bytes_read
+
+
+class TestConstantPlacement:
+    def test_results_identical_to_global(self, dev):
+        data = np.linspace(0, 1, 16).astype(np.float32)
+        got_g, _ = run(dev, Vector(data, readonly_space="global"))
+        got_c, _ = run(dev, Vector(data, readonly_space="constant"))
+        np.testing.assert_allclose(got_g, got_c, rtol=1e-6)
+
+    def test_constant_reads_used(self, dev):
+        _, profile = run(dev, Vector(np.ones(8, np.float32), readonly_space="constant"))
+        assert profile.op_counts[OpClass.CONSTANT_READ] > 0
+
+    def test_uniform_scan_is_near_free(self, dev):
+        # All threads read src[j] together: broadcast + cache -> almost
+        # no device-memory traffic.
+        _, profile = run(dev, Vector(np.ones(16, np.float32), readonly_space="constant"))
+        assert profile.constant_misses <= 2  # line granularity
+        assert profile.bytes_read <= 2 * 32
+
+    def test_host_write_invalidates_constant_mirror(self, dev):
+        v = Vector(np.ones(8, np.float32), readonly_space="constant")
+        got1, _ = run(dev, v)
+        assert got1[0] == 8.0
+        v[0] = 100.0  # host write -> constant mirror stale
+        got2, _ = run(dev, v)
+        assert got2[0] == pytest.approx(107.0)
+
+    def test_mirror_reused_when_clean(self, dev):
+        v = Vector(np.ones(8, np.float32), readonly_space="constant")
+        run(dev, v)
+        ups = v.uploads
+        run(dev, v)
+        assert v.uploads == ups  # no re-upload for the second launch
+
+
+class TestAutoPlacement:
+    def test_small_vector_goes_constant(self, dev):
+        v = Vector(np.ones(8, np.float32), readonly_space="auto")
+        _, profile = run(dev, v)
+        assert profile.op_counts[OpClass.CONSTANT_READ] > 0
+
+    def test_large_vector_goes_texture(self, dev):
+        big = np.ones(Vector.CONSTANT_AUTO_LIMIT // 4 + 64, np.float32)
+        v = Vector(big, readonly_space="auto")
+        dv = v.transform_readonly(dev)
+        assert dv.space == "texture"
+
+    def test_unknown_space_rejected(self):
+        with pytest.raises(CuppUsageError):
+            Vector(np.ones(4), readonly_space="l2")
+
+    def test_mutable_ref_still_uses_global(self, dev):
+        # The upgrade only applies to const parameters: a kernel that
+        # writes the vector gets the plain global-memory path.
+        @global_
+        def scale(ctx, v: Ref[DeviceVector]):
+            i = ctx.global_thread_id
+            if i < len(v):
+                x = yield from dl.ld_auto(v, i)
+                yield op(OpClass.FMUL)
+                yield st(v.view, i, x * 2.0)
+
+        v = Vector(np.arange(8, dtype=np.float32), readonly_space="auto")
+        Kernel(scale, 1, 8)(dev, v)
+        np.testing.assert_array_equal(
+            v.to_numpy(), np.arange(8, dtype=np.float32) * 2
+        )
+
+    def test_default_space_is_global_unchanged(self, dev):
+        v = Vector(np.ones(8, np.float32))
+        dv = v.transform_readonly(dev)
+        assert dv.space == "global"

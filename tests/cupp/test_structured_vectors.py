@@ -1,0 +1,75 @@
+"""Vectors of structured dtypes — C-struct elements (POD records).
+
+The paper's C-interop discussion (§3.3) leans on C/C++ struct layout
+compatibility; numpy structured dtypes are the Python analog of those
+PODs, and a cupp.Vector of records crosses the kernel boundary like any
+other element type.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaMachine, global_
+from repro.cupp import ConstRef, Device, DeviceVector, Kernel, Ref, Vector
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st
+
+#: A C-style struct: { float mass; float charge; }
+PARTICLE = np.dtype([("mass", np.float32), ("charge", np.float32)])
+
+
+@pytest.fixture
+def dev() -> Device:
+    return Device(machine=CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 22)]))
+
+
+@global_
+def total_charge(ctx, parts: ConstRef[DeviceVector], out: Ref[DeviceVector]):
+    """Thread 0 sums the charge field across all records."""
+    if ctx.global_thread_id == 0:
+        total = 0.0
+        for j in range(len(parts)):
+            record = yield ld(parts.view, j)  # one struct load
+            total += record[1]  # .charge
+            yield op(OpClass.FADD)
+        yield st(out.view, 0, total)
+
+
+class TestStructuredVector:
+    def make_particles(self, n=8):
+        data = np.zeros(n, dtype=PARTICLE)
+        data["mass"] = np.arange(n) + 1.0
+        data["charge"] = np.linspace(-1, 1, n)
+        return data
+
+    def test_host_roundtrip(self):
+        data = self.make_particles()
+        v = Vector(data, dtype=PARTICLE)
+        assert len(v) == 8
+        mass, charge = v[3]
+        assert mass == pytest.approx(4.0)
+
+    def test_push_back_record(self):
+        v = Vector(dtype=PARTICLE)
+        v.push_back((2.5, -0.5))
+        assert len(v) == 1
+        assert v[0] == (2.5, -0.5)
+
+    def test_kernel_reads_struct_fields(self, dev):
+        data = self.make_particles()
+        v = Vector(data, dtype=PARTICLE)
+        out = Vector(np.zeros(1, np.float32), dtype=np.float32)
+        Kernel(total_charge, 1, 1)(dev, v, out)
+        assert out[0] == pytest.approx(float(data["charge"].sum()), abs=1e-6)
+
+    def test_device_roundtrip_preserves_layout(self, dev):
+        data = self.make_particles()
+        v = Vector(data, dtype=PARTICLE)
+        v.transform(dev)  # upload
+        v._host_valid = False  # force a download on next read
+        fresh = v.to_numpy()
+        np.testing.assert_array_equal(fresh, data)
+
+    def test_itemsize_is_c_layout(self):
+        # Two packed float32 fields = 8 bytes, like the C struct.
+        assert PARTICLE.itemsize == 8

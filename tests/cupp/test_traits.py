@@ -1,0 +1,166 @@
+"""Signature traits and host/device type transformation (§4.3.2, §4.5)."""
+
+import pytest
+
+from repro.cuda import global_
+from repro.cupp import (
+    ConstRef,
+    CuppTraitError,
+    PassKind,
+    Ref,
+    analyze_kernel,
+    bind_types,
+    device_type_of,
+    host_type_of,
+    unbind_types,
+    validate_binding,
+)
+from repro.cupp.traits import RefSpec
+from repro.simgpu import OpClass
+from repro.simgpu.isa import op
+
+
+class TestRefMarkers:
+    def test_ref_builds_mutable_spec(self):
+        spec = Ref[int]
+        assert isinstance(spec, RefSpec)
+        assert spec.inner is int
+        assert not spec.const
+
+    def test_const_ref_builds_const_spec(self):
+        spec = ConstRef[float]
+        assert spec.const
+        assert spec.inner is float
+
+
+class TestAnalyzeKernel:
+    def test_mixed_signature(self):
+        @global_
+        def k(ctx, a: int, b: Ref[float], c: ConstRef[list], d):
+            yield op(OpClass.IADD)
+
+        traits = analyze_kernel(k)
+        assert traits.arity == 4
+        kinds = [p.kind for p in traits.params]
+        assert kinds == [
+            PassKind.VALUE,
+            PassKind.REF,
+            PassKind.CONST_REF,
+            PassKind.VALUE,
+        ]
+        assert traits.params[1].copies_back
+        assert not traits.params[2].copies_back
+
+    def test_works_on_wrapped_and_raw_functions(self):
+        def raw(ctx, x: Ref[int]):
+            yield op(OpClass.IADD)
+
+        wrapped = global_(raw)
+        assert analyze_kernel(raw) == analyze_kernel(wrapped)
+
+    def test_parameterless_function_rejected(self):
+        def bad():
+            yield op(OpClass.IADD)
+
+        with pytest.raises(CuppTraitError, match="context"):
+            analyze_kernel(bad)
+
+    def test_varargs_rejected(self):
+        def bad(ctx, *args):
+            yield op(OpClass.IADD)
+
+        with pytest.raises(CuppTraitError, match="kernel-stack"):
+            analyze_kernel(bad)
+
+    def test_context_only_kernel_has_zero_arity(self):
+        def k(ctx):
+            yield op(OpClass.IADD)
+
+        assert analyze_kernel(k).arity == 0
+
+
+class TestTypeTransformRegistry:
+    def test_pod_is_its_own_device_type(self):
+        assert device_type_of(int) is int
+        assert host_type_of(float) is float
+
+    def test_bind_and_resolve(self):
+        class HostThing:
+            pass
+
+        class DevThing:
+            pass
+
+        bind_types(HostThing, DevThing)
+        try:
+            assert device_type_of(HostThing) is DevThing
+            assert host_type_of(DevThing) is HostThing
+            validate_binding(HostThing)
+        finally:
+            unbind_types(HostThing, DevThing)
+
+    def test_one_to_one_enforced(self):
+        class H:
+            pass
+
+        class D1:
+            pass
+
+        class D2:
+            pass
+
+        bind_types(H, D1)
+        try:
+            with pytest.raises(CuppTraitError, match="1:1"):
+                bind_types(H, D2)
+            with pytest.raises(CuppTraitError, match="1:1"):
+                bind_types(D2, D1)  # D1 already the partner of H
+        finally:
+            unbind_types(H, D1)
+
+    def test_declared_typedefs_listing_4_6(self):
+        # Both structs carry both typedefs, exactly as in listing 4.6.
+        class DevX:
+            pass
+
+        class HostX:
+            device_type = DevX
+            host_type = None  # patched below
+
+        HostX.host_type = HostX
+        DevX.device_type = DevX
+        DevX.host_type = HostX
+
+        assert device_type_of(HostX) is DevX
+        assert host_type_of(DevX) is HostX
+        validate_binding(HostX)
+
+    def test_asymmetric_declaration_detected(self):
+        class Other:
+            pass
+
+        class DevY:
+            host_type = Other  # wrong back-pointer
+
+        class HostY:
+            device_type = DevY
+
+        with pytest.raises(CuppTraitError, match="1:1"):
+            validate_binding(HostY)
+
+    def test_kernel_with_bad_binding_fails_at_construction(self):
+        # The paper pays at compile time; we pay at Kernel() construction.
+        from repro.cupp import Kernel
+
+        class DevZ:
+            host_type = int
+
+        class HostZ:
+            device_type = DevZ
+
+        @global_
+        def k(ctx, z: HostZ):
+            yield op(OpClass.IADD)
+
+        with pytest.raises(CuppTraitError, match="1:1"):
+            Kernel(k, 1, 1)

@@ -1,0 +1,100 @@
+"""Property-based testing of cupp.Vector's lazy-copy state machine.
+
+The model: a plain Python list of floats.  Whatever interleaving of host
+mutations, kernel launches (device-side x2), and host reads occurs, the
+vector must agree with the model — lazy copying must be *semantically
+invisible* (§4.6), only the transfer counts may differ.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cuda import CudaMachine, global_
+from repro.cupp import Device, DeviceVector, Kernel, Ref, Vector
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st as store
+
+MAX_LEN = 48  # fits in one probing block
+
+
+@global_
+def double_kernel(ctx, v: Ref[DeviceVector]):
+    i = ctx.global_thread_id
+    if i < len(v):
+        x = yield ld(v.view, i)
+        yield op(OpClass.FMUL)
+        yield store(v.view, i, x * 2.0)
+
+
+class VectorMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.dev = Device(
+            machine=CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 22)])
+        )
+        self.vec = Vector(dtype=np.float64)
+        self.model: list[float] = []
+        self.kernel = Kernel(double_kernel, 2, MAX_LEN // 2)
+
+    @precondition(lambda self: len(self.model) < MAX_LEN)
+    @rule(x=st.floats(-1e6, 1e6, allow_nan=False))
+    def push(self, x):
+        self.vec.push_back(x)
+        self.model.append(float(np.float64(x)))
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def pop(self):
+        assert self.vec.pop_back() == self.model.pop()
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def write_element(self, data):
+        i = data.draw(st.integers(0, len(self.model) - 1))
+        x = data.draw(st.floats(-1e6, 1e6, allow_nan=False))
+        self.vec[i] = x
+        self.model[i] = float(np.float64(x))
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def read_element(self, data):
+        i = data.draw(st.integers(0, len(self.model) - 1))
+        assert self.vec[i] == self.model[i]
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def run_kernel(self):
+        self.kernel(self.dev, self.vec)
+        self.model = [x * 2.0 for x in self.model]
+
+    @rule()
+    def resize(self):
+        n = min(len(self.model) + 3, MAX_LEN)
+        self.vec.resize(n, fill=1.0)
+        self.model += [1.0] * (n - len(self.model))
+
+    @invariant()
+    def contents_match_model(self):
+        if hasattr(self, "vec"):
+            assert list(self.vec) == self.model
+
+    def teardown(self):
+        if hasattr(self, "dev"):
+            self.dev.close()
+
+
+VectorMachine.TestCase.settings = settings(
+    max_examples=25,
+    stateful_step_count=25,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+TestVectorLazyCopyProperties = VectorMachine.TestCase

@@ -1,0 +1,84 @@
+"""double_buffer.simulate_frames unit behaviour (beyond the Fig 6.4 bench)."""
+
+import pytest
+
+from repro.gpusteer.double_buffer import FrameTimings, compare, simulate_frames
+from repro.steer import DEFAULT_PARAMS
+
+
+class TestSimulateFrames:
+    def test_steady_state_stable_across_frame_counts(self):
+        a = simulate_frames(4096, DEFAULT_PARAMS, double_buffered=True, frames=10)
+        b = simulate_frames(4096, DEFAULT_PARAMS, double_buffered=True, frames=20)
+        assert a == pytest.approx(b, rel=0.05)
+
+    def test_serial_frame_is_sum_of_parts(self):
+        from repro.bench.calibration import DEFAULT_CALIBRATION
+        from repro.gpusteer import update_time
+
+        n = 4096
+        calib = DEFAULT_CALIBRATION
+        period = simulate_frames(n, DEFAULT_PARAMS, double_buffered=False)
+        update = update_time(5, n, DEFAULT_PARAMS, calib=calib).total_s
+        draw = calib.cpu_model().draw_seconds(n)
+        # Serial frame >= update + draw (plus transfer/launch overheads).
+        assert period >= update + draw
+        assert period <= (update + draw) * 1.2
+
+    def test_earlier_versions_also_benefit(self):
+        # Double buffering helps any version whose GPU part can overlap.
+        t = compare(8192, DEFAULT_PARAMS, version=4)
+        assert isinstance(t, FrameTimings)
+        assert t.improvement > 0.0
+
+    def test_frame_timings_properties(self):
+        t = FrameTimings(n=1, frame_without_s=0.02, frame_with_s=0.016)
+        assert t.fps_without == pytest.approx(50.0)
+        assert t.fps_with == pytest.approx(62.5)
+        assert t.improvement == pytest.approx(0.25)
+
+
+class TestVectorStlCompleteness:
+    def test_front_back_empty(self):
+        import numpy as np
+
+        from repro.cupp import CuppUsageError, Vector
+
+        v = Vector([1, 2, 3], dtype=np.int32)
+        assert v.front() == 1
+        assert v.back() == 3
+        assert not v.empty()
+        v.clear()
+        assert v.empty()
+        with pytest.raises(CuppUsageError):
+            v.front()
+        with pytest.raises(CuppUsageError):
+            v.back()
+
+    def test_swap(self):
+        import numpy as np
+
+        from repro.cupp import Vector
+
+        a = Vector([1, 2], dtype=np.int32)
+        b = Vector([9], dtype=np.int32)
+        a.swap(b)
+        assert list(a) == [9]
+        assert list(b) == [1, 2]
+
+    def test_swap_preserves_device_state(self):
+        import numpy as np
+
+        from repro.cuda import CudaMachine
+        from repro.cupp import Device, Vector
+        from repro.simgpu import scaled_arch
+
+        dev = Device(
+            machine=CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 20)])
+        )
+        a = Vector(np.ones(8, np.float32))
+        b = Vector(np.zeros(4, np.float32))
+        a.transform(dev)  # a now has a device copy
+        a.swap(b)
+        assert b._device_valid and not a._device_valid
+        assert b.uploads == 1

@@ -1,0 +1,156 @@
+"""Grid-accelerated neighbor search (ch. 7 future work, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.cupp import Device, Kernel, Vector
+from repro.gpusteer import MAX_NEIGHBORS, find_neighbors_v2
+from repro.gpusteer.grid_search import DeviceGrid, HostGrid, find_neighbors_grid
+from repro.steer import BoidsParams, Vec3, neighbor_search_all_pure
+
+PARAMS = BoidsParams()
+N = 64
+TPB = 32
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(31)
+    return rng.uniform(-45, 45, size=(N, 3)).astype(np.float32)
+
+
+def run_grid_n(cloud, n, params=PARAMS):
+    dev = Device()
+    grid = HostGrid(params.world_radius, params.search_radius)
+    grid.build(cloud.astype(np.float64))
+    pos = Vector(cloud.reshape(-1), dtype=np.float32)
+    res = Vector(np.full(MAX_NEIGHBORS * n, -1, np.int32), dtype=np.int32)
+    Kernel(find_neighbors_grid, n // TPB, TPB)(
+        dev, grid, pos, params.search_radius, res
+    )
+    return (
+        res.to_numpy().reshape(n, MAX_NEIGHBORS),
+        dev.runtime.last_launch.profile,
+    )
+
+
+def run_brute_n(cloud, n, params=PARAMS):
+    dev = Device()
+    pos = Vector(cloud.reshape(-1), dtype=np.float32)
+    res = Vector(np.full(MAX_NEIGHBORS * n, -1, np.int32), dtype=np.int32)
+    Kernel(find_neighbors_v2, n // TPB, TPB)(
+        dev, pos, params.search_radius, res
+    )
+    return (
+        res.to_numpy().reshape(n, MAX_NEIGHBORS),
+        dev.runtime.last_launch.profile,
+    )
+
+
+def run_grid(cloud, params=PARAMS):
+    return run_grid_n(cloud, N, params)
+
+
+def run_brute(cloud, params=PARAMS):
+    return run_brute_n(cloud, N, params)
+
+
+class TestHostGrid:
+    def test_build_partitions_all_agents(self, cloud):
+        grid = HostGrid(PARAMS.world_radius, PARAMS.search_radius)
+        grid.build(cloud.astype(np.float64))
+        assert grid._members.size == N
+        assert grid._starts[0] == 0
+        assert grid._starts[-1] == N
+        assert sorted(grid._members.tolist()) == list(range(N))
+
+    def test_cell_edge_at_least_search_radius(self):
+        grid = HostGrid(50.0, 9.0)
+        assert grid.cell_edge >= 9.0
+
+    def test_no_point_clamped(self, cloud):
+        grid = HostGrid(PARAMS.world_radius, PARAMS.search_radius)
+        ijk = grid.cell_coords(cloud.astype(np.float64))
+        # Interior mapping: nothing pinned to the clamp boundaries by
+        # actually lying outside the extent.
+        assert (np.abs(cloud) < grid.extent).all()
+        assert (ijk >= 0).all() and (ijk < grid.cells_per_axis).all()
+
+    def test_type_binding_is_1_to_1(self):
+        from repro.cupp import validate_binding
+
+        validate_binding(HostGrid)
+        validate_binding(DeviceGrid)
+
+
+class TestGridKernel:
+    def test_matches_brute_force_exactly(self, cloud):
+        got, _ = run_grid(cloud)
+        want, _ = run_brute(cloud)
+        np.testing.assert_array_equal(got, want)
+
+    def test_matches_pure_reference(self, cloud):
+        got, _ = run_grid(cloud)
+        pv = [Vec3.from_tuple(p.astype(np.float64)) for p in cloud]
+        want = neighbor_search_all_pure(pv, PARAMS)
+        for i in range(N):
+            assert set(got[i]) == set(want[i])
+
+    def test_tests_fewer_candidates(self, cloud):
+        # 27 cells instead of all n agents; at a tiny emulable population
+        # the fixed 27-cell overhead dilutes the win, but it must show.
+        _, p_grid = run_grid(cloud)
+        _, p_brute = run_brute(cloud)
+        from repro.simgpu.costs import OpClass
+
+        grid_tests = p_grid.op_counts[OpClass.FMAD]  # distance calcs
+        brute_tests = p_brute.op_counts[OpClass.FMAD]
+        assert grid_tests * 2 < brute_tests
+        assert p_grid.total_instructions < p_brute.total_instructions
+
+    def test_faster_in_modelled_time_at_scale(self, cloud):
+        """ch. 7's claim quantified: extrapolate emulator counts to 4096
+        agents and compare against the brute-force v2 cost model."""
+        from repro.gpusteer import LaunchGeometry, WorkloadStats, neighbor_v2_cost
+        from repro.gpusteer.grid_search import project_cost
+        from repro.simgpu import kernel_time
+
+        rng = np.random.default_rng(8)
+        small = rng.uniform(-45, 45, size=(32, 3)).astype(np.float32)
+        # Same box, double the population (density scales with n).
+        _, p_small = run_grid_n(small, 32)
+        _, p_big = run_grid_n(cloud, N)
+
+        n_target = 4096
+        grid_inputs = project_cost(p_small, p_big, 32, N, n_target, 128)
+        stats = WorkloadStats.estimate(n_target, PARAMS)
+        brute_inputs = neighbor_v2_cost(LaunchGeometry(n_target, 128), stats)
+        t_grid = kernel_time(grid_inputs).total_s
+        t_brute = kernel_time(brute_inputs).total_s
+        assert t_grid < t_brute, (
+            f"grid {t_grid*1e3:.2f}ms vs brute {t_brute*1e3:.2f}ms at "
+            f"{n_target} agents"
+        )
+
+    def test_growth_rate_below_brute_force(self):
+        # Doubling the population (same world) must grow the grid kernel's
+        # instruction count strictly slower than the brute-force kernel's.
+        rng = np.random.default_rng(8)
+        small = rng.uniform(-45, 45, size=(32, 3)).astype(np.float32)
+        big = rng.uniform(-45, 45, size=(64, 3)).astype(np.float32)
+        _, g_small = run_grid_n(small, 32)
+        _, g_big = run_grid_n(big, 64)
+        _, b_small = run_brute_n(small, 32)
+        _, b_big = run_brute_n(big, 64)
+        grid_growth = g_big.total_instructions / g_small.total_instructions
+        brute_growth = b_big.total_instructions / b_small.total_instructions
+        assert grid_growth < brute_growth
+
+    def test_dense_cluster_still_correct(self):
+        rng = np.random.default_rng(5)
+        tight = rng.uniform(-6, 6, size=(N, 3)).astype(np.float32)
+        got, _ = run_grid(tight)
+        pv = [Vec3.from_tuple(p.astype(np.float64)) for p in tight]
+        want = neighbor_search_all_pure(pv, PARAMS)
+        for i in range(N):
+            assert set(got[i]) == set(want[i])

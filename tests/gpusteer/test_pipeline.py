@@ -1,0 +1,72 @@
+"""Paper-scale pipeline: GpuBoidsRun and version_ladder."""
+
+import numpy as np
+import pytest
+
+from repro.gpusteer import GpuBoidsRun, version_ladder
+from repro.gpusteer.cost_model import WorkloadStats
+from repro.steer import DEFAULT_PARAMS, THINK_FREQ_PARAMS
+
+
+class TestGpuBoidsRun:
+    def test_run_advances_the_flock_and_models_timing(self):
+        run = GpuBoidsRun(512, version=5, seed=2)
+        start = run.sim.positions.copy()
+        result = run.run(steps=4)
+        assert result.version == 5
+        assert result.n == 512
+        assert result.updates_per_second > 0
+        assert not np.allclose(result.final_positions, start)
+
+    def test_measured_stats_come_from_the_live_flock(self):
+        run = GpuBoidsRun(512, version=5, seed=2)
+        result = run.run(steps=4, measure_stats=True)
+        assert isinstance(result.stats, WorkloadStats)
+        assert result.stats.n == 512
+        assert result.stats.in_radius_per_agent >= 0
+
+    def test_estimated_stats_path(self):
+        run = GpuBoidsRun(512, version=5, seed=2)
+        result = run.run(steps=1, measure_stats=False)
+        est = WorkloadStats.estimate(512, DEFAULT_PARAMS)
+        assert result.stats == est
+
+    def test_think_frequency_raises_update_rate(self):
+        fast = GpuBoidsRun(2048, version=5, params=THINK_FREQ_PARAMS, seed=3)
+        slow = GpuBoidsRun(2048, version=5, params=DEFAULT_PARAMS, seed=3)
+        r_fast = fast.run(steps=2)
+        r_slow = slow.run(steps=2)
+        assert r_fast.updates_per_second >= r_slow.updates_per_second
+
+    def test_breakdown_fields_are_consistent(self):
+        result = GpuBoidsRun(512, version=3, seed=1).run(steps=2)
+        b = result.update_breakdown
+        assert b.total_s == pytest.approx(
+            b.host_compute_s + b.gpu_kernel_s + b.transfer_s + b.launch_overhead_s
+        )
+        assert result.updates_per_second == pytest.approx(1 / b.total_s)
+
+
+class TestVersionLadder:
+    @pytest.fixture(scope="class")
+    def ladder(self):
+        return version_ladder(n=1024, steps=3, seed=4)
+
+    def test_all_six_versions_present(self, ladder):
+        assert set(ladder) == set(range(6))
+
+    def test_shared_flock_statistics(self, ladder):
+        # Every version is modelled on the same measured flock.
+        stats = {id(ladder[v].stats) for v in range(6)}
+        assert len(stats) == 1
+
+    def test_monotone_at_this_population_too(self, ladder):
+        rates = [ladder[v].updates_per_second for v in range(6)]
+        assert rates == sorted(rates)
+
+    def test_cpu_baseline_matches_cpu_model(self, ladder):
+        from repro.bench.calibration import DEFAULT_CALIBRATION
+
+        cpu = DEFAULT_CALIBRATION.cpu_model()
+        expected = 1.0 / cpu.update_seconds(1024, 1024)
+        assert ladder[0].updates_per_second == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,152 @@
+"""Failure injection: the system must fail loudly and stay consistent.
+
+Every fault path a downstream user can hit: kernel crashes mid-launch,
+device memory exhaustion at each layer, use-after-close, stale bindings.
+After every failure the allocator invariants must still hold — a crash
+may lose the operation, never the device.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaMachine, cudaError, global_
+from repro.cupp import (
+    CuppLaunchError,
+    CuppMemoryError,
+    CuppUsageError,
+    Device,
+    DeviceVector,
+    Kernel,
+    Ref,
+    Vector,
+)
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st
+
+
+def tiny_machine(mem=1 << 20):
+    return CudaMachine([scaled_arch("t", 2, memory_bytes=mem)])
+
+
+@global_
+def crashing_kernel(ctx, v: Ref[DeviceVector]):
+    i = ctx.global_thread_id
+    _ = yield ld(v.view, i)
+    if i == 7:
+        raise RuntimeError("injected fault")
+    yield op(OpClass.IADD)
+
+
+@global_
+def local_spill_then_crash(ctx):
+    scratch = ctx.local_array("scratch", np.float32, 16)
+    yield st(scratch, 0, 1.0)
+    raise RuntimeError("injected fault after local alloc")
+    yield op(OpClass.IADD)  # pragma: no cover
+
+
+class TestKernelCrash:
+    def test_crash_surfaces_as_launch_error(self):
+        dev = Device(machine=tiny_machine())
+        v = Vector(np.zeros(32, np.float32))
+        with pytest.raises(CuppLaunchError):
+            Kernel(crashing_kernel, 1, 32)(dev, v)
+
+    def test_allocator_consistent_after_crash(self):
+        dev = Device(machine=tiny_machine())
+        v = Vector(np.zeros(32, np.float32))
+        try:
+            Kernel(crashing_kernel, 1, 32)(dev, v)
+        except CuppLaunchError:
+            pass
+        dev.sim.memory.check_invariants()
+        # The device keeps working.
+        ptr = dev.alloc(256)
+        dev.free(ptr)
+
+    def test_local_memory_released_after_crash(self):
+        # The compiler's local-spill allocations must not leak when the
+        # kernel dies (the executor frees them in a finally block).
+        from repro.cuda import CudaRuntime
+
+        rt = CudaRuntime(tiny_machine())
+        before = rt.device.memory.allocation_count
+        rt.cudaConfigureCall(1, 4)
+        assert rt.cudaLaunch(local_spill_then_crash) is cudaError.cudaErrorLaunchFailure
+        assert rt.device.memory.allocation_count == before
+        rt.device.memory.check_invariants()
+
+    def test_next_launch_succeeds_after_crash(self):
+        dev = Device(machine=tiny_machine())
+        v = Vector(np.zeros(32, np.float32))
+        with pytest.raises(CuppLaunchError):
+            Kernel(crashing_kernel, 1, 32)(dev, v)
+
+        @global_
+        def fine(ctx, v: Ref[DeviceVector]):
+            i = ctx.global_thread_id
+            yield st(v.view, i, float(i))
+
+        Kernel(fine, 1, 32)(dev, v)
+        np.testing.assert_array_equal(
+            v.to_numpy(), np.arange(32, dtype=np.float32)
+        )
+
+
+class TestMemoryExhaustion:
+    def test_vector_upload_oom_raises_cleanly(self):
+        dev = Device(machine=tiny_machine(mem=1 << 14))  # 16 KiB device
+        huge = Vector(np.zeros(1 << 13, np.float32))  # 32 KiB payload
+        with pytest.raises(CuppMemoryError):
+            huge.transform(dev)
+        dev.sim.memory.check_invariants()
+
+    def test_oom_then_smaller_allocation_works(self):
+        dev = Device(machine=tiny_machine(mem=1 << 14))
+        with pytest.raises(CuppMemoryError):
+            dev.alloc(1 << 20)
+        ptr = dev.alloc(1 << 10)
+        dev.free(ptr)
+
+    def test_fragmentation_reported_as_oom(self):
+        dev = Device(machine=tiny_machine(mem=1 << 14))
+        total_free = dev.free_memory
+        a = dev.alloc(total_free // 4)
+        b = dev.alloc(total_free // 4)
+        c = dev.alloc(total_free // 4)
+        dev.free(b)  # free space exists, but split in two
+        with pytest.raises(CuppMemoryError):
+            dev.alloc(total_free // 2)
+        dev.sim.memory.check_invariants()
+
+
+class TestLifetimeMisuse:
+    def test_kernel_on_closed_device(self):
+        dev = Device(machine=tiny_machine())
+        v = Vector(np.zeros(32, np.float32))
+        dev.close()
+
+        @global_
+        def noop(ctx, v: Ref[DeviceVector]):
+            yield op(OpClass.IADD)
+
+        with pytest.raises(CuppUsageError):
+            Kernel(noop, 1, 32)(dev, v)
+
+    def test_vector_survives_its_device(self):
+        # Closing the device reclaims the vector's device block; the host
+        # data remains usable (it was valid when the device vanished).
+        dev = Device(machine=tiny_machine())
+        v = Vector(np.arange(8, dtype=np.float32))
+        v.transform(dev)
+        host_copy = v.to_numpy()
+        dev.close()
+        np.testing.assert_array_equal(v.to_numpy(), host_copy)
+
+    def test_memcpy_into_freed_block_fails_not_corrupts(self):
+        dev = Device(machine=tiny_machine())
+        ptr = dev.alloc(64)
+        dev.free(ptr)
+        with pytest.raises(CuppMemoryError):
+            dev.upload(ptr, np.zeros(16, np.float32))
+        dev.sim.memory.check_invariants()

@@ -1,0 +1,185 @@
+"""The §3.3 integration problems, demonstrated — then solved by CuPP.
+
+The paper's motivation chapter argues raw CUDA + C++ breaks down in
+specific ways.  Each test first *reproduces the failure mode* with the
+raw runtime, then shows the CuPP feature that removes it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaMachine, CudaRuntime, cudaError, global_
+from repro.cupp import (
+    Boxed,
+    ConstRef,
+    Device,
+    DeviceVector,
+    Kernel,
+    Ref,
+    Vector,
+)
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st
+from repro.simgpu.memory import InvalidDeviceAccess
+
+
+def machine():
+    return CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 21)])
+
+
+class TestShallowCopyProblem:
+    """§3.3: "passing any object using pointers to a kernel results in
+    invalid pointers when using the automatically generated copy
+    constructor" — the shallow-copy trap."""
+
+    def test_raw_cuda_shallow_copy_hands_the_device_a_host_pointer(self):
+        # A C++-style struct holding a pointer to HOST data.
+        class HostStruct:
+            def __init__(self, payload):
+                self.payload_ptr = payload  # "pointer" to host memory
+
+        rt = CudaRuntime(machine())
+        host_data = np.arange(4, dtype=np.float32)
+        obj = HostStruct(host_data)
+
+        captured = {}
+
+        @global_
+        def kernel(ctx, s):
+            # The byte-wise copy delivered the *host* pointer; on real
+            # hardware dereferencing it is garbage.  Our simulator makes
+            # the hazard visible: it is not device memory at all.
+            captured["ptr"] = s.payload_ptr
+            yield op(OpClass.IADD)
+
+        rt.cudaConfigureCall(1, 1)
+        rt.cudaSetupArgument(obj, 0, size=4)
+        assert rt.cudaLaunch(kernel).ok
+        # The kernel got a host array — nothing device-resident.
+        assert captured["ptr"] is host_data
+        with pytest.raises(InvalidDeviceAccess):
+            rt.device.memory._resolve(captured["ptr"], 4)  # not mapped
+
+    def test_cupp_transform_fixes_it(self):
+        # The CuPP answer (§4.4): the type's transform() moves the payload
+        # to global memory and hands the kernel a *device* view.
+        dev = Device(machine=machine())
+
+        class HostStruct:
+            def __init__(self, payload):
+                self.payload = payload
+
+            def transform(self, device):
+                from repro.cupp import Memory1D
+
+                self._mem = Memory1D.from_host(device, self.payload)
+                return DeviceVector(self._mem.view())
+
+        total = {}
+
+        @global_
+        def kernel(ctx, v: HostStruct):
+            s = 0.0
+            for j in range(len(v)):
+                s += (yield ld(v.view, j))
+                yield op(OpClass.FADD)
+            total["sum"] = s
+
+        Kernel(kernel, 1, 1)(dev, HostStruct(np.arange(4, dtype=np.float32)))
+        assert total["sum"] == 6.0
+
+
+class TestErrorCodeProblem:
+    """§4.2: raw CUDA reports through return codes the caller can drop;
+    CuPP throws."""
+
+    def test_raw_cuda_error_is_silently_ignorable(self):
+        rt = CudaRuntime(machine())
+        err, ptr = rt.cudaMalloc(1 << 30)  # fails...
+        assert err is cudaError.cudaErrorMemoryAllocation
+        # ...and nothing stops the caller from sailing on with None.
+        assert ptr is None
+
+    def test_cupp_raises_instead(self):
+        from repro.cupp import CuppMemoryError
+
+        dev = Device(machine=machine())
+        with pytest.raises(CuppMemoryError):
+            dev.alloc(1 << 30)
+
+
+class TestManualProtocolProblem:
+    """§3.2.2's three-step launch with byte offsets vs cupp.Kernel."""
+
+    def test_raw_protocol_accepts_silently_wrong_offsets(self):
+        # Pushing arguments at swapped offsets is perfectly legal C —
+        # and quietly gives the kernel swapped parameters.
+        rt = CudaRuntime(machine())
+        seen = {}
+
+        @global_
+        def kernel(ctx, a, b):
+            seen["a"], seen["b"] = a, b
+            yield op(OpClass.IADD)
+
+        rt.cudaConfigureCall(1, 1)
+        rt.cudaSetupArgument(1, 4, size=4)  # meant to be first...
+        rt.cudaSetupArgument(2, 0, size=4)
+        rt.cudaLaunch(kernel)
+        assert seen == {"a": 2, "b": 1}  # swapped, no error anywhere
+
+    def test_cupp_kernel_orders_by_signature(self):
+        dev = Device(machine=machine())
+        seen = {}
+
+        @global_
+        def kernel(ctx, a: int, b: int):
+            seen["a"], seen["b"] = a, b
+            yield op(OpClass.IADD)
+
+        Kernel(kernel, 1, 1)(dev, 1, 2)
+        assert seen == {"a": 1, "b": 2}
+
+
+class TestManualTransferProblem:
+    """§4.6: without lazy copying every launch needs hand-written
+    memcpys; forgetting the copy-back silently computes on stale data."""
+
+    def test_raw_cuda_stale_readback(self):
+        from repro.cuda import cudaMemcpyKind
+
+        rt = CudaRuntime(machine())
+        data = np.arange(8, dtype=np.float32)
+        err, ptr = rt.cudaMalloc(32)
+        rt.cudaMemcpy(ptr, data, 32, cudaMemcpyKind.cudaMemcpyHostToDevice)
+
+        from repro.simgpu.memory import DeviceArrayView
+
+        view = DeviceArrayView(rt.device.memory, ptr, np.dtype(np.float32), 8)
+
+        @global_
+        def double(ctx, v):
+            i = ctx.global_thread_id
+            x = yield ld(v, i)
+            yield st(v, i, x * 2)
+
+        rt.cudaConfigureCall(1, 8)
+        rt.cudaSetupArgument(view, 0, size=8)
+        rt.cudaLaunch(double)
+        # The developer forgot cudaMemcpy back: host data is stale and
+        # nothing complains.
+        assert (data == np.arange(8, dtype=np.float32)).all()
+
+    def test_cupp_vector_cannot_go_stale(self):
+        dev = Device(machine=machine())
+        v = Vector(np.arange(8, dtype=np.float32))
+
+        @global_
+        def double(ctx, v: Ref[DeviceVector]):
+            i = ctx.global_thread_id
+            x = yield ld(v.view, i)
+            yield st(v.view, i, x * 2)
+
+        Kernel(double, 1, 8)(dev, v)
+        # Any host read transparently fetches the fresh data (§4.6).
+        assert v[3] == 6.0

@@ -1,0 +1,69 @@
+"""ArchSpec: the paper's hardware constants and derived quantities."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.simgpu import ATHLON64_3700, ArchSpec, G80_8800GTS, scaled_arch
+
+
+class TestG80Spec:
+    def test_total_processors_is_96(self):
+        # §5.3: "The GPU offers a total number of 12 multiprocessors, each
+        # offering 8 processors. This results in a total of 96 processors."
+        assert G80_8800GTS.total_processors == 96
+
+    def test_warp_needs_4_cycles_per_instruction(self):
+        # §2.2: warp size 32 over 8 processors -> at least 4 clock cycles.
+        assert G80_8800GTS.cycles_per_warp_instruction == 4
+
+    def test_clock_rates_match_paper(self):
+        # §5.3: GPU at 500 MHz, processors at 1200 MHz.
+        assert G80_8800GTS.core_clock_hz == 500e6
+        assert G80_8800GTS.shader_clock_hz == 1200e6
+
+    def test_memory_is_640_mib(self):
+        assert G80_8800GTS.device_memory_bytes == 640 * 1024 * 1024
+
+    def test_block_limit_is_512_threads(self):
+        # §2.2: "A user-defined number of threads (<= 512)".
+        assert G80_8800GTS.max_threads_per_block == 512
+
+    def test_cc_1_0_has_no_atomics(self):
+        assert not G80_8800GTS.supports_atomics
+
+    def test_peak_gflops_order_of_magnitude_above_cpu(self):
+        # Fig 1.1: roughly a factor of 10 between GPU and CPU peak.
+        ratio = G80_8800GTS.peak_gflops / ATHLON64_3700.peak_gflops
+        assert ratio > 10
+
+    def test_bandwidth_per_core_cycle(self):
+        assert G80_8800GTS.bytes_per_core_cycle == pytest.approx(128.0)
+
+
+class TestValidation:
+    def test_warp_must_divide_into_processors(self):
+        with pytest.raises(ConfigurationError):
+            ArchSpec(warp_size=30, processors_per_mp=8)
+
+
+class TestScaledArch:
+    def test_scaling_multiprocessors(self):
+        small = scaled_arch("half", 6)
+        assert small.multiprocessors == 6
+        assert small.total_processors == 48
+        assert small.warp_size == G80_8800GTS.warp_size
+
+    def test_bandwidth_scale(self):
+        part = scaled_arch("narrow-bus", 12, bandwidth_scale=0.5)
+        assert part.memory_bandwidth_bytes_per_s == pytest.approx(32e9)
+
+    def test_memory_override(self):
+        part = scaled_arch("big-mem", 16, memory_bytes=1 << 30)
+        assert part.device_memory_bytes == 1 << 30
+
+
+class TestCpuSpec:
+    def test_athlon_single_core_2200mhz(self):
+        # §5.3: "The CPU is a single core CPU running at 2200 MHz."
+        assert ATHLON64_3700.cores == 1
+        assert ATHLON64_3700.clock_hz == 2200e6

@@ -1,0 +1,74 @@
+"""Shared-memory bank conflicts — the ">=" in Table 2.2's shared row."""
+
+import numpy as np
+import pytest
+
+from repro.simgpu import OpClass, SimDevice
+from repro.simgpu.isa import lds, sts
+
+
+def launch_shared_reads(device, index_fn, threads=16, words=256):
+    def kernel(ctx):
+        sh = ctx.shared_array("s", np.float32, words)
+        _ = yield lds(sh, index_fn(ctx.thread_idx.x))
+
+    return device.launch(kernel, 1, threads, ())
+
+
+class TestBankConflicts:
+    def test_sequential_is_conflict_free(self, device):
+        # Thread k -> word k: 16 threads over 16 banks.
+        r = launch_shared_reads(device, lambda t: t)
+        assert r.profile.shared_bank_conflicts == 0
+        assert r.profile.op_counts[OpClass.SHARED_READ] == 1
+
+    def test_broadcast_is_free(self, device):
+        # All threads read the same word: hardware broadcast.
+        r = launch_shared_reads(device, lambda t: 0)
+        assert r.profile.shared_bank_conflicts == 0
+
+    def test_stride_2_gives_2_way_conflict(self, device):
+        r = launch_shared_reads(device, lambda t: t * 2)
+        assert r.profile.op_counts[OpClass.SHARED_READ] == 2
+        assert r.profile.shared_bank_conflicts == 1
+
+    def test_stride_16_is_worst_case(self, device):
+        # Everyone hits bank 0 with distinct words: 16-way serialization.
+        r = launch_shared_reads(device, lambda t: t * 16)
+        assert r.profile.op_counts[OpClass.SHARED_READ] == 16
+        assert r.profile.shared_bank_conflicts == 15
+
+    def test_odd_stride_is_conflict_free(self, device):
+        # Stride coprime with 16 cycles through all banks — the classic
+        # padding trick.
+        r = launch_shared_reads(device, lambda t: (t * 3) % 48)
+        assert r.profile.shared_bank_conflicts == 0
+
+    def test_conflicts_counted_per_half_warp(self, device):
+        # 32 threads, thread k -> word k: each half-warp is conflict-free
+        # even though lanes 0 and 16 share bank 0 (different half-warps).
+        r = launch_shared_reads(device, lambda t: t, threads=32, words=256)
+        assert r.profile.shared_bank_conflicts == 0
+
+    def test_writes_conflict_too(self, device):
+        def kernel(ctx):
+            sh = ctx.shared_array("s", np.float32, 256)
+            yield sts(sh, ctx.thread_idx.x * 16, 1.0)
+
+        r = device.launch(kernel, 1, 16, ())
+        assert r.profile.op_counts[OpClass.SHARED_WRITE] == 16
+
+    def test_boids_tile_pattern_stays_fast(self, device):
+        """The v2 kernel's two shared patterns are both conflict-safe:
+        the staging writes stride by 3 floats (coprime with 16) and the
+        scan reads broadcast — tiling never pays the serialization."""
+        from repro.simgpu.devicelib import lds_vec3, sts_vec3
+
+        def kernel(ctx):
+            sh = ctx.shared_array("tile", np.float32, 32 * 3)
+            yield from sts_vec3(sh, ctx.thread_idx.x, (1.0, 2.0, 3.0))
+            for t in range(4):
+                _ = yield from lds_vec3(sh, t)
+
+        r = device.launch(kernel, 1, 32, ())
+        assert r.profile.shared_bank_conflicts == 0

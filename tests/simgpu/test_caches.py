@@ -1,0 +1,157 @@
+"""Constant memory, texture references, and their cache models."""
+
+import numpy as np
+import pytest
+
+from repro.simgpu import OpClass, SimDevice
+from repro.simgpu.caches import (
+    CacheSim,
+    ConstantMemory,
+    ConstantMemoryError,
+    TextureReference,
+)
+from repro.simgpu.isa import ldc, ldt, op
+from repro.simgpu.memory import DeviceArrayView, InvalidDeviceAccess
+
+
+class TestConstantMemory:
+    def test_symbol_roundtrip(self, device):
+        sym = device.constant.alloc_symbol(np.float32, 8)
+        device.constant.write(sym.offset, np.arange(8, dtype=np.float32))
+        np.testing.assert_array_equal(sym._raw(), np.arange(8, dtype=np.float32))
+
+    def test_capacity_is_64k(self, device):
+        assert device.constant.capacity == 64 * 1024
+
+    def test_exhaustion(self):
+        cm = ConstantMemory(256)
+        cm.alloc_symbol(np.float32, 32)  # 128 bytes
+        cm.alloc_symbol(np.float32, 32)  # 256 bytes
+        with pytest.raises(ConstantMemoryError):
+            cm.alloc_symbol(np.float32, 1)
+
+    def test_out_of_bounds_index(self, device):
+        sym = device.constant.alloc_symbol(np.float32, 4)
+        with pytest.raises(InvalidDeviceAccess):
+            sym.addr_of(4)
+
+
+class TestConstantReads:
+    def test_broadcast_costs_one_issue(self, device):
+        sym = device.constant.alloc_symbol(np.float32, 4)
+        device.constant.write(sym.offset, np.array([7.0, 0, 0, 0], np.float32))
+        seen = []
+
+        def kernel(ctx):
+            v = yield ldc(sym, 0)  # every thread, same address
+            seen.append(v)
+
+        result = device.launch(kernel, 1, 32, ())
+        assert seen == [7.0] * 32
+        # One warp, one distinct address -> one CONSTANT_READ issue.
+        assert result.profile.op_counts[OpClass.CONSTANT_READ] == 1
+
+    def test_distinct_addresses_serialize(self, device):
+        sym = device.constant.alloc_symbol(np.float32, 32)
+        device.constant.write(sym.offset, np.arange(32, dtype=np.float32))
+
+        def kernel(ctx):
+            _ = yield ldc(sym, ctx.thread_idx.x)  # 32 distinct addresses
+
+        result = device.launch(kernel, 1, 32, ())
+        # Each distinct address is its own issue — why constant memory
+        # only suits uniform lookups.
+        assert result.profile.op_counts[OpClass.CONSTANT_READ] == 32
+
+    def test_repeat_reads_hit_the_cache(self, device):
+        sym = device.constant.alloc_symbol(np.float32, 4)
+
+        def kernel(ctx):
+            for _ in range(10):
+                _ = yield ldc(sym, 0)
+
+        result = device.launch(kernel, 1, 32, ())
+        assert result.profile.constant_misses == 1  # first line touch
+        assert result.profile.constant_hits == 9
+
+
+class TestTextureReads:
+    def _view(self, device, n=64):
+        ptr = device.memory.alloc(4 * n)
+        device.memory.copy_in(ptr, np.arange(n, dtype=np.float32))
+        return DeviceArrayView(device.memory, ptr, np.dtype(np.float32), n)
+
+    def test_fetch_returns_bound_data(self, device):
+        tex = TextureReference(self._view(device))
+        got = []
+
+        def kernel(ctx):
+            v = yield ldt(tex, ctx.thread_idx.x)
+            got.append(v)
+
+        device.launch(kernel, 1, 8, ())
+        assert got == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+
+    def test_unbound_fetch_fails(self, device):
+        tex = TextureReference()
+
+        def kernel(ctx):
+            _ = yield ldt(tex, 0)
+
+        from repro.simgpu import KernelFault
+
+        with pytest.raises(Exception):
+            device.launch(kernel, 1, 1, ())
+
+    def test_streaming_reuse_hits_cache(self, device):
+        # The Boids tile pattern: every thread scans the same sequence.
+        tex = TextureReference(self._view(device, 64))
+
+        def kernel(ctx):
+            for j in range(64):
+                _ = yield ldt(tex, j)
+
+        result = device.launch(kernel, 1, 32, ())
+        # 64 floats = 8 32-byte lines -> 8 misses; everything else hits.
+        assert result.profile.texture_misses == 8
+        assert result.profile.texture_hits == 32 * 64 - 8
+        # Misses became device-memory transactions.
+        assert result.profile.global_read_transactions == 8
+
+    def test_texture_traffic_beats_uncoalesced_global(self, device):
+        """The ch. 7 motivation in one number: same scan, ~1000x less
+        device-memory traffic through the texture cache."""
+        view = self._view(device, 64)
+        tex = TextureReference(view)
+
+        def tex_kernel(ctx):
+            for j in range(64):
+                _ = yield ldt(tex, j)
+
+        def global_kernel(ctx):
+            from repro.simgpu.isa import ld
+
+            for j in range(64):
+                _ = yield ld(view, j)
+
+        r_tex = device.launch(tex_kernel, 1, 32, ())
+        r_glob = device.launch(global_kernel, 1, 32, ())
+        assert r_glob.profile.bytes_read > 100 * r_tex.profile.bytes_read
+
+
+class TestCacheSim:
+    def test_fifo_eviction(self):
+        c = CacheSim(capacity_bytes=64, line_bytes=32)  # 2 lines
+        assert not c.access(0)
+        assert not c.access(32)
+        assert c.access(0)  # hit
+        assert not c.access(64)  # evicts line 0 (FIFO)
+        assert not c.access(0)  # miss again
+
+    def test_counters(self):
+        c = CacheSim(1024, 32)
+        c.access(0)
+        c.access(4)
+        c.access(31)
+        assert c.misses == 1
+        assert c.hits == 2

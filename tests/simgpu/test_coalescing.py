@@ -1,0 +1,131 @@
+"""CC 1.0 coalescing rules: the memory-transaction accounting that makes
+the version-1 neighbor search memory-bound (paper §6.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.simgpu import OpClass
+from repro.simgpu.isa import ld, st
+from repro.simgpu.memory import DeviceArrayView
+from repro.simgpu.warp import MIN_TRANSACTION_BYTES
+
+
+def make_array(device, dtype, count):
+    ptr = device.memory.alloc(np.dtype(dtype).itemsize * count)
+    return DeviceArrayView(device.memory, ptr, np.dtype(dtype), count)
+
+
+class TestReadCoalescing:
+    def test_sequential_float32_coalesces(self, device):
+        arr = make_array(device, np.float32, 32)
+
+        def kernel(ctx, arr):
+            _ = yield ld(arr, ctx.global_thread_id)
+
+        result = device.launch(kernel, 1, 32, (arr,))
+        # One warp = two half-warps, each a single transaction.
+        assert result.profile.global_read_transactions == 2
+        assert result.profile.bytes_read == 2 * 16 * 4
+
+    def test_same_address_does_not_coalesce(self, device):
+        # Every thread reads element 0 — the version-1 neighbor-search
+        # pattern. G80 serializes: one transaction per thread.
+        arr = make_array(device, np.float32, 32)
+
+        def kernel(ctx, arr):
+            _ = yield ld(arr, 0)
+
+        result = device.launch(kernel, 1, 32, (arr,))
+        assert result.profile.global_read_transactions == 32
+        assert result.profile.bytes_read == 32 * MIN_TRANSACTION_BYTES
+
+    def test_strided_access_does_not_coalesce(self, device):
+        arr = make_array(device, np.float32, 96)
+
+        def kernel(ctx, arr):
+            _ = yield ld(arr, ctx.global_thread_id * 3)  # float3 stride
+
+        result = device.launch(kernel, 1, 32, (arr,))
+        assert result.profile.global_read_transactions == 32
+
+    def test_misaligned_base_does_not_coalesce(self, device):
+        arr = make_array(device, np.float32, 64)
+
+        def kernel(ctx, arr):
+            _ = yield ld(arr, ctx.global_thread_id + 1)  # off by one element
+
+        result = device.launch(kernel, 1, 32, (arr,))
+        assert result.profile.global_read_transactions == 32
+
+    def test_partial_warp_counts_active_threads_only(self, device):
+        arr = make_array(device, np.float32, 8)
+
+        def kernel(ctx, arr):
+            _ = yield ld(arr, ctx.global_thread_id)
+
+        result = device.launch(kernel, 1, 8, (arr,))
+        # 8 active threads in the first half-warp, sequential & aligned.
+        assert result.profile.global_read_transactions == 1
+
+    def test_float64_coalesces(self, device):
+        arr = make_array(device, np.float64, 32)
+
+        def kernel(ctx, arr):
+            _ = yield ld(arr, ctx.global_thread_id)
+
+        result = device.launch(kernel, 1, 32, (arr,))
+        assert result.profile.global_read_transactions == 2
+        assert result.profile.bytes_read == 2 * 16 * 8
+
+
+class TestWriteAccounting:
+    def test_sequential_write_coalesces(self, device):
+        arr = make_array(device, np.float32, 32)
+
+        def kernel(ctx, arr):
+            yield st(arr, ctx.global_thread_id, 1.0)
+
+        result = device.launch(kernel, 1, 32, (arr,))
+        assert result.profile.global_write_transactions == 2
+        assert result.profile.op_counts[OpClass.GLOBAL_WRITE] == 1
+
+    def test_scattered_write_pays_per_thread(self, device):
+        arr = make_array(device, np.float32, 1024)
+
+        def kernel(ctx, arr):
+            i = ctx.global_thread_id
+            yield st(arr, (i * 37) % 1024, 1.0)
+
+        result = device.launch(kernel, 1, 32, (arr,))
+        assert result.profile.global_write_transactions == 32
+
+
+class TestTrafficScaling:
+    def test_v1_vs_v2_pattern_traffic_ratio(self, device):
+        """The broadcast pattern moves ~32x the bytes of the tiled one —
+        the root cause of the paper's 3.3x v1->v2 speedup."""
+        n = 64
+        arr = make_array(device, np.float32, n)
+
+        def broadcast(ctx, arr):
+            for j in range(n):
+                _ = yield ld(arr, j)
+
+        def tiled(ctx, arr):
+            from repro.simgpu.isa import lds, sts, sync as s
+
+            sh = ctx.shared_array("tile", np.float32, 32)
+            for base in range(0, n, 32):
+                v = yield ld(arr, base + ctx.thread_idx.x)
+                yield sts(sh, ctx.thread_idx.x, v)
+                yield s()
+                for j in range(32):
+                    _ = yield lds(sh, j)
+                yield s()
+
+        r1 = device.launch(broadcast, 1, 32, (arr,))
+        r2 = device.launch(tiled, 1, 32, (arr,))
+        assert r1.profile.bytes_read == 32 * MIN_TRANSACTION_BYTES * n
+        assert r2.profile.bytes_read == (n // 32) * 2 * 16 * 4
+        # 65536 vs 256 bytes: a 256x traffic reduction from tiling.
+        assert r1.profile.bytes_read / r2.profile.bytes_read == pytest.approx(256.0)

@@ -1,0 +1,97 @@
+"""Property tests of the coalescing analysis and the perf model."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.simgpu import (
+    G80_8800GTS,
+    KernelCostInputs,
+    SimDevice,
+    kernel_time,
+    scaled_arch,
+)
+from repro.simgpu.isa import ld
+from repro.simgpu.memory import DeviceArrayView
+
+
+def launch_with_index_map(index_map: "list[int]"):
+    device = SimDevice(scaled_arch("t", 2, memory_bytes=1 << 20))
+    arr_count = max(index_map) + 1
+    ptr = device.memory.alloc(4 * arr_count)
+    view = DeviceArrayView(device.memory, ptr, np.dtype(np.float32), arr_count)
+
+    def kernel(ctx):
+        _ = yield ld(view, index_map[ctx.global_thread_id])
+
+    return device.launch(kernel, 1, len(index_map), ())
+
+
+class TestCoalescingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=32, max_size=32))
+    def test_transaction_bounds(self, index_map):
+        """For any warp access pattern: between 2 (fully coalesced, one
+        per half-warp) and 32 (one per thread) transactions."""
+        result = launch_with_index_map(index_map)
+        t = result.profile.global_read_transactions
+        assert 2 <= t <= 32
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=32, max_size=32))
+    def test_bytes_account_for_every_transaction(self, index_map):
+        result = launch_with_index_map(index_map)
+        p = result.profile
+        # Every transaction moves at least the 32-byte minimum segment.
+        assert p.bytes_read >= p.global_read_transactions * 32 or (
+            p.global_read_transactions == 2 and p.bytes_read >= 2 * 64
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 200))
+    def test_sequential_always_coalesces(self, base_misalign):
+        # Aligned sequential access is the only 2-transaction pattern.
+        index_map = list(range(0, 32))
+        result = launch_with_index_map(index_map)
+        assert result.profile.global_read_transactions == 2
+
+
+class TestPerfModelProperties:
+    def _inputs(self, **overrides):
+        base = dict(
+            blocks=12,
+            threads_per_block=128,
+            issue_cycles=1_000_000,
+            global_reads=1000,
+            bytes_moved=1_000_000,
+        )
+        base.update(overrides)
+        return KernelCostInputs(**base)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 50))
+    def test_more_bytes_never_faster(self, factor):
+        slow = kernel_time(self._inputs(bytes_moved=1_000_000 * factor))
+        fast = kernel_time(self._inputs())
+        assert slow.total_s >= fast.total_s
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 50))
+    def test_more_issue_never_faster(self, factor):
+        slow = kernel_time(self._inputs(issue_cycles=1_000_000 * factor))
+        fast = kernel_time(self._inputs())
+        assert slow.total_s >= fast.total_s
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 16), st.integers(1, 16))
+    def test_more_multiprocessors_never_slower(self, small_mp, extra):
+        inputs = self._inputs(blocks=64)
+        slow = kernel_time(inputs, scaled_arch("small", small_mp))
+        fast = kernel_time(inputs, scaled_arch("big", small_mp + extra))
+        assert fast.total_s <= slow.total_s * (1 + 1e-12)
+
+    def test_time_is_positive(self):
+        t = kernel_time(self._inputs())
+        assert t.total_s > 0
+        assert t.t_issue_s > 0

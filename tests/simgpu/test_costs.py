@@ -1,0 +1,72 @@
+"""Cost table: Table 2.2 of the paper, instruction by instruction."""
+
+from repro.simgpu import G80_COSTS, OpClass
+from repro.simgpu.costs import CostTable, FLOP_CLASSES
+
+
+class TestTable22:
+    """Each row of Table 2.2 as a direct assertion."""
+
+    def test_fadd_fmul_fmad_iadd_cost_4(self):
+        for op in (OpClass.FADD, OpClass.FMUL, OpClass.FMAD, OpClass.IADD):
+            assert G80_COSTS.serialized_cost(op) == 4
+
+    def test_bitwise_compare_minmax_cost_4(self):
+        for op in (OpClass.BITWISE, OpClass.COMPARE, OpClass.MINMAX):
+            assert G80_COSTS.serialized_cost(op) == 4
+
+    def test_reciprocal_and_rsqrt_cost_16(self):
+        assert G80_COSTS.serialized_cost(OpClass.RCP) == 16
+        assert G80_COSTS.serialized_cost(OpClass.RSQRT) == 16
+
+    def test_register_access_is_free(self):
+        assert G80_COSTS.serialized_cost(OpClass.REGISTER) == 0
+
+    def test_shared_memory_at_least_4(self):
+        assert G80_COSTS.serialized_cost(OpClass.SHARED_READ) >= 4
+        assert G80_COSTS.serialized_cost(OpClass.SHARED_WRITE) >= 4
+
+    def test_global_read_in_400_600_band(self):
+        cost = G80_COSTS.serialized_cost(OpClass.GLOBAL_READ)
+        assert G80_COSTS.global_read_latency_min <= cost
+        assert cost <= G80_COSTS.global_read_latency_max
+
+    def test_global_read_order_of_magnitude_above_arithmetic(self):
+        # §2.3: "Reading from device memory costs an order of magnitude
+        # more than any other instruction."
+        read = G80_COSTS.serialized_cost(OpClass.GLOBAL_READ)
+        others = [
+            G80_COSTS.serialized_cost(op)
+            for op in OpClass
+            if op is not OpClass.GLOBAL_READ
+        ]
+        assert read >= 10 * max(others)
+
+    def test_sync_base_cost_equals_an_addition(self):
+        # §2.3: "Synchronizing ... has almost the same cost as an addition."
+        assert G80_COSTS.serialized_cost(OpClass.SYNC) == G80_COSTS.serialized_cost(
+            OpClass.FADD
+        )
+
+    def test_global_write_is_fire_and_forget(self):
+        # §2.3: writes only occupy the issue slot, unlike reads.
+        assert G80_COSTS.serialized_cost(OpClass.GLOBAL_WRITE) == 4
+
+
+class TestIssueCost:
+    def test_issue_cost_never_includes_read_latency(self):
+        assert G80_COSTS.issue_cost(OpClass.GLOBAL_READ) == 4
+
+    def test_custom_table(self):
+        table = CostTable(global_read_latency=450, shared_cycles=6)
+        assert table.serialized_cost(OpClass.GLOBAL_READ) == 450
+        assert table.issue_cost(OpClass.SHARED_READ) == 6
+
+
+class TestFlopClasses:
+    def test_fmad_counts_as_flop(self):
+        assert OpClass.FMAD in FLOP_CLASSES
+
+    def test_integer_ops_are_not_flops(self):
+        assert OpClass.IADD not in FLOP_CLASSES
+        assert OpClass.BITWISE not in FLOP_CLASSES

@@ -1,0 +1,106 @@
+"""Device runtime library math functions (§3.1.4)."""
+
+import math
+
+import pytest
+
+from repro.simgpu import OpClass, SimDevice
+from repro.simgpu import devicelib as dl
+
+
+def run1(device, gen_fn):
+    out = []
+
+    def kernel(ctx):
+        out.append((yield from gen_fn()))
+
+    result = device.launch(kernel, 1, 1, ())
+    return out[0], result.profile
+
+
+class TestTranscendentals:
+    @pytest.mark.parametrize(
+        "fn,x,expected",
+        [
+            (dl.sinf, math.pi / 6, 0.5),
+            (dl.cosf, math.pi / 3, 0.5),
+            (dl.expf, 0.0, 1.0),
+            (dl.logf, math.e, 1.0),
+        ],
+    )
+    def test_values(self, device, fn, x, expected):
+        val, profile = run1(device, lambda: fn(x))
+        assert val == pytest.approx(expected)
+        assert profile.op_counts[OpClass.TRANSCENDENTAL] == 1
+
+    def test_sfu_cost_matches_rsqrt_class(self, device):
+        from repro.simgpu import G80_COSTS
+
+        _, p = run1(device, lambda: dl.sinf(1.0))
+        assert p.serialized_cycles(G80_COSTS) == 16
+
+
+class TestReciprocalAndSqrt:
+    def test_rcp(self, device):
+        val, p = run1(device, lambda: dl.rcp(4.0))
+        assert val == 0.25
+        assert p.op_counts[OpClass.RCP] == 1
+
+    def test_rcp_of_zero(self, device):
+        val, _ = run1(device, lambda: dl.rcp(0.0))
+        assert val == 0.0
+
+    def test_sqrtf_is_rsqrt_plus_mul(self, device):
+        val, p = run1(device, lambda: dl.sqrtf(9.0))
+        assert val == pytest.approx(3.0)
+        assert p.op_counts[OpClass.RSQRT] == 1
+        assert p.op_counts[OpClass.FMUL] == 1
+
+
+class TestConversions:
+    def test_float2int_rounds_toward_zero(self, device):
+        assert run1(device, lambda: dl.float2int(2.9))[0] == 2
+        assert run1(device, lambda: dl.float2int(-2.9))[0] == -2
+
+    def test_int2float(self, device):
+        val, p = run1(device, lambda: dl.int2float(7))
+        assert val == 7.0
+        assert isinstance(val, float)
+        assert p.op_counts[OpClass.CONVERT] == 1
+
+
+class TestMinMaxClamp:
+    def test_fminf_fmaxf(self, device):
+        assert run1(device, lambda: dl.fminf(2.0, 3.0))[0] == 2.0
+        assert run1(device, lambda: dl.fmaxf(2.0, 3.0))[0] == 3.0
+
+    def test_minmax_cost_4(self, device):
+        from repro.simgpu import G80_COSTS
+
+        _, p = run1(device, lambda: dl.fminf(1.0, 2.0))
+        assert p.serialized_cycles(G80_COSTS) == 4
+
+    @pytest.mark.parametrize(
+        "x,expected", [(5.0, 3.0), (-5.0, 0.0), (1.5, 1.5)]
+    )
+    def test_clampf(self, device, x, expected):
+        val, p = run1(device, lambda: dl.clampf(x, 0.0, 3.0))
+        assert val == expected
+        assert p.op_counts[OpClass.MINMAX] == 2
+
+
+class TestAutoLoad:
+    def test_ld_auto_defaults_to_global(self, device):
+        import numpy as np
+
+        from repro.cupp.vector import DeviceVector
+        from repro.simgpu.memory import DeviceArrayView
+
+        ptr = device.memory.alloc(16)
+        device.memory.copy_in(ptr, np.array([1.0, 2.0, 3.0, 4.0], np.float32))
+        dv = DeviceVector(
+            DeviceArrayView(device.memory, ptr, np.dtype(np.float32), 4)
+        )
+        val, p = run1(device, lambda: dl.ld_auto(dv, 2))
+        assert val == 3.0
+        assert p.global_reads == 1

@@ -1,0 +1,68 @@
+"""Dim3 / make_dim3 / index unflattening."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.simgpu import Dim3, as_dim3, make_dim3
+from repro.simgpu.block import unflatten
+
+
+class TestDim3:
+    def test_defaults_to_one(self):
+        # §3.1.3: components left unspecified get the value 1 (dim3).
+        assert Dim3() == Dim3(1, 1, 1)
+        assert Dim3(5) == Dim3(5, 1, 1)
+
+    def test_volume(self):
+        assert Dim3(4, 3, 2).volume == 24
+        assert Dim3(0, 5, 5).volume == 0
+
+    def test_iteration(self):
+        assert tuple(Dim3(1, 2, 3)) == (1, 2, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dim3(-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dim3(1.5)  # type: ignore[arg-type]
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            Dim3(1).x = 2
+
+
+class TestCoercion:
+    def test_make_dim3(self):
+        assert make_dim3(10, 10) == Dim3(10, 10, 1)
+
+    def test_as_dim3_from_int(self):
+        assert as_dim3(7) == Dim3(7, 1, 1)
+
+    def test_as_dim3_from_tuple(self):
+        assert as_dim3((2, 3)) == Dim3(2, 3, 1)
+
+    def test_as_dim3_passthrough(self):
+        d = Dim3(1, 2, 3)
+        assert as_dim3(d) is d
+
+
+class TestUnflatten:
+    def test_x_fastest(self):
+        # CUDA flattens x-fastest: flat = x + y*Dx + z*Dx*Dy.
+        dim = Dim3(4, 3, 2)
+        assert unflatten(0, dim) == Dim3(0, 0, 0)
+        assert unflatten(1, dim) == Dim3(1, 0, 0)
+        assert unflatten(4, dim) == Dim3(0, 1, 0)
+        assert unflatten(12, dim) == Dim3(0, 0, 1)
+        assert unflatten(23, dim) == Dim3(3, 2, 1)
+
+    def test_roundtrip_covers_block(self):
+        dim = Dim3(5, 4, 3)
+        seen = set()
+        for flat in range(dim.volume):
+            c = unflatten(flat, dim)
+            assert 0 <= c.x < 5 and 0 <= c.y < 4 and 0 <= c.z < 3
+            seen.add(tuple(c))
+        assert len(seen) == dim.volume

@@ -1,0 +1,160 @@
+"""Device memory: allocator behaviour, pointer semantics, transfers."""
+
+import numpy as np
+import pytest
+
+from repro.simgpu.memory import (
+    ALLOC_ALIGN,
+    BASE_ADDRESS,
+    DeviceMemory,
+    DevicePtr,
+    InvalidDeviceAccess,
+    InvalidFree,
+    NULL_PTR,
+    OutOfDeviceMemory,
+)
+
+
+@pytest.fixture
+def mem() -> DeviceMemory:
+    return DeviceMemory(64 * 1024)
+
+
+class TestAllocation:
+    def test_alloc_returns_aligned_nonnull(self, mem):
+        p = mem.alloc(100)
+        assert p
+        assert p.addr % ALLOC_ALIGN == 0
+        assert p.addr >= BASE_ADDRESS
+
+    def test_distinct_allocations_do_not_overlap(self, mem):
+        a = mem.alloc(1000)
+        b = mem.alloc(1000)
+        assert abs(a.addr - b.addr) >= 1000
+        mem.check_invariants()
+
+    def test_zero_byte_alloc_is_valid(self, mem):
+        p = mem.alloc(0)
+        assert p
+        mem.free(p)
+
+    def test_negative_alloc_rejected(self, mem):
+        with pytest.raises(Exception):
+            mem.alloc(-1)
+
+    def test_exhaustion_raises_out_of_memory(self, mem):
+        with pytest.raises(OutOfDeviceMemory):
+            mem.alloc(1 << 30)
+
+    def test_free_then_realloc_reuses_space(self, mem):
+        p = mem.alloc(1024)
+        addr = p.addr
+        mem.free(p)
+        q = mem.alloc(1024)
+        assert q.addr == addr
+
+    def test_adjacent_frees_coalesce(self, mem):
+        a = mem.alloc(1024)
+        b = mem.alloc(1024)
+        c = mem.alloc(1024)
+        mem.free(a)
+        mem.free(c)
+        mem.free(b)  # middle free must merge both neighbours
+        mem.check_invariants()
+        big = mem.alloc(3 * 1024)
+        assert big.addr == a.addr
+
+    def test_free_null_is_noop(self, mem):
+        mem.free(NULL_PTR)
+
+    def test_double_free_raises(self, mem):
+        p = mem.alloc(10)
+        mem.free(p)
+        with pytest.raises(InvalidFree):
+            mem.free(p)
+
+    def test_free_interior_pointer_raises(self, mem):
+        p = mem.alloc(1024)
+        with pytest.raises(InvalidFree):
+            mem.free(p + 256)
+
+    def test_free_all_releases_everything(self, mem):
+        for _ in range(5):
+            mem.alloc(512)
+        assert mem.allocation_count == 5
+        mem.free_all()
+        assert mem.allocation_count == 0
+        assert mem.allocated_bytes == 0
+        mem.check_invariants()
+
+
+class TestPointerSemantics:
+    def test_pointer_arithmetic(self, mem):
+        p = mem.alloc(100)
+        q = p + 12
+        assert q.addr == p.addr + 12
+        assert (q - p) == 12
+
+    def test_null_pointer_is_falsy(self):
+        assert not NULL_PTR
+        assert DevicePtr(0x1000)
+
+    def test_host_dereference_is_rejected(self, mem):
+        # §3.2.3: "Deferring a pointer returned by cudaMalloc on the host
+        # side is undefined" — we make it an immediate error.
+        p = mem.alloc(100)
+        with pytest.raises(InvalidDeviceAccess):
+            p[0]
+
+
+class TestTransfers:
+    def test_roundtrip_preserves_bytes(self, mem):
+        p = mem.alloc(64)
+        data = np.arange(16, dtype=np.float32)
+        mem.copy_in(p, data)
+        back = mem.copy_out(p, 64).view(np.float32)
+        np.testing.assert_array_equal(back, data)
+
+    def test_copy_with_offset_pointer(self, mem):
+        p = mem.alloc(64)
+        mem.copy_in(p + 8, np.array([7.5], dtype=np.float64))
+        back = mem.copy_out(p + 8, 8).view(np.float64)
+        assert back[0] == 7.5
+
+    def test_device_to_device_copy(self, mem):
+        src = mem.alloc(32)
+        dst = mem.alloc(32)
+        mem.copy_in(src, np.arange(8, dtype=np.int32))
+        mem.copy_device_to_device(dst, src, 32)
+        np.testing.assert_array_equal(
+            mem.copy_out(dst, 32).view(np.int32), np.arange(8, dtype=np.int32)
+        )
+
+    def test_overrun_is_rejected(self, mem):
+        p = mem.alloc(16)
+        with pytest.raises(InvalidDeviceAccess):
+            mem.copy_out(p, ALLOC_ALIGN + 1)
+
+    def test_unmapped_address_rejected(self, mem):
+        with pytest.raises(InvalidDeviceAccess):
+            mem.copy_out(DevicePtr(4), 4)
+
+    def test_host_pointer_rejected(self, mem):
+        with pytest.raises(InvalidDeviceAccess):
+            mem.copy_out(0x2000, 4)  # a bare int is a host-side value
+
+    def test_freed_memory_not_readable(self, mem):
+        p = mem.alloc(32)
+        mem.free(p)
+        with pytest.raises(InvalidDeviceAccess):
+            mem.copy_out(p, 4)
+
+
+class TestIntrospection:
+    def test_accounting(self, mem):
+        before_free = mem.free_bytes
+        p = mem.alloc(1000)
+        assert mem.allocated_bytes == 1024  # aligned up
+        assert mem.free_bytes == before_free - 1024
+        mem.free(p)
+        assert mem.free_bytes == before_free

@@ -1,0 +1,88 @@
+"""Property-based tests of the device-memory allocator (hypothesis).
+
+The allocator must never hand out overlapping blocks, must account every
+byte, and must coalesce free ranges — under *any* interleaving of allocs
+and frees.  A stateful hypothesis machine drives random interleavings and
+re-checks the invariants after every step.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.simgpu.memory import (
+    DeviceMemory,
+    DevicePtr,
+    OutOfDeviceMemory,
+)
+
+CAPACITY = 1 << 16
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.mem = DeviceMemory(CAPACITY)
+        self.live: list[DevicePtr] = []
+
+    @rule(nbytes=st.integers(min_value=0, max_value=CAPACITY // 4))
+    def alloc(self, nbytes):
+        try:
+            ptr = self.mem.alloc(nbytes)
+        except OutOfDeviceMemory:
+            # Legal under fragmentation; invariants still checked below.
+            return
+        assert all(ptr.addr != p.addr for p in self.live)
+        self.live.append(ptr)
+
+    @rule(data=st.data())
+    def free_one(self, data):
+        if not self.live:
+            return
+        idx = data.draw(st.integers(0, len(self.live) - 1))
+        self.mem.free(self.live.pop(idx))
+
+    @rule()
+    def free_all(self):
+        self.mem.free_all()
+        self.live.clear()
+
+    @invariant()
+    def address_space_is_partitioned(self):
+        if hasattr(self, "mem"):
+            self.mem.check_invariants()
+
+    @invariant()
+    def accounting_matches(self):
+        if hasattr(self, "mem"):
+            assert self.mem.allocation_count == len(self.live)
+
+
+AllocatorMachine.TestCase.settings = settings(
+    max_examples=40,
+    stateful_step_count=30,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+TestAllocatorProperties = AllocatorMachine.TestCase
+
+
+class TestAllocFreeCycle:
+    @pytest.mark.parametrize("order", ["fifo", "lifo"])
+    def test_full_cycle_restores_all_memory(self, order):
+        # Deterministic complement to the stateful machine.
+        mem = DeviceMemory(CAPACITY)
+        baseline = mem.free_bytes
+        ptrs = [mem.alloc(s) for s in (100, 256, 1, 4095, 512)]
+        if order == "lifo":
+            ptrs.reverse()
+        for p in ptrs:
+            mem.free(p)
+        assert mem.free_bytes == baseline
+        mem.check_invariants()

@@ -1,0 +1,55 @@
+"""The latency-hiding formula vs a cycle-stepping scheduler."""
+
+import pytest
+
+from repro.simgpu.mpsim import analytic_prediction, simulate_mp
+
+
+class TestScheduler:
+    def test_single_warp_exposes_full_latency(self):
+        r = simulate_mp(warps=1, reads_per_warp=10, gap_cycles=40)
+        # Each read blocks the only warp for ~the whole latency.
+        assert r.idle_cycles >= 10 * (500 - 40) * 0.9
+        assert r.utilization < 0.2
+
+    def test_many_warps_hide_everything(self):
+        r = simulate_mp(warps=24, reads_per_warp=10, gap_cycles=40)
+        # 23 other warps x 44 cycles > 500: no idle slots (after warm-up).
+        assert r.idle_cycles <= 500  # at most one warm-up exposure
+        assert r.utilization > 0.95
+
+    def test_utilization_monotone_in_warps(self):
+        utils = [
+            simulate_mp(w, 10, 40).utilization for w in (1, 2, 4, 8, 16, 24)
+        ]
+        assert utils == sorted(utils)
+
+    def test_total_is_at_least_the_issue_work(self):
+        for w in (1, 3, 9):
+            r = simulate_mp(w, 5, 20)
+            assert r.total_cycles >= r.issue_cycles
+            assert r.issue_cycles == w * 5 * (20 + 4)
+
+
+class TestFormulaValidation:
+    @pytest.mark.parametrize("warps", [1, 2, 4, 8, 16, 24])
+    @pytest.mark.parametrize("gap", [8, 40, 120])
+    def test_analytic_matches_schedule(self, warps, gap):
+        reads = 20
+        sim = simulate_mp(warps, reads, gap)
+        model = analytic_prediction(warps, reads, gap)
+        # The formula is a steady-state approximation; hold it to 15%
+        # plus one latency of warm-up slack.
+        assert sim.total_cycles == pytest.approx(model, rel=0.15, abs=600), (
+            f"W={warps} g={gap}: simulated {sim.total_cycles}, "
+            f"model {model:.0f}"
+        )
+
+    def test_crossover_warp_count(self):
+        # The formula says hiding completes when (W-1)*(g+4) >= L.
+        gap = 60
+        w_star = 1 + -(-500 // (gap + 4))  # ceil
+        below = simulate_mp(w_star - 2, 20, gap)
+        above = simulate_mp(w_star + 2, 20, gap)
+        assert below.idle_cycles > above.idle_cycles
+        assert above.utilization > 0.95

@@ -1,0 +1,121 @@
+"""Pseudo-PTX tracing: the §6.2.3 local-memory detective tool."""
+
+import numpy as np
+import pytest
+
+from repro.simgpu import OpClass, SimDevice
+from repro.simgpu.isa import ld, op, st, sync
+from repro.simgpu.memory import DeviceArrayView
+from repro.simgpu.ptx import find_local_spills, trace_kernel
+
+
+@pytest.fixture
+def scratch(device):
+    ptr = device.memory.alloc(4 * 64)
+    return device, DeviceArrayView(device.memory, ptr, np.dtype(np.float32), 64)
+
+
+class TestTraceKernel:
+    def test_arithmetic_rendered(self, scratch):
+        device, _ = scratch
+
+        def k(ctx):
+            yield op(OpClass.FADD, 2)
+            yield op(OpClass.RSQRT)
+
+        trace = trace_kernel(k, (), device=device)
+        listing = trace.listing()
+        assert listing.count("add.f32") == 2
+        assert "rsqrt.f32" in listing
+        assert listing.startswith(".entry k")
+
+    def test_memory_ops_rendered(self, scratch):
+        device, arr = scratch
+
+        def k(ctx, a):
+            v = yield ld(a, 0)
+            yield st(a, 1, v)
+
+        trace = trace_kernel(k, (arr,), device=device)
+        assert "ld.global.f32" in trace.listing()
+        assert "st.global.f32" in trace.listing()
+
+    def test_sync_rendered_as_bar(self, scratch):
+        device, _ = scratch
+
+        def k(ctx):
+            yield op(OpClass.IADD)
+            yield sync()
+
+        trace = trace_kernel(k, (), threads=2, device=device)
+        assert "bar.sync 0" in trace.listing()
+
+    def test_shared_declarations_listed(self, scratch):
+        device, _ = scratch
+
+        def k(ctx):
+            ctx.shared_array("tile", np.float32, 8)
+            yield op(OpClass.IADD)
+
+        trace = trace_kernel(k, (), device=device)
+        assert trace.shared_arrays == {"tile": 32}
+        assert ".shared .align 4 .b8 __shared_tile[32];" in trace.listing()
+
+    def test_kernel_side_effects_happen(self, scratch):
+        device, arr = scratch
+
+        def k(ctx, a):
+            yield st(a, 5, 42.0)
+
+        trace_kernel(k, (arr,), device=device)
+        assert device.memory.view(arr.ptr, np.float32, 64)[5] == 42.0
+
+
+class TestLocalSpillDetection:
+    def test_spilling_kernel_detected(self, scratch):
+        device, _ = scratch
+
+        def spilling(ctx):
+            cache = ctx.local_array("cache", np.float32, 28)
+            yield st(cache, 0, 1.0)
+
+        trace = trace_kernel(spilling, (), device=device)
+        assert trace.spills_to_device_memory
+        assert trace.local_arrays == {"cache": 112}
+        assert ".local .align 4 .b8 __local_cache[112];" in trace.listing()
+
+    def test_clean_kernel_reports_no_spills(self, scratch):
+        device, _ = scratch
+
+        def clean(ctx):
+            yield op(OpClass.FADD)
+
+        assert find_local_spills(clean, ()) == {}
+
+    def test_v3_spill_found_v4_clean(self):
+        """The paper's actual investigation (§6.2.2): version 3's neighbor
+        cache lives in local memory; version 4's does not."""
+        import numpy as np
+
+        from repro.cupp.vector import DeviceVector
+        from repro.gpusteer import simulate_v3, simulate_v4
+
+        device = SimDevice()
+
+        def make_vec(count):
+            ptr = device.memory.alloc(4 * count)
+            return DeviceVector(
+                DeviceArrayView(device.memory, ptr, np.dtype(np.float32), count)
+            )
+
+        n = 32
+        positions = make_vec(3 * n)
+        forwards = make_vec(3 * n)
+        steering = make_vec(3 * n)
+        args = (positions, forwards, 9.0, 12.0, 8.0, 8.0, steering)
+
+        v3_spills = find_local_spills(simulate_v3, args, threads=32)
+        v4_spills = find_local_spills(simulate_v4, args, threads=32)
+        assert "neighbor_cache" in v3_spills
+        assert v3_spills["neighbor_cache"] == 7 * 4 * 4  # 7 slots x 4 floats
+        assert v4_spills == {}

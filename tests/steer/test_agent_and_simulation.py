@@ -1,0 +1,213 @@
+"""Agent vehicle model, world wrap, staged main loop, think frequency."""
+
+import numpy as np
+import pytest
+
+from repro.steer import (
+    Agent,
+    BoidsParams,
+    DEFAULT_PARAMS,
+    ReferenceSimulation,
+    Simulation,
+    Vec3,
+    apply_steering,
+    draw_matrix,
+    spawn_agents,
+    think_cohort,
+    wrap_spherical,
+)
+
+PARAMS = DEFAULT_PARAMS
+
+
+class TestVehicleModel:
+    def make_agent(self):
+        return Agent(position=Vec3(), forward=Vec3(1, 0, 0), speed=2.0)
+
+    def test_steering_accelerates(self):
+        a = self.make_agent()
+        apply_steering(a, Vec3(10, 0, 0), PARAMS)
+        assert a.speed > 2.0
+        assert a.position.x > 0
+
+    def test_force_clipped_to_max(self):
+        a = self.make_agent()
+        b = self.make_agent()
+        apply_steering(a, Vec3(1e6, 0, 0), PARAMS)
+        apply_steering(b, Vec3(PARAMS.max_force, 0, 0), PARAMS)
+        assert a.speed == pytest.approx(b.speed)
+
+    def test_speed_clipped_to_max(self):
+        a = self.make_agent()
+        for _ in range(200):
+            apply_steering(a, Vec3(PARAMS.max_force, 0, 0), PARAMS)
+        assert a.speed <= PARAMS.max_speed * (1 + 1e-9)
+
+    def test_forward_follows_velocity(self):
+        a = self.make_agent()
+        apply_steering(a, Vec3(0, 1e3, 0), PARAMS)
+        assert a.forward.y > 0
+        assert a.forward.length() == pytest.approx(1.0)
+
+    def test_zero_steering_is_straight_flight(self):
+        a = self.make_agent()
+        apply_steering(a, Vec3(), PARAMS)
+        assert a.position.distance(Vec3(2.0 * PARAMS.dt, 0, 0)) < 1e-12
+        assert a.forward == Vec3(1, 0, 0)
+
+    def test_smoothing_gate_on_first_step(self):
+        # First step applies the raw acceleration; later steps blend.
+        a = self.make_agent()
+        apply_steering(a, Vec3(10, 0, 0), PARAMS)
+        first = a.smoothed_accel
+        apply_steering(a, Vec3(10, 0, 0), PARAMS)
+        second = a.smoothed_accel
+        assert first.x == pytest.approx(10.0)
+        assert second.x == pytest.approx(10.0)  # blend of equal values
+
+
+class TestWorldWrap:
+    def test_inside_unchanged(self):
+        p = Vec3(10, 0, 0)
+        assert wrap_spherical(p, 50.0) == p
+
+    def test_outside_mirrors_to_opposite_point(self):
+        # §5.1: re-enter at the diametric opposite point.
+        p = Vec3(51, 0, 0)
+        assert wrap_spherical(p, 50.0) == Vec3(-51, 0, 0)
+
+    def test_boundary_is_inside(self):
+        p = Vec3(50, 0, 0)
+        assert wrap_spherical(p, 50.0) == p
+
+
+class TestSpawn:
+    def test_deterministic_given_seed(self):
+        a = spawn_agents(16, PARAMS, seed=42)
+        b = spawn_agents(16, PARAMS, seed=42)
+        assert all(
+            x.position == y.position and x.forward == y.forward
+            for x, y in zip(a, b)
+        )
+
+    def test_all_inside_world(self):
+        for agent in spawn_agents(64, PARAMS, seed=1):
+            assert agent.position.length() <= PARAMS.world_radius
+            assert agent.forward.length() == pytest.approx(1.0)
+
+
+class TestThinkCohort:
+    def test_disabled_means_everyone(self):
+        assert len(think_cohort(100, 3, 1)) == 100
+
+    def test_tenth_of_agents_per_step(self):
+        sizes = [len(think_cohort(100, s, 10)) for s in range(10)]
+        assert sizes == [10] * 10
+
+    def test_cohorts_partition_population(self):
+        seen = np.concatenate([think_cohort(100, s, 10) for s in range(10)])
+        assert sorted(seen) == list(range(100))
+
+    def test_cycle_repeats(self):
+        np.testing.assert_array_equal(
+            think_cohort(64, 0, 10), think_cohort(64, 10, 10)
+        )
+
+
+class TestSimulationEngines:
+    def test_numpy_matches_reference_one_step(self):
+        n = 24
+        ref = ReferenceSimulation(n, PARAMS, seed=9)
+        fast = Simulation(n, PARAMS, seed=9, engine="numpy")
+        ref.update()
+        fast.update()
+        a, b = ref.state_snapshot(), fast.state_snapshot()
+        np.testing.assert_allclose(a["positions"], b["positions"], atol=1e-9)
+        np.testing.assert_allclose(a["forwards"], b["forwards"], atol=1e-9)
+        np.testing.assert_allclose(a["speeds"], b["speeds"], atol=1e-9)
+
+    def test_numpy_matches_reference_several_steps(self):
+        n = 16
+        ref = ReferenceSimulation(n, PARAMS, seed=3)
+        fast = Simulation(n, PARAMS, seed=3, engine="numpy")
+        for _ in range(5):
+            ref.update()
+            fast.update()
+        a, b = ref.state_snapshot(), fast.state_snapshot()
+        np.testing.assert_allclose(a["positions"], b["positions"], atol=1e-6)
+
+    def test_kdtree_engine_matches_numpy_engine(self):
+        n = 40
+        a = Simulation(n, PARAMS, seed=5, engine="numpy")
+        b = Simulation(n, PARAMS, seed=5, engine="kdtree")
+        for _ in range(3):
+            a.update()
+            b.update()
+        np.testing.assert_allclose(
+            a.positions, b.positions, atol=1e-9
+        )
+
+    def test_think_frequency_equivalence(self):
+        # With think frequency, the reference and numpy engines still agree.
+        params = PARAMS.with_think_frequency(4)
+        ref = ReferenceSimulation(12, params, seed=2)
+        fast = Simulation(12, params, seed=2, engine="numpy")
+        for _ in range(6):
+            ref.update()
+            fast.update()
+        np.testing.assert_allclose(
+            ref.state_snapshot()["positions"], fast.positions, atol=1e-6
+        )
+
+    def test_agents_stay_in_world(self):
+        sim = Simulation(64, PARAMS, seed=7, engine="numpy")
+        sim.run(20)
+        radii = np.linalg.norm(sim.positions, axis=1)
+        # One step past the boundary is possible before wrapping; bound it.
+        assert radii.max() <= PARAMS.world_radius + PARAMS.max_speed * PARAMS.dt
+
+    def test_speeds_bounded(self):
+        sim = Simulation(64, PARAMS, seed=7, engine="numpy")
+        sim.run(20)
+        assert sim.speeds.max() <= PARAMS.max_speed * (1 + 1e-9)
+
+    def test_flock_polarizes_over_time(self):
+        # Emergent group behaviour (§5.1): alignment drives the flock
+        # toward a common heading, raising global polarization
+        # |mean(forward)| — the classic Boids order parameter.  Use a
+        # denser world so agents actually interact.
+        import dataclasses
+
+        dense = dataclasses.replace(PARAMS, world_radius=18.0)
+        sim = Simulation(128, dense, seed=11, engine="kdtree")
+
+        def polarization():
+            return float(np.linalg.norm(sim.forwards.mean(axis=0)))
+
+        before = polarization()
+        sim.run(80)
+        assert polarization() > before
+
+    def test_profile_accumulates(self):
+        sim = Simulation(32, PARAMS, seed=1, engine="numpy")
+        sim.run(3)
+        assert sim.profile.cycles["neighbor_search"] > 0
+        assert sim.profile.cycles["draw"] > 0
+
+    def test_draw_matrices_shape_and_orthonormality(self):
+        sim = Simulation(8, PARAMS, seed=4, engine="numpy")
+        sim.update()
+        mats = sim.draw_stage()
+        assert mats.shape == (8, 4, 4)
+        rot = mats[:, :3, :3]
+        eye = np.einsum("nij,nkj->nik", rot, rot)
+        np.testing.assert_allclose(eye, np.broadcast_to(np.eye(3), (8, 3, 3)), atol=1e-9)
+
+    def test_reference_draw_matrix_matches_numpy(self):
+        ref = ReferenceSimulation(6, PARAMS, seed=8)
+        fast = Simulation(6, PARAMS, seed=8, engine="numpy")
+        ref.update()
+        fast.update()
+        ref_mats = np.array(ref.draw_matrices())
+        fast_mats = fast.draw_stage()
+        np.testing.assert_allclose(ref_mats, fast_mats, atol=1e-9)

@@ -1,0 +1,190 @@
+"""The wider OpenSteer behavior library (seek/flee/pursue/evade/arrival/
+wander/obstacle avoidance/path following)."""
+
+import math
+
+import pytest
+
+from repro.steer.behaviors_extra import (
+    Wander,
+    arrival,
+    avoid_sphere,
+    evade,
+    flee,
+    follow_path,
+    pursue,
+    seek,
+)
+from repro.steer.vec3 import Vec3
+
+MAX_SPEED = 9.0
+ORIGIN = Vec3()
+STILL = Vec3()
+
+
+class TestSeekFlee:
+    def test_seek_points_at_target(self):
+        s = seek(ORIGIN, STILL, Vec3(10, 0, 0), MAX_SPEED)
+        assert s.normalize().distance(Vec3(1, 0, 0)) < 1e-12
+        assert s.length() == pytest.approx(MAX_SPEED)
+
+    def test_flee_points_away(self):
+        s = flee(ORIGIN, STILL, Vec3(10, 0, 0), MAX_SPEED)
+        assert s.normalize().distance(Vec3(-1, 0, 0)) < 1e-12
+
+    def test_seek_corrects_current_velocity(self):
+        # Moving sideways: the steering must cancel the lateral component.
+        s = seek(ORIGIN, Vec3(0, 5, 0), Vec3(10, 0, 0), MAX_SPEED)
+        assert s.y < 0
+
+    def test_seek_and_flee_are_opposite(self):
+        target = Vec3(3, 4, 5)
+        a = seek(ORIGIN, STILL, target, MAX_SPEED)
+        b = flee(ORIGIN, STILL, target, MAX_SPEED)
+        assert (a + b).length() < 1e-9
+
+
+class TestPursueEvade:
+    def test_pursuit_leads_a_crossing_target(self):
+        # Target ahead moving +y: pure seek points +x, pursuit must lead
+        # it and gain a +y component.
+        s_seek = seek(ORIGIN, STILL, Vec3(10, 0, 0), MAX_SPEED)
+        s_pursue = pursue(ORIGIN, STILL, Vec3(10, 0, 0), Vec3(0, 5, 0), MAX_SPEED)
+        assert s_seek.y == pytest.approx(0.0)
+        assert s_pursue.y > 0
+
+    def test_pursuit_of_static_target_is_seek(self):
+        a = pursue(ORIGIN, STILL, Vec3(10, 2, 0), STILL, MAX_SPEED)
+        b = seek(ORIGIN, STILL, Vec3(10, 2, 0), MAX_SPEED)
+        assert a.distance(b) < 1e-9
+
+    def test_evade_mirrors_pursuit(self):
+        p = pursue(ORIGIN, STILL, Vec3(10, 0, 0), Vec3(0, 5, 0), MAX_SPEED)
+        e = evade(ORIGIN, STILL, Vec3(10, 0, 0), Vec3(0, 5, 0), MAX_SPEED)
+        assert (p + e).length() < 1e-9
+
+
+class TestArrival:
+    def test_far_away_is_full_speed_seek(self):
+        s = arrival(ORIGIN, STILL, Vec3(100, 0, 0), MAX_SPEED, slowing_distance=10)
+        assert s.length() == pytest.approx(MAX_SPEED)
+
+    def test_decelerates_inside_slowing_radius(self):
+        s = arrival(ORIGIN, STILL, Vec3(5, 0, 0), MAX_SPEED, slowing_distance=10)
+        assert s.length() == pytest.approx(MAX_SPEED / 2)
+
+    def test_parks_on_the_target(self):
+        s = arrival(Vec3(1, 1, 1), Vec3(2, 0, 0), Vec3(1, 1, 1), MAX_SPEED, 10)
+        assert s == Vec3(-2, 0, 0)  # cancels the residual velocity
+
+    def test_converges_in_simulation(self):
+        # Integrate a toy point mass: it must settle near the target.
+        pos, vel = Vec3(), Vec3()
+        target = Vec3(20, 0, 0)
+        for _ in range(600):
+            steer = arrival(pos, vel, target, MAX_SPEED, slowing_distance=8)
+            vel = (vel + steer * (1 / 30)).truncate_length(MAX_SPEED)
+            pos = pos + vel * (1 / 30)
+        assert pos.distance(target) < 1.0
+        assert vel.length() < 1.5
+
+
+class TestWander:
+    def test_deterministic_given_seed(self):
+        w1, w2 = Wander(seed=5), Wander(seed=5)
+        f = Vec3(1, 0, 0)
+        for _ in range(10):
+            assert w1(f).distance(w2(f)) < 1e-12
+
+    def test_steering_stays_bounded(self):
+        w = Wander(wander_radius=1.0, wander_distance=2.0, seed=1)
+        f = Vec3(0, 0, 1)
+        for _ in range(200):
+            s = w(f)
+            assert s.length() <= 3.0 + 1e-9  # distance + radius
+
+    def test_direction_varies_over_time(self):
+        w = Wander(seed=2)
+        f = Vec3(1, 0, 0)
+        outputs = {w(f).normalize().as_tuple() for _ in range(50)}
+        assert len(outputs) > 10  # it actually wanders
+
+    def test_biased_ahead(self):
+        # The wander circle sits in front of the agent.
+        w = Wander(wander_radius=1.0, wander_distance=3.0, seed=3)
+        f = Vec3(1, 0, 0)
+        assert all(w(f).x > 0 for _ in range(100))
+
+
+class TestObstacleAvoidance:
+    def test_clear_path_needs_no_steering(self):
+        s = avoid_sphere(
+            ORIGIN, Vec3(1, 0, 0), 5.0, Vec3(0, 50, 0), 3.0, 0.5, 2.0
+        )
+        assert s == Vec3()
+
+    def test_obstacle_behind_is_ignored(self):
+        s = avoid_sphere(
+            ORIGIN, Vec3(1, 0, 0), 5.0, Vec3(-10, 0, 0), 3.0, 0.5, 2.0
+        )
+        assert s == Vec3()
+
+    def test_collision_course_steers_laterally(self):
+        s = avoid_sphere(
+            ORIGIN, Vec3(1, 0, 0), 5.0, Vec3(8, 1.0, 0), 3.0, 0.5, 2.0
+        )
+        assert s.y < 0  # away from the off-center obstacle
+        assert abs(s.dot(Vec3(1, 0, 0))) < 1e-9  # purely lateral
+
+    def test_dead_center_still_escapes(self):
+        s = avoid_sphere(
+            ORIGIN, Vec3(1, 0, 0), 5.0, Vec3(8, 0, 0), 3.0, 0.5, 2.0
+        )
+        assert s.length() > 0
+        assert abs(s.dot(Vec3(1, 0, 0))) < 1e-9
+
+    def test_avoidance_prevents_collision_in_simulation(self):
+        pos, fwd, speed = Vec3(), Vec3(1, 0, 0), 6.0
+        center, radius = Vec3(12, 0.5, 0), 3.0
+        min_clearance = math.inf
+        vel = fwd * speed
+        for _ in range(200):
+            s = avoid_sphere(pos, vel.normalize(), vel.length(), center, radius, 0.5, 2.0)
+            vel = (vel + s * (1 / 30)).truncate_length(9.0)
+            pos = pos + vel * (1 / 30)
+            min_clearance = min(min_clearance, pos.distance(center) - radius)
+        assert min_clearance > 0.3  # never hit the sphere
+
+
+class TestPathFollowing:
+    WAYPOINTS = [Vec3(10, 0, 0), Vec3(10, 10, 0), Vec3(0, 10, 0)]
+
+    def test_seeks_current_waypoint(self):
+        s, idx = follow_path(ORIGIN, STILL, self.WAYPOINTS, 0, 1.0, MAX_SPEED)
+        assert idx == 0
+        assert s.normalize().distance(Vec3(1, 0, 0)) < 1e-9
+
+    def test_advances_on_arrival(self):
+        near_first = Vec3(9.5, 0, 0)
+        _s, idx = follow_path(near_first, STILL, self.WAYPOINTS, 0, 1.0, MAX_SPEED)
+        assert idx == 1
+
+    def test_last_waypoint_uses_arrival(self):
+        # Close to the final waypoint the steering must decelerate.
+        near_last = Vec3(0.5, 10, 0)
+        s, idx = follow_path(near_last, STILL, self.WAYPOINTS, 2, 1.0, MAX_SPEED)
+        assert idx == 2
+        assert s.length() < MAX_SPEED
+
+    def test_traverses_whole_path_in_simulation(self):
+        pos, vel, idx = Vec3(), Vec3(), 0
+        for _ in range(900):
+            s, idx = follow_path(pos, vel, self.WAYPOINTS, idx, 1.5, MAX_SPEED)
+            vel = (vel + s * (1 / 30)).truncate_length(MAX_SPEED)
+            pos = pos + vel * (1 / 30)
+        assert idx == len(self.WAYPOINTS) - 1
+        assert pos.distance(self.WAYPOINTS[-1]) < 2.0
+
+    def test_empty_path(self):
+        s, idx = follow_path(ORIGIN, STILL, [], 0, 1.0, MAX_SPEED)
+        assert s == Vec3() and idx == 0

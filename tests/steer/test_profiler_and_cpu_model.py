@@ -1,0 +1,75 @@
+"""Stage profiler and the Athlon CPU cost model."""
+
+import pytest
+
+from repro.steer import CpuCostModel, DEFAULT_CPU_MODEL, STAGES, StageProfile
+
+
+class TestStageProfile:
+    def test_shares_sum_to_one(self):
+        p = StageProfile()
+        p.add("neighbor_search", 820)
+        p.add("steering", 130)
+        p.add("modification", 50)
+        assert sum(p.breakdown().values()) == pytest.approx(1.0)
+
+    def test_update_share_excludes_draw(self):
+        p = StageProfile()
+        p.add("neighbor_search", 80)
+        p.add("steering", 20)
+        p.add("draw", 900)
+        assert p.update_share("neighbor_search") == pytest.approx(0.8)
+        assert p.share("neighbor_search") == pytest.approx(0.08)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(KeyError):
+            StageProfile().add("render", 1)
+
+    def test_empty_profile_has_zero_shares(self):
+        p = StageProfile()
+        assert p.share("draw") == 0.0
+        assert p.update_share("steering") == 0.0
+
+    def test_merge(self):
+        a, b = StageProfile(), StageProfile()
+        a.add("draw", 10)
+        b.add("draw", 5)
+        b.add("steering", 1)
+        merged = a.merged(b)
+        assert merged.cycles["draw"] == 15
+        assert merged.cycles["steering"] == 1
+        assert a.cycles["draw"] == 10  # originals untouched
+
+    def test_stage_names_cover_the_pipeline(self):
+        assert ("neighbor_search", "steering", "modification", "draw") == STAGES[:4]
+
+
+class TestCpuCostModel:
+    def test_neighbor_search_is_quadratic(self):
+        m = DEFAULT_CPU_MODEL
+        assert m.neighbor_search_cycles(2000, 2000) == pytest.approx(
+            4 * m.neighbor_search_cycles(1000, 1000)
+        )
+
+    def test_think_frequency_scales_thinkers_only(self):
+        m = DEFAULT_CPU_MODEL
+        full = m.update_cycles(1000, 1000)
+        tenth = m.update_cycles(1000, 100)
+        # Modification + overhead unchanged; search+steering scale by 10.
+        saved = full - tenth
+        expected = 0.9 * (
+            m.neighbor_search_cycles(1000, 1000) + m.steering_cycles(1000)
+        )
+        assert saved == pytest.approx(expected)
+
+    def test_seconds_uses_cpu_clock(self):
+        m = DEFAULT_CPU_MODEL
+        assert m.seconds(m.cpu.clock_hz) == pytest.approx(1.0)
+
+    def test_draw_is_linear(self):
+        m = DEFAULT_CPU_MODEL
+        assert m.draw_seconds(2000) == pytest.approx(2 * m.draw_seconds(1000))
+
+    def test_custom_constants(self):
+        m = CpuCostModel(cycles_per_candidate=100.0)
+        assert m.neighbor_search_cycles(10, 10) == 10_000

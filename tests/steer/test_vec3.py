@@ -1,0 +1,107 @@
+"""Vec3 algebra: unit tests + hypothesis property tests."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.steer import UNIT_X, UNIT_Y, UNIT_Z, Vec3, ZERO
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+vec3s = st.builds(Vec3, finite, finite, finite)
+
+
+class TestBasics:
+    def test_defaults_to_zero(self):
+        assert Vec3() == ZERO
+
+    def test_arithmetic(self):
+        a, b = Vec3(1, 2, 3), Vec3(4, 5, 6)
+        assert a + b == Vec3(5, 7, 9)
+        assert b - a == Vec3(3, 3, 3)
+        assert a * 2 == Vec3(2, 4, 6)
+        assert 2 * a == Vec3(2, 4, 6)
+        assert a / 2 == Vec3(0.5, 1.0, 1.5)
+        assert -a == Vec3(-1, -2, -3)
+
+    def test_dot_and_cross(self):
+        assert Vec3(1, 2, 3).dot(Vec3(4, 5, 6)) == 32
+        assert UNIT_X.cross(UNIT_Y) == UNIT_Z
+
+    def test_length(self):
+        assert Vec3(3, 4, 0).length() == pytest.approx(5.0)
+        assert Vec3(3, 4, 0).length_squared() == pytest.approx(25.0)
+
+    def test_distance(self):
+        assert Vec3(1, 0, 0).distance(Vec3(4, 4, 0)) == pytest.approx(5.0)
+
+    def test_normalize_zero_is_zero(self):
+        assert ZERO.normalize() == ZERO
+
+    def test_truncate_length(self):
+        v = Vec3(6, 8, 0)
+        assert v.truncate_length(5).length() == pytest.approx(5.0)
+        assert v.truncate_length(100) == v
+
+    def test_components(self):
+        v = Vec3(3, 4, 0)
+        par = v.parallel_component(UNIT_X)
+        perp = v.perpendicular_component(UNIT_X)
+        assert par == Vec3(3, 0, 0)
+        assert perp == Vec3(0, 4, 0)
+
+    def test_tuple_roundtrip(self):
+        v = Vec3(1.5, -2.5, 3.5)
+        assert Vec3.from_tuple(v.as_tuple()) == v
+
+    def test_immutability(self):
+        with pytest.raises(Exception):
+            Vec3(1, 2, 3).x = 9
+
+
+class TestProperties:
+    @given(vec3s, vec3s)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vec3s)
+    def test_sub_self_is_zero(self, a):
+        assert a - a == ZERO
+
+    @given(vec3s)
+    @settings(max_examples=200)
+    def test_normalize_is_unit_or_zero(self, a):
+        n = a.normalize()
+        if a == ZERO:
+            assert n == ZERO
+        else:
+            # normalize pre-scales by the max component, so even
+            # subnormal-range vectors come out unit to full precision.
+            assert n.length() == pytest.approx(1.0, rel=1e-9)
+
+    @given(vec3s, vec3s)
+    def test_cross_is_orthogonal(self, a, b):
+        c = a.cross(b)
+        scale = max(a.length() * b.length(), 1.0)
+        assert abs(c.dot(a)) <= 1e-6 * scale * max(c.length(), 1.0)
+
+    @given(vec3s, finite)
+    def test_scalar_distributes(self, a, s):
+        left = (a + a) * s
+        right = a * s + a * s
+        assert left.distance(right) <= 1e-9 * max(1.0, left.length())
+
+    @given(vec3s, st.floats(0.001, 1e5))
+    def test_truncate_never_exceeds(self, a, cap):
+        assert a.truncate_length(cap).length() <= cap * (1 + 1e-9)
+
+    @given(vec3s, vec3s)
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).length() <= a.length() + b.length() + 1e-6
+
+    @given(vec3s)
+    def test_parallel_plus_perpendicular_reconstructs(self, a):
+        basis = UNIT_Y
+        rebuilt = a.parallel_component(basis) + a.perpendicular_component(basis)
+        assert rebuilt.distance(a) <= 1e-9 * max(1.0, a.length())
