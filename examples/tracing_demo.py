@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Observability tour: trace a SAXPY workload, export a Chrome trace.
+
+Runs the quickstart's SAXPY kernel under :func:`repro.obs.capture`, then
+
+1. prints the span tree the tracer recorded (kernel launches nested
+   around ``cuda.launch`` spans and transfer instants),
+2. prints the transfer ledger — every host<->device byte attributed to a
+   cause, including the bytes the const-ref optimization (§4.3.2) did
+   *not* move back,
+3. writes ``saxpy.trace.json`` (load it at https://ui.perfetto.dev or
+   chrome://tracing) and ``saxpy.metrics.json`` next to it.
+
+Run:  python examples/tracing_demo.py [output-dir]
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import obs
+from repro.cuda import global_
+from repro.cupp import ConstRef, Device, DeviceVector, Kernel, Ref, Vector
+from repro.simgpu import OpClass
+from repro.simgpu.isa import ld, op, st
+
+
+@global_
+def saxpy_kernel(ctx, a: float, x: ConstRef[DeviceVector], y: Ref[DeviceVector]):
+    """y <- a*x + y; x is const, so its copy-back is elided."""
+    i = ctx.global_thread_id
+    if i < len(x):
+        xi = yield ld(x.view, i)
+        yi = yield ld(y.view, i)
+        yield op(OpClass.FMAD)
+        yield st(y.view, i, a * xi + yi)
+
+
+def main(out_dir: "str | None" = None) -> None:
+    device = Device()
+    n = 256
+    x = Vector(np.linspace(0, 1, n, dtype=np.float32))
+    y = Vector(np.ones(n, dtype=np.float32))
+    saxpy = Kernel(saxpy_kernel, n // 32, 32)
+
+    with obs.capture() as cap:
+        saxpy(device, 2.0, x, y)
+        saxpy(device, 2.0, x, y)  # lazy copying: no re-upload
+        y.to_numpy()  # first host read triggers the lazy download
+
+    # 1. The span tree. ---------------------------------------------------
+    print("recorded spans/instants:")
+    for ev in cap.events:
+        marker = "*" if ev.kind == "instant" else " "
+        print(f"  {'  ' * ev.depth}{marker}{ev.name}")
+
+    # 2. The transfer ledger. ---------------------------------------------
+    ledger = cap.ledger
+    print("\ntransfer bytes by cause:")
+    for cause, nbytes in sorted(ledger["bytes_by_cause"].items()):
+        print(f"  {cause:>24}: {nbytes} bytes ({ledger['count_by_cause'][cause]}x)")
+    skipped = ledger["bytes_by_cause"].get("copy-back-skipped-const", 0)
+    print(f"\nconst-ref elision saved {skipped} bytes of copy-back "
+          f"(ledger bytes_saved={ledger['bytes_saved']})")
+    assert skipped > 0, "const-ref SAXPY must skip x's copy-back"
+    assert ledger["moved_bytes_by_direction"].get("none", 0) == 0
+
+    # 3. Chrome-trace + metrics JSON. -------------------------------------
+    if out_dir is None:
+        out_dir = tempfile.mkdtemp(prefix="repro-trace-")
+    for path in cap.write(out_dir, stem="saxpy"):
+        print(f"wrote {path}")
+    trace = cap.chrome_trace()
+    kinds = {e["ph"] for e in trace["traceEvents"]}
+    print(f"trace has {len(trace['traceEvents'])} events (phases: {sorted(kinds)})")
+
+    device.close()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

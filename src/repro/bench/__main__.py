@@ -2,15 +2,17 @@
 
 Usage::
 
-    python -m repro.bench             # everything
-    python -m repro.bench fig-6.2     # one experiment by id
-    python -m repro.bench --list      # available experiment ids
+    python -m repro.bench               # everything
+    python -m repro.bench fig-6.2       # one experiment by id
+    python -m repro.bench --list        # available experiment ids
+    python -m repro.bench --trace DIR   # also dump Chrome traces + metrics
 """
 
 from __future__ import annotations
 
 import sys
 
+from repro import obs
 from repro.bench.harness import (
     run_fig_1_1,
     run_fig_5_5,
@@ -37,6 +39,15 @@ def main(argv: "list[str]") -> int:
     if "--list" in argv:
         print("\n".join(EXPERIMENTS))
         return 0
+    trace_dir: "str | None" = None
+    if "--trace" in argv:
+        i = argv.index("--trace")
+        if i + 1 >= len(argv):
+            print("--trace requires a directory argument", file=sys.stderr)
+            return 2
+        trace_dir = argv[i + 1]
+        argv = argv[:i] + argv[i + 2 :]
+        obs.enable_tracing()
     wanted = [a for a in argv if not a.startswith("-")]
     unknown = [w for w in wanted if w not in EXPERIMENTS]
     if unknown:
@@ -48,6 +59,9 @@ def main(argv: "list[str]") -> int:
             continue
         exp = runner()
         print(exp.report)
+        if trace_dir is not None:
+            for path in exp.dump_observability(trace_dir):
+                print(f"wrote {path}")
         print()
     return 0
 

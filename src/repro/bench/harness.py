@@ -8,9 +8,11 @@ the paper's qualitative shape); the ``examples/`` scripts reuse them.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.bench.report import format_series, format_table
 from repro.gpusteer.cost_model import WorkloadStats
@@ -30,9 +32,45 @@ class Experiment:
     rows: list = field(default_factory=list)
     report: str = ""
     data: dict = field(default_factory=dict)
+    #: Filled by :func:`observed` when global tracing is enabled: the
+    #: run's :class:`repro.obs.Capture` (trace events + metrics snapshot
+    #: + transfer-ledger delta).
+    capture: "obs.Capture | None" = None
 
     def show(self) -> None:  # pragma: no cover - console convenience
         print(self.report)
+
+    def dump_observability(self, directory: str) -> "list[str]":
+        """Write this run's trace + metrics JSON next to its results.
+
+        Returns the written paths (``<id>.trace.json``,
+        ``<id>.metrics.json``); empty when the run was not traced.
+        """
+        if self.capture is None:
+            return []
+        return self.capture.write(directory, stem=self.experiment_id)
+
+
+def observed(runner):
+    """Decorator: attach observability data to an experiment runner.
+
+    When the global tracer is enabled, the wrapped ``run_*`` executes
+    inside an :func:`repro.obs.capture` session and the resulting
+    :class:`~repro.obs.session.Capture` lands on ``Experiment.capture``.
+    When tracing is disabled the runner is called directly — the no-op
+    recorder keeps the hot path free.
+    """
+
+    @functools.wraps(runner)
+    def wrapper(*args, **kwargs):
+        if not obs.enabled():
+            return runner(*args, **kwargs)
+        with obs.capture() as cap:
+            exp = runner(*args, **kwargs)
+        exp.capture = cap
+        return exp
+
+    return wrapper
 
 
 # ----------------------------------------------------------------------
@@ -56,6 +94,7 @@ CPU_GENERATIONS = [
 ]
 
 
+@observed
 def run_fig_1_1() -> Experiment:
     """GPU vs CPU peak single-precision GFLOP/s over hardware generations."""
     rows = []
@@ -86,6 +125,7 @@ def run_fig_1_1() -> Experiment:
 # ----------------------------------------------------------------------
 # Fig 5.5 — CPU cycle breakdown
 # ----------------------------------------------------------------------
+@observed
 def run_fig_5_5(
     n: int = 1024, steps: int = 5, calib: Calibration = DEFAULT_CALIBRATION
 ) -> Experiment:
@@ -112,6 +152,7 @@ def run_fig_5_5(
 # ----------------------------------------------------------------------
 # Fig 5.6 — CPU scaling with/without think frequency
 # ----------------------------------------------------------------------
+@observed
 def run_fig_5_6(
     populations: "tuple[int, ...]" = (1024, 2048, 4096, 8192, 16384, 32768),
     calib: Calibration = DEFAULT_CALIBRATION,
@@ -143,6 +184,7 @@ def run_fig_5_6(
 PAPER_LADDER = {1: 3.9, 2: 12.9, 3: 27.0, 4: 28.8, 5: 42.0}
 
 
+@observed
 def run_fig_6_2(
     n: int = 4096, steps: int = 5, calib: Calibration = DEFAULT_CALIBRATION
 ) -> Experiment:
@@ -179,6 +221,7 @@ def run_fig_6_2(
 # ----------------------------------------------------------------------
 # Fig 6.3 — version-5 scaling
 # ----------------------------------------------------------------------
+@observed
 def run_fig_6_3(
     populations: "tuple[int, ...]" = (1024, 2048, 4096, 8192, 16384, 32768),
     calib: Calibration = DEFAULT_CALIBRATION,
@@ -219,6 +262,7 @@ def run_fig_6_3(
 # ----------------------------------------------------------------------
 # Fig 6.4 — double buffering
 # ----------------------------------------------------------------------
+@observed
 def run_fig_6_4(
     populations: "tuple[int, ...]" = (4096, 8192, 16384, 32768),
     calib: Calibration = DEFAULT_CALIBRATION,
@@ -253,6 +297,7 @@ def run_fig_6_4(
 # ----------------------------------------------------------------------
 # §7 — traits-analysis ('compile time') overhead
 # ----------------------------------------------------------------------
+@observed
 def run_sec_7_traits(repeats: int = 2000) -> Experiment:
     """Cost of CuPP's kernel-signature analysis vs a bare launch config.
 

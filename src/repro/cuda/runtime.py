@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import ConfigurationError
 from repro.cuda.errors import CudaQualifierError, cudaError
 from repro.cuda.qualifiers import is_global, kernel_guard
@@ -159,17 +160,20 @@ class CudaRuntime(GlInteropMixin):
     # ------------------------------------------------------------------
     def cudaMalloc(self, count: int) -> tuple[cudaError, DevicePtr | None]:  # noqa: N802
         try:
-            return cudaError.cudaSuccess, self.device.memory.alloc(count)
+            ptr = self.device.memory.alloc(count)
         except OutOfDeviceMemory:
             return cudaError.cudaErrorMemoryAllocation, None
         except DeviceMemoryError:
             return cudaError.cudaErrorInvalidValue, None
+        obs.instant("cuda.malloc", nbytes=count, addr=ptr.addr)
+        return cudaError.cudaSuccess, ptr
 
     def cudaFree(self, ptr: DevicePtr) -> cudaError:  # noqa: N802
         try:
             self.device.memory.free(ptr)
         except InvalidFree:
             return cudaError.cudaErrorInvalidDevicePointer
+        obs.instant("cuda.free", addr=ptr.addr)
         return cudaError.cudaSuccess
 
     def cudaMemcpy(  # noqa: N802
@@ -192,6 +196,9 @@ class CudaRuntime(GlInteropMixin):
         if expected.get(kind) != (dst_dev, src_dev):
             return cudaError.cudaErrorInvalidMemcpyDirection
         self.memcpy_count += 1
+        obs.counter("cuda.memcpy.count", kind=kind.name).inc()
+        obs.counter("cuda.memcpy.bytes", kind=kind.name).inc(count)
+        obs.instant("cuda.memcpy", kind=kind.name, nbytes=count)
         try:
             if kind is cudaMemcpyKind.cudaMemcpyHostToHost:
                 raw = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
@@ -246,6 +253,9 @@ class CudaRuntime(GlInteropMixin):
         if raw.nbytes > symbol.count * symbol.dtype.itemsize:
             return cudaError.cudaErrorInvalidValue
         self.memcpy_count += 1
+        obs.counter("cuda.memcpy.count", kind="toSymbol").inc()
+        obs.counter("cuda.memcpy.bytes", kind="toSymbol").inc(raw.nbytes)
+        obs.instant("cuda.memcpyToSymbol", nbytes=raw.nbytes)
         self.device.timeline.memcpy(raw.nbytes)
         symbol.memory.write(symbol.offset, raw)
         return cudaError.cudaSuccess
@@ -324,34 +334,50 @@ class CudaRuntime(GlInteropMixin):
         args = tuple(
             val for _off, _sz, val in sorted(pending.args, key=lambda a: a[0])
         )
-        try:
-            with kernel_guard():
-                result = self.device.launch(
-                    kernel.impl,
-                    pending.grid_dim,
-                    pending.block_dim,
-                    args,
-                    registers_per_thread=registers_per_thread,
-                    strict_sync=strict_sync,
-                )
-        except (KernelFault, InvalidDeviceAccess):
-            return cudaError.cudaErrorLaunchFailure
-        except CudaQualifierError:
-            return cudaError.cudaErrorLaunchFailure
-        self.last_launch = result
-        self.launch_count += 1
-        # Asynchronous semantics: the host is only charged the launch
-        # overhead; the device timeline advances by the modelled duration.
-        duration = time_from_profile(
-            result.profile,
-            result.blocks,
-            result.block_dim.volume,
-            shared_bytes_per_block=result.shared_bytes_per_block,
-            registers_per_thread=registers_per_thread,
-            arch=self.device.arch,
-            costs=self.device.costs,
-        ).total_s
-        self.device.timeline.launch_kernel(duration)
+        name = getattr(kernel, "__name__", "kernel")
+        with obs.span(
+            f"cuda.launch:{name}",
+            grid=str(pending.grid_dim),
+            block=str(pending.block_dim),
+        ) as span:
+            try:
+                with kernel_guard():
+                    result = self.device.launch(
+                        kernel.impl,
+                        pending.grid_dim,
+                        pending.block_dim,
+                        args,
+                        registers_per_thread=registers_per_thread,
+                        strict_sync=strict_sync,
+                    )
+            except (KernelFault, InvalidDeviceAccess):
+                span.set(error="launch-failure")
+                return cudaError.cudaErrorLaunchFailure
+            except CudaQualifierError:
+                span.set(error="launch-failure")
+                return cudaError.cudaErrorLaunchFailure
+            self.last_launch = result
+            self.launch_count += 1
+            obs.counter("cuda.launches").inc()
+            # Asynchronous semantics: the host is only charged the launch
+            # overhead; the device timeline advances by the modelled duration.
+            duration = time_from_profile(
+                result.profile,
+                result.blocks,
+                result.block_dim.volume,
+                shared_bytes_per_block=result.shared_bytes_per_block,
+                registers_per_thread=registers_per_thread,
+                arch=self.device.arch,
+                costs=self.device.costs,
+            ).total_s
+            self.device.timeline.launch_kernel(duration)
+            # The emulator's instruction profile rides on the launch span
+            # so a trace alone can answer "what did this launch do?".
+            span.set(
+                profile=result.profile.summary(),
+                modelled_duration_s=duration,
+                occupancy=getattr(result.occupancy, "occupancy", None),
+            )
         return cudaError.cudaSuccess
 
     def cudaThreadSynchronize(self) -> cudaError:  # noqa: N802

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.cuda.runtime import CudaMachine, CudaRuntime
 from repro.cuda.types import cudaDeviceProp, cudaMemcpyKind
 from repro.cupp.exceptions import CuppUsageError, check
@@ -106,31 +107,35 @@ class Device:
         self._ensure_open()
         err, ptr = self.runtime.cudaMalloc(nbytes)
         check(err, f"allocating {nbytes} bytes")
+        obs.instant("device.alloc", nbytes=nbytes, addr=ptr.addr)
         return ptr
 
     def free(self, ptr: DevicePtr) -> None:
         self._ensure_open()
         check(self.runtime.cudaFree(ptr))
+        obs.instant("device.free", addr=ptr.addr)
 
     def upload(self, ptr: DevicePtr, data: np.ndarray) -> None:
         """Host -> device transfer (blocking, implicit synchronization)."""
         self._ensure_open()
         raw = np.ascontiguousarray(data)
-        check(
-            self.runtime.cudaMemcpy(
-                ptr, raw, raw.nbytes, cudaMemcpyKind.cudaMemcpyHostToDevice
+        with obs.span("device.upload", nbytes=raw.nbytes):
+            check(
+                self.runtime.cudaMemcpy(
+                    ptr, raw, raw.nbytes, cudaMemcpyKind.cudaMemcpyHostToDevice
+                )
             )
-        )
 
     def download(self, ptr: DevicePtr, nbytes: int, dtype=np.uint8) -> np.ndarray:
         """Device -> host transfer; returns a fresh host array."""
         self._ensure_open()
         out = np.empty(nbytes, dtype=np.uint8)
-        check(
-            self.runtime.cudaMemcpy(
-                out, ptr, nbytes, cudaMemcpyKind.cudaMemcpyDeviceToHost
+        with obs.span("device.download", nbytes=nbytes):
+            check(
+                self.runtime.cudaMemcpy(
+                    out, ptr, nbytes, cudaMemcpyKind.cudaMemcpyDeviceToHost
+                )
             )
-        )
         return out.view(dtype)
 
     def synchronize(self) -> None:

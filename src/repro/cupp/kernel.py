@@ -30,9 +30,9 @@ analog of CuPP's compile-time template metaprogramming.
 from __future__ import annotations
 
 import copy as _copy
-from dataclasses import dataclass
 from typing import Callable
 
+from repro import obs
 from repro.cuda.qualifiers import is_global
 from repro.cupp.device import Device
 from repro.cupp.device_reference import DeviceReference
@@ -50,17 +50,64 @@ from repro.cupp.traits import (
 from repro.simgpu.dims import Dim3, as_dim3
 
 
-@dataclass
+def _stat_field(name: str) -> property:
+    def _get(self: "CallStats") -> int:
+        return self._counters[name].value
+
+    def _set(self: "CallStats", value: int) -> None:
+        self._counters[name].value = int(value)
+
+    return property(_get, _set, doc=f"The per-call {name!r} statistic.")
+
+
 class CallStats:
     """Observable side effects of one kernel call — the paper's
-    performance traps (value copies, forgotten const) show up here."""
+    performance traps (value copies, forgotten const) show up here.
 
-    value_copies: int = 0
-    ref_uploads: int = 0
-    ref_upload_bytes: int = 0
-    writebacks: int = 0
-    writeback_bytes: int = 0
-    elided_writebacks: int = 0
+    Backed by :class:`repro.obs.Counter` instruments: each field is a
+    read-through property over a per-call counter (so the historical
+    ``stats.value_copies`` attribute access keeps working), and every
+    :meth:`bump` also feeds the process-wide aggregate series
+    ``cupp.kernel.<field>`` in the global metrics registry.
+    """
+
+    FIELDS = (
+        "value_copies",
+        "ref_uploads",
+        "ref_upload_bytes",
+        "writebacks",
+        "writeback_bytes",
+        "elided_writebacks",
+    )
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, **initial: int) -> None:
+        self._counters = {f: obs.Counter() for f in self.FIELDS}
+        for name, value in initial.items():
+            if name not in self._counters:
+                raise TypeError(f"CallStats has no field {name!r}")
+            self._counters[name].value = int(value)
+
+    def bump(self, field: str, n: int = 1) -> None:
+        """Increment one statistic here and in the global registry."""
+        self._counters[field].inc(n)
+        obs.counter(f"cupp.kernel.{field}").inc(n)
+
+    def as_dict(self) -> "dict[str, int]":
+        """Plain-dict snapshot (span attributes, reports)."""
+        return {f: self._counters[f].value for f in self.FIELDS}
+
+    value_copies = _stat_field("value_copies")
+    ref_uploads = _stat_field("ref_uploads")
+    ref_upload_bytes = _stat_field("ref_upload_bytes")
+    writebacks = _stat_field("writebacks")
+    writeback_bytes = _stat_field("writeback_bytes")
+    elided_writebacks = _stat_field("elided_writebacks")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"CallStats({inner})"
 
 
 def _default_get_device_reference(obj: object, device: Device) -> DeviceReference:
@@ -181,70 +228,104 @@ class Kernel:
             )
 
         stats = CallStats()
-        rt = device.runtime
-        check(
-            rt.cudaConfigureCall(self._grid_dim, self._block_dim),
-            f"configuring {self.traits.name!r}",
-        )
-
-        # Prepare each argument per its declared pass semantics.
-        pending_writeback: list[tuple[object, DeviceReference, ParamTrait]] = []
-        host_copies: list[object] = []  # destroyed after the launch starts
-        offset = 0
-        from repro.cuda.runtime import sizeof_argument
-
-        for trait, arg in zip(self.traits.params, args):
-            if trait.kind is PassKind.VALUE:
-                host_copy = _copy.copy(arg)  # step 1: copy constructor
-                stats.value_copies += 1
-                device_obj = apply_transform(host_copy, device)
-                host_copies.append(host_copy)
-            else:
-                readonly_gdr = getattr(
-                    type(arg), "get_device_reference_readonly", None
-                )
-                if trait.kind is PassKind.CONST_REF and callable(readonly_gdr):
-                    # Chapter-7 extension: the traits analysis knows this
-                    # parameter is const, so the argument may serve it
-                    # from a read-only cached space.
-                    dref = arg.get_device_reference_readonly(device)  # type: ignore[attr-defined]
-                elif has_get_device_reference(arg):
-                    dref = arg.get_device_reference(device)  # type: ignore[attr-defined]
-                else:
-                    dref = _default_get_device_reference(arg, device)
-                if not isinstance(dref, DeviceReference):
-                    raise CuppTraitError(
-                        f"{type(arg).__name__}.get_device_reference() must "
-                        "return a DeviceReference"
-                    )
-                stats.ref_uploads += 1
-                stats.ref_upload_bytes += dref.nbytes
-                device_obj = dref.deref()
-                if trait.kind is PassKind.REF:
-                    pending_writeback.append((arg, dref, trait))
-                else:
-                    stats.elided_writebacks += 1
-            size = sizeof_argument(device_obj)
-            check(
-                rt.cudaSetupArgument(device_obj, offset, size=size),
-                f"pushing argument {trait.name!r}",
+        obs.counter("cupp.kernel.launches", kernel=self.traits.name).inc()
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            # Traits decisions become span attributes: which parameter
+            # passed how, and therefore which copies can be elided.
+            span = tracer.span(
+                f"kernel:{self.traits.name}",
+                grid=str(self._grid_dim),
+                block=str(self._block_dim),
+                params=[
+                    f"{t.name}:{t.kind.name.lower()}"
+                    for t in self.traits.params
+                ],
             )
-            offset += max(size, 4)
+        else:
+            span = obs.NULL_SPAN
+        with span:
+            rt = device.runtime
+            check(
+                rt.cudaConfigureCall(self._grid_dim, self._block_dim),
+                f"configuring {self.traits.name!r}",
+            )
 
-        check(rt.cudaLaunch(self.fn), f"launching {self.traits.name!r}")
-        # Step 4 of call-by-value: the host copies die here, after the
-        # kernel has *started* — no synchronization with completion.
-        host_copies.clear()
+            # Prepare each argument per its declared pass semantics.
+            pending_writeback: list[tuple[object, DeviceReference, ParamTrait]] = []
+            host_copies: list[object] = []  # destroyed after the launch starts
+            offset = 0
+            from repro.cuda.runtime import sizeof_argument
 
-        # Call-by-reference step 4: copy back and notify, unless const.
-        for host_obj, dref, _trait in pending_writeback:
-            dref.put()  # device-side mutations -> global memory image
-            stats.writebacks += 1
-            stats.writeback_bytes += dref.nbytes
-            if has_dirty(host_obj):
-                host_obj.dirty(dref)  # type: ignore[attr-defined]
-            else:
-                _default_dirty(host_obj, dref)
+            for trait, arg in zip(self.traits.params, args):
+                if trait.kind is PassKind.VALUE:
+                    host_copy = _copy.copy(arg)  # step 1: copy constructor
+                    stats.bump("value_copies")
+                    device_obj = apply_transform(host_copy, device)
+                    host_copies.append(host_copy)
+                else:
+                    readonly_gdr = getattr(
+                        type(arg), "get_device_reference_readonly", None
+                    )
+                    if trait.kind is PassKind.CONST_REF and callable(readonly_gdr):
+                        # Chapter-7 extension: the traits analysis knows this
+                        # parameter is const, so the argument may serve it
+                        # from a read-only cached space.
+                        dref = arg.get_device_reference_readonly(device)  # type: ignore[attr-defined]
+                    elif has_get_device_reference(arg):
+                        dref = arg.get_device_reference(device)  # type: ignore[attr-defined]
+                    else:
+                        dref = _default_get_device_reference(arg, device)
+                    if not isinstance(dref, DeviceReference):
+                        raise CuppTraitError(
+                            f"{type(arg).__name__}.get_device_reference() must "
+                            "return a DeviceReference"
+                        )
+                    stats.bump("ref_uploads")
+                    stats.bump("ref_upload_bytes", dref.nbytes)
+                    device_obj = dref.deref()
+                    if trait.kind is PassKind.REF:
+                        pending_writeback.append((arg, dref, trait))
+                    else:
+                        stats.bump("elided_writebacks")
+                        # The marquee optimization, as ledger evidence:
+                        # these bytes were attributed but never moved.
+                        obs.record_transfer(
+                            "copy-back-skipped-const",
+                            "none",
+                            dref.nbytes,
+                            moved=False,
+                            label=f"{self.traits.name}.{trait.name}",
+                        )
+                size = sizeof_argument(device_obj)
+                check(
+                    rt.cudaSetupArgument(device_obj, offset, size=size),
+                    f"pushing argument {trait.name!r}",
+                )
+                offset += max(size, 4)
+
+            check(rt.cudaLaunch(self.fn), f"launching {self.traits.name!r}")
+            # Step 4 of call-by-value: the host copies die here, after the
+            # kernel has *started* — no synchronization with completion.
+            host_copies.clear()
+
+            # Call-by-reference step 4: copy back and notify, unless const.
+            for host_obj, dref, trait in pending_writeback:
+                dref.put()  # device-side mutations -> global memory image
+                stats.bump("writebacks")
+                stats.bump("writeback_bytes", dref.nbytes)
+                obs.record_transfer(
+                    "copy-back",
+                    "d2h",
+                    dref.nbytes,
+                    label=f"{self.traits.name}.{trait.name}",
+                )
+                if has_dirty(host_obj):
+                    host_obj.dirty(dref)  # type: ignore[attr-defined]
+                else:
+                    _default_dirty(host_obj, dref)
+
+            span.set(stats=stats.as_dict())
 
         self.last_stats = stats
         return stats

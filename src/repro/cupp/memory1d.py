@@ -8,6 +8,11 @@ and copies the data from the original memory to the newly allocated one."
 Transfers come in the paper's two flavours: pointer-style (a contiguous
 host buffer) and iterator-style (any iterable, linearized in traversal
 order).
+
+Every transfer is attributed in the :mod:`repro.obs` ledger.  Direct
+``memory1d`` use is an unconditional copy (cause ``"eager"``); wrappers
+implementing the §4.6 lazy protocol (``cupp.Vector``) pass their own
+``cause`` so the bytes land in the right bucket exactly once.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.cupp.device import Device
 from repro.cupp.exceptions import CuppUsageError
 from repro.simgpu.memory import DeviceArrayView, DevicePtr
@@ -36,11 +42,13 @@ class Memory1D:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_host(cls, device: Device, data: np.ndarray) -> "Memory1D":
+    def from_host(
+        cls, device: Device, data: np.ndarray, *, cause: str = "eager"
+    ) -> "Memory1D":
         """Allocate and fill from a contiguous host array (pointer-style)."""
         data = np.ascontiguousarray(data)
         mem = cls(device, data.dtype, data.size)
-        mem.copy_from_host(data)
+        mem.copy_from_host(data, cause=cause)
         return mem
 
     @classmethod
@@ -72,23 +80,32 @@ class Memory1D:
     # ------------------------------------------------------------------
     # transfers
     # ------------------------------------------------------------------
-    def copy_from_host(self, data: np.ndarray) -> None:
-        """Pointer-style host -> device transfer (§4.2)."""
+    def copy_from_host(
+        self, data: np.ndarray, *, cause: str = "eager"
+    ) -> None:
+        """Pointer-style host -> device transfer (§4.2).
+
+        ``cause`` names the ledger bucket this copy is attributed to;
+        lazy-protocol callers pass ``"lazy-miss"``.
+        """
         data = np.ascontiguousarray(data)
         if data.nbytes != self.nbytes:
             raise CuppUsageError(
                 f"host buffer is {data.nbytes} bytes, block is {self.nbytes}"
             )
         self.device.upload(self.ptr, data)
+        obs.record_transfer(cause, "h2d", data.nbytes, label="memory1d")
 
-    def copy_to_host(self) -> np.ndarray:
+    def copy_to_host(self, *, cause: str = "eager") -> np.ndarray:
         """Pointer-style device -> host transfer; returns a fresh array."""
-        return self.device.download(self.ptr, self.nbytes, self.dtype)
+        out = self.device.download(self.ptr, self.nbytes, self.dtype)
+        obs.record_transfer(cause, "d2h", self.nbytes, label="memory1d")
+        return out
 
-    def copy_from_iter(self, items: Iterable) -> None:
+    def copy_from_iter(self, items: Iterable, *, cause: str = "eager") -> None:
         """Iterator-style transfer: linearize ``items`` in traversal order."""
         host = np.fromiter(items, dtype=self.dtype, count=self.count)
-        self.copy_from_host(host)
+        self.copy_from_host(host, cause=cause)
 
     def __iter__(self) -> Iterator:
         """Iterator-style device -> host traversal (Python scalars)."""
@@ -103,6 +120,7 @@ class Memory1D:
         self.device.sim.memory.copy_device_to_device(
             dup.ptr, self.ptr, self.nbytes
         )
+        obs.record_transfer("eager", "d2d", self.nbytes, label="memory1d.copy")
         return dup
 
     def __copy__(self) -> "Memory1D":

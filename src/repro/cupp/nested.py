@@ -22,6 +22,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.cupp.device import Device
 from repro.cupp.device_reference import DeviceReference
 from repro.cupp.exceptions import CuppUsageError
@@ -90,11 +91,21 @@ class NestedVector:
         self._mem_values: Memory1D | None = None
         self._device_valid = False
         self._host_valid = True
-        self.uploads = 0
-        self.downloads = 0
+        self._uploads = obs.Counter()
+        self._downloads = obs.Counter()
         if rows is not None:
             for row in rows:
                 self.push_back(row)
+
+    @property
+    def uploads(self) -> int:
+        """Host -> device linearized uploads performed."""
+        return self._uploads.value
+
+    @property
+    def downloads(self) -> int:
+        """Device -> host downloads performed."""
+        return self._downloads.value
 
     # ------------------------------------------------------------------
     # host interface
@@ -102,14 +113,15 @@ class NestedVector:
     def _ensure_host(self) -> None:
         if self._host_valid:
             return
-        flat = self._mem_values.copy_to_host()
-        offsets = self._mem_offsets.copy_to_host()
+        flat = self._mem_values.copy_to_host(cause="lazy-miss")
+        offsets = self._mem_offsets.copy_to_host(cause="lazy-miss")
         for r, row in enumerate(self._rows):
             row_data = flat[offsets[r] : offsets[r + 1]]
             for i, v in enumerate(row_data):
                 row[i] = v
         self._host_valid = True
-        self.downloads += 1
+        self._downloads.inc()
+        obs.counter("cupp.nested_vector.downloads").inc()
 
     def _before_host_write(self) -> None:
         self._ensure_host()
@@ -176,13 +188,17 @@ class NestedVector:
                 self._mem_offsets.close()
             if self._mem_values is not None:
                 self._mem_values.close()
-            self._mem_offsets = Memory1D.from_host(device, offsets)
+            self._mem_offsets = Memory1D.from_host(
+                device, offsets, cause="lazy-miss"
+            )
             self._mem_values = Memory1D.from_host(
                 device,
                 flat if flat.size else np.zeros(1, dtype=self.dtype),
+                cause="lazy-miss",
             )
             self._device_valid = True
-            self.uploads += 1
+            self._uploads.inc()
+            obs.counter("cupp.nested_vector.uploads").inc()
         return DeviceNestedVector(
             self._mem_offsets.view(), self._mem_values.view(), len(self._rows)
         )

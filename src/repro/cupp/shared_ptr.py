@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cupp.device import Device
 from repro.cupp.exceptions import CuppUsageError
 from repro.simgpu.memory import DevicePtr, NULL_PTR
@@ -37,6 +38,10 @@ class DeviceSharedPtr:
         self._block: _ControlBlock | None = _ControlBlock(
             device, device.alloc(nbytes), 1
         )
+        obs.gauge("cupp.shared_ptr.live").inc()
+        obs.instant(
+            "shared_ptr.alloc", nbytes=nbytes, addr=self._block.ptr.addr
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -49,6 +54,9 @@ class DeviceSharedPtr:
         """Another pointer to the same allocation (boost copy semantics)."""
         block = self._require_block()
         block.count += 1
+        obs.instant(
+            "shared_ptr.clone", addr=block.ptr.addr, use_count=block.count
+        )
         return DeviceSharedPtr._from_block(block)
 
     def __copy__(self) -> "DeviceSharedPtr":
@@ -85,7 +93,11 @@ class DeviceSharedPtr:
         if block is None:
             return
         block.count -= 1
+        obs.instant(
+            "shared_ptr.release", addr=block.ptr.addr, use_count=block.count
+        )
         if block.count == 0 and block.ptr:
+            obs.gauge("cupp.shared_ptr.live").dec()
             try:
                 block.device.free(block.ptr)
             except CuppUsageError:

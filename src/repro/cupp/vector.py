@@ -29,6 +29,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.cupp.device import Device
 from repro.cupp.device_reference import DeviceReference
 from repro.cupp.exceptions import CuppUsageError
@@ -171,9 +172,22 @@ class Vector:
         self._mem: Memory1D | None = None
         self._host_valid = True
         self._device_valid = False
-        # Transfer counters, observable by tests and benchmarks.
-        self.uploads = 0
-        self.downloads = 0
+        # Transfer counters, observable by tests and benchmarks: private
+        # obs.Counter instruments behind read-through properties; the
+        # process-wide totals live in the global MetricsRegistry as
+        # cupp.vector.uploads / cupp.vector.downloads.
+        self._uploads = obs.Counter()
+        self._downloads = obs.Counter()
+
+    @property
+    def uploads(self) -> int:
+        """Host -> device transfers this vector has performed."""
+        return self._uploads.value
+
+    @property
+    def downloads(self) -> int:
+        """Device -> host transfers this vector has performed."""
+        return self._downloads.value
 
     # ------------------------------------------------------------------
     # host-side freshness management
@@ -182,15 +196,22 @@ class Vector:
         """Host read path: download from the device if the host is stale."""
         if not self._host_valid:
             assert self._mem is not None, "host marked stale with no device data"
-            fresh = self._mem.copy_to_host()
+            fresh = self._mem.copy_to_host(cause="lazy-miss")
             self._store = fresh.copy()
             self._size = fresh.size
             self._host_valid = True
-            self.downloads += 1
+            self._downloads.inc()
+            obs.counter("cupp.vector.downloads").inc()
 
     def _before_host_write(self) -> None:
         """Host write path: refresh first, then invalidate the device."""
         self._ensure_host()
+        if self._device_valid:
+            # The dirty-flag flip the lazy protocol pivots on (§4.6).
+            obs.instant(
+                "vector.invalidate-device",
+                nbytes=self._size * self.dtype.itemsize,
+            )
         self._device_valid = False
         self._const_valid = False
 
@@ -213,9 +234,20 @@ class Vector:
             self._device_valid = False
         if not self._device_valid:
             self._ensure_host()
-            self._mem.copy_from_host(self._store[: self._size])
+            self._mem.copy_from_host(
+                self._store[: self._size], cause="lazy-miss"
+            )
             self._device_valid = True
-            self.uploads += 1
+            self._uploads.inc()
+            obs.counter("cupp.vector.uploads").inc()
+        else:
+            tracer = obs.get_tracer()
+            if tracer.enabled:
+                # The transfer the lazy protocol avoided (§4.6).
+                tracer.instant(
+                    "vector.lazy-hit",
+                    nbytes=self._size * self.dtype.itemsize,
+                )
         return self._mem
 
     # ------------------------------------------------------------------
@@ -237,6 +269,9 @@ class Vector:
         """The kernel mutated the device data: host copy is now stale."""
         self._host_valid = False
         self._const_valid = False  # a constant mirror would now be stale
+        obs.instant(
+            "vector.dirty", nbytes=self._size * self.dtype.itemsize
+        )
 
     # ------------------------------------------------------------------
     # chapter-7 extension: read-only placement for const references
@@ -291,7 +326,14 @@ class Vector:
                 )
             )
             self._const_valid = True
-            self.uploads += 1
+            self._uploads.inc()
+            obs.counter("cupp.vector.uploads").inc()
+            obs.record_transfer(
+                "eager",
+                "h2d",
+                self._size * self.dtype.itemsize,
+                label="vector.constant-mirror",
+            )
         return DeviceVector(None, "constant", const_view=self._const_view)
 
     def get_device_reference_readonly(self, device: Device) -> DeviceReference:
@@ -394,7 +436,7 @@ class Vector:
             raise CuppUsageError("swap requires another cupp.Vector")
         for attr in (
             "dtype", "_store", "_size", "_mem", "_host_valid",
-            "_device_valid", "uploads", "downloads", "readonly_space",
+            "_device_valid", "_uploads", "_downloads", "readonly_space",
             "_texref", "_const_view", "_const_valid",
         ):
             mine, theirs = getattr(self, attr), getattr(other, attr)

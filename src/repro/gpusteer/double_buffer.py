@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.gpusteer.versions import DRAW_MATRIX_BYTES, update_time
 from repro.simgpu.transfer import DeviceTimeline
@@ -94,42 +95,65 @@ def simulate_frames(
     def device_update() -> None:
         # Host-resident substages (v1-v4) run on the host clock; kernels
         # are enqueued asynchronously; transfers block.
-        tl.host_work(update.host_compute_s)
-        if update.transfer_s:
-            tl.memcpy(0)  # implicit sync of input copies
-            tl.host_time += update.transfer_s
-            tl.device_busy_until = max(tl.device_busy_until, tl.host_time)
-        if update.gpu_kernel_s:
-            tl.launch_kernel(update.gpu_kernel_s)
+        with obs.span(
+            "db.update",
+            host_compute_s=update.host_compute_s,
+            transfer_s=update.transfer_s,
+            gpu_kernel_s=update.gpu_kernel_s,
+        ):
+            tl.host_work(update.host_compute_s)
+            if update.transfer_s:
+                tl.memcpy(0)  # implicit sync of input copies
+                tl.host_time += update.transfer_s
+                tl.device_busy_until = max(tl.device_busy_until, tl.host_time)
+            if update.gpu_kernel_s:
+                tl.launch_kernel(update.gpu_kernel_s)
 
     def fetch_draw_data() -> None:
-        if gl_interop:
-            # Map/unmap a registered buffer object: synchronize, no copy.
-            tl.synchronize()
-            tl.host_work(2 * MAP_OVERHEAD_S)
-        else:
-            tl.memcpy(matrix_bytes)
+        with obs.span(
+            "db.fetch_draw", nbytes=matrix_bytes, gl_interop=gl_interop
+        ):
+            if gl_interop:
+                # Map/unmap a registered buffer object: synchronize, no copy.
+                tl.synchronize()
+                tl.host_work(2 * MAP_OVERHEAD_S)
+            else:
+                tl.memcpy(matrix_bytes)
+                # With double buffering the fetch lands while the device
+                # computes the *next* step — those are the overlapped
+                # bytes Fig. 6.4's gain comes from.
+                obs.record_transfer(
+                    "double-buffer-overlap" if double_buffered else "eager",
+                    "d2h",
+                    matrix_bytes,
+                    label="draw-matrices",
+                )
 
     def draw() -> None:
-        tl.host_work(draw_host)
-        # Rendering occupies the device itself: queue it like a kernel.
-        tl.launch_kernel(draw_render)
+        with obs.span(
+            "db.draw", host_s=draw_host, render_s=draw_render
+        ):
+            tl.host_work(draw_host)
+            # Rendering occupies the device itself: queue it like a kernel.
+            tl.launch_kernel(draw_render)
 
     if not double_buffered:
-        for _ in range(frames):
-            device_update()
-            fetch_draw_data()
-            draw()
-            tl.synchronize()  # frame ends when the render completes
+        for frame in range(frames):
+            with obs.span("db.frame", frame=frame, double_buffered=False):
+                device_update()
+                fetch_draw_data()
+                draw()
+                tl.synchronize()  # frame ends when the render completes
             stamps.append(tl.host_time)
     else:
         device_update()  # pipeline priming: compute step 0
         fetch_draw_data()
-        for _ in range(frames):
-            device_update()  # step n+1 starts while we draw step n
-            draw()
-            tl.synchronize()
-            fetch_draw_data()  # step n+1's matrices into the other buffer
+        for frame in range(frames):
+            with obs.span("db.frame", frame=frame, double_buffered=True):
+                device_update()  # step n+1 starts while we draw step n
+                draw()
+                tl.synchronize()
+                fetch_draw_data()  # step n+1's matrices into the other buffer
             stamps.append(tl.host_time)
 
     # Steady-state period: average of the later frames.

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.gpusteer.cost_model import WorkloadStats
 from repro.gpusteer.double_buffer import compare as compare_double_buffering
@@ -63,17 +64,27 @@ class GpuBoidsRun:
     def run(self, steps: int = 10, measure_stats: bool = True) -> RunResult:
         """Advance ``steps`` frames; model the steady-state update rate
         from the final (clustered) configuration."""
-        for _ in range(steps):
-            self.sim.update()
-        if measure_stats:
-            stats = WorkloadStats.measure(self.sim.positions, self.params)
-        else:
-            stats = WorkloadStats.estimate(
-                self.sim.n, self.params, self.calib.density_clustering
+        with obs.span(
+            "gpusteer.run", version=self.version, n=self.sim.n, steps=steps
+        ) as span:
+            for step in range(steps):
+                with obs.span("gpusteer.step", step=step):
+                    self.sim.update()
+            if measure_stats:
+                stats = WorkloadStats.measure(self.sim.positions, self.params)
+            else:
+                stats = WorkloadStats.estimate(
+                    self.sim.n, self.params, self.calib.density_clustering
+                )
+            breakdown = update_time(
+                self.version, self.sim.n, self.params, stats, self.calib
             )
-        breakdown = update_time(
-            self.version, self.sim.n, self.params, stats, self.calib
-        )
+            span.set(
+                updates_per_second=breakdown.updates_per_second,
+                host_compute_s=breakdown.host_compute_s,
+                gpu_kernel_s=breakdown.gpu_kernel_s,
+                transfer_s=breakdown.transfer_s,
+            )
         return RunResult(
             version=self.version,
             n=self.sim.n,
@@ -94,12 +105,27 @@ def version_ladder(
     """Fig. 6.2's dataset: one run per development version, including the
     CPU baseline as version 0, all on the same measured flock."""
     sim = Simulation(n, params, seed=seed, engine="auto", cpu_model=calib.cpu_model())
-    for _ in range(steps):
-        sim.update()
-    stats = WorkloadStats.measure(sim.positions, params)
+    with obs.span("gpusteer.version_ladder", n=n, steps=steps):
+        for _ in range(steps):
+            sim.update()
+        stats = WorkloadStats.measure(sim.positions, params)
     out: dict[int, RunResult] = {}
     for version in range(6):
         breakdown = update_time(version, n, params, stats, calib)
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            # One span per ladder rung, carrying the Fig. 6.2 breakdown
+            # so the version story is reconstructible from a trace.
+            with tracer.span(
+                f"gpusteer.version:{version}",
+                n=n,
+                updates_per_second=breakdown.updates_per_second,
+                host_compute_s=breakdown.host_compute_s,
+                gpu_kernel_s=breakdown.gpu_kernel_s,
+                transfer_s=breakdown.transfer_s,
+                launch_overhead_s=breakdown.launch_overhead_s,
+            ):
+                pass
         out[version] = RunResult(
             version=version,
             n=n,

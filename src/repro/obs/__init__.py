@@ -1,0 +1,192 @@
+"""``repro.obs`` — the unified runtime tracing & metrics layer.
+
+One process-wide trio backs all instrumentation in the runtime:
+
+* a :class:`~repro.obs.tracer.Tracer` of nestable spans and instant
+  events (monotonic-clock timed, thread-safe, and a shared no-op when
+  disabled — the hot paths pay nothing by default);
+* a :class:`~repro.obs.metrics.MetricsRegistry` of labeled counters,
+  gauges, and histograms;
+* a :class:`~repro.obs.ledger.TransferLedger` attributing every
+  host<->device byte to a cause (``eager``, ``lazy-miss``,
+  ``copy-back``, ``copy-back-skipped-const``,
+  ``double-buffer-overlap``) so the paper's "which copies did CuPP
+  avoid?" question has a queryable answer.
+
+Instrumented code calls the module-level conveniences (:func:`span`,
+:func:`instant`, :func:`record_transfer`, :func:`counter`); consumers
+enable collection with :func:`enable_tracing` or scope it with
+:func:`~repro.obs.session.capture` and export via
+:mod:`repro.obs.export` (Chrome-trace JSON loadable in
+``chrome://tracing`` / Perfetto, plus plain-dict snapshots).
+
+Recording and exporting are deliberately split: recorders decide *what
+is kept* (nothing, an in-memory list), exporters decide *how it is
+rendered* (Chrome trace, JSON snapshot) — see ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import chrome_trace, write_chrome_trace, write_json
+from repro.obs.ledger import CAUSES, DIRECTIONS, TransferLedger, TransferRecord
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.session import Capture, capture
+from repro.obs.tracer import (
+    NULL_SPAN,
+    InMemoryRecorder,
+    NullRecorder,
+    NullSpan,
+    Recorder,
+    Span,
+    TraceEvent,
+    Tracer,
+    monotonic,
+)
+
+__all__ = [
+    "CAUSES",
+    "DIRECTIONS",
+    "Capture",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemoryRecorder",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullRecorder",
+    "NullSpan",
+    "Recorder",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "TransferLedger",
+    "TransferRecord",
+    "capture",
+    "chrome_trace",
+    "counter",
+    "disable_tracing",
+    "enable_tracing",
+    "enabled",
+    "gauge",
+    "get_ledger",
+    "get_metrics",
+    "get_tracer",
+    "histogram",
+    "instant",
+    "monotonic",
+    "record_transfer",
+    "reset",
+    "span",
+    "write_chrome_trace",
+    "write_json",
+]
+
+_TRACER = Tracer()
+_METRICS = MetricsRegistry()
+_LEDGER = TransferLedger()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer all instrumentation reports to."""
+    return _TRACER
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _METRICS
+
+
+def get_ledger() -> TransferLedger:
+    """The process-wide transfer ledger."""
+    return _LEDGER
+
+
+# ----------------------------------------------------------------------
+# tracing conveniences
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    """Is the global tracer currently recording?"""
+    return _TRACER.enabled
+
+
+def enable_tracing(recorder: "Recorder | None" = None) -> Recorder:
+    """Turn global tracing on; returns the active recorder."""
+    return _TRACER.enable(recorder)
+
+
+def disable_tracing() -> None:
+    """Turn global tracing off (spans become shared no-ops)."""
+    _TRACER.disable()
+
+
+def span(name: str, **args: object):
+    """Open a span on the global tracer (no-op context when disabled)."""
+    return _TRACER.span(name, **args)
+
+
+def instant(name: str, **args: object) -> None:
+    """Record an instant event on the global tracer."""
+    _TRACER.instant(name, **args)
+
+
+# ----------------------------------------------------------------------
+# metrics conveniences
+# ----------------------------------------------------------------------
+def counter(name: str, **labels: object) -> Counter:
+    """A counter from the global registry."""
+    return _METRICS.counter(name, **labels)
+
+
+def gauge(name: str, **labels: object) -> Gauge:
+    """A gauge from the global registry."""
+    return _METRICS.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: object) -> Histogram:
+    """A histogram from the global registry."""
+    return _METRICS.histogram(name, **labels)
+
+
+# ----------------------------------------------------------------------
+# the transfer ledger funnel
+# ----------------------------------------------------------------------
+def record_transfer(
+    cause: str,
+    direction: str,
+    nbytes: int,
+    *,
+    moved: bool = True,
+    label: str = "",
+) -> None:
+    """Attribute one transfer everywhere at once.
+
+    Updates the global :class:`TransferLedger`, bumps the aggregate
+    ``repro.transfer.bytes``/``repro.transfer.count`` registry series,
+    and — when tracing is on — drops an instant event into the trace so
+    transfers appear inline with the spans that caused them.
+    """
+    ts = monotonic() if _TRACER.enabled else 0.0
+    _LEDGER.record(
+        cause, direction, nbytes, moved=moved, label=label, ts=ts
+    )
+    _METRICS.counter(
+        "repro.transfer.bytes", cause=cause, direction=direction
+    ).inc(int(nbytes))
+    _METRICS.counter(
+        "repro.transfer.count", cause=cause, direction=direction
+    ).inc()
+    if _TRACER.enabled:
+        _TRACER.instant(
+            f"transfer:{cause}",
+            direction=direction,
+            nbytes=int(nbytes),
+            moved=moved,
+            label=label,
+        )
+
+
+def reset() -> None:
+    """Reset metrics and ledger and disable tracing (test isolation)."""
+    _TRACER.disable()
+    _METRICS.reset()
+    _LEDGER.reset()

@@ -1,0 +1,100 @@
+"""Exporters: recorded events -> Chrome-trace JSON; registry -> dicts.
+
+The Chrome trace event format (the ``chrome://tracing`` / Perfetto
+"JSON Array with metadata" flavour) is the lingua franca of timeline
+viewers, so the tracer's spans become ``"ph": "X"`` complete events and
+its instants ``"ph": "i"`` instant events.  Timestamps are microseconds
+relative to the first event, per-thread tracks come from Python thread
+idents, and span attributes ride along in ``args`` — load the file in
+Perfetto and the kernel-launch spans nest over their transfer events
+exactly as they happened.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.tracer import TraceEvent
+
+#: The process id stamped on every exported event (one simulated process).
+TRACE_PID = 1
+
+
+def _jsonable(value: object) -> object:
+    """Coerce an attribute value to something ``json.dump`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def chrome_trace(
+    events: "Iterable[TraceEvent]", process_name: str = "repro"
+) -> dict:
+    """Render events as a Chrome-trace JSON object (not yet serialized).
+
+    The result has the standard ``traceEvents`` array (metadata events
+    naming the process and threads, then one entry per span/instant) and
+    ``displayTimeUnit``; ``json.dump`` it, or pass it straight to a test
+    assertion.
+    """
+    events = list(events)
+    origin = min((e.ts for e in events), default=0.0)
+    tids = sorted({e.tid for e in events})
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for i, tid in enumerate(tids):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": f"thread-{i}"},
+            }
+        )
+    for e in events:
+        ts_us = (e.ts - origin) * 1e6
+        entry: dict = {
+            "name": e.name,
+            "cat": e.kind,
+            "pid": TRACE_PID,
+            "tid": e.tid,
+            "ts": ts_us,
+            "args": _jsonable(e.args),
+        }
+        if e.kind == "span":
+            entry["ph"] = "X"
+            entry["dur"] = e.dur * 1e6
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, events: "Iterable[TraceEvent]", process_name: str = "repro"
+) -> dict:
+    """Serialize :func:`chrome_trace` to ``path``; returns the object."""
+    doc = chrome_trace(events, process_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc
+
+
+def write_json(path: str, payload: dict) -> None:
+    """Dump any snapshot dict (metrics, ledger) as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(_jsonable(payload), fh, indent=1, sort_keys=True)

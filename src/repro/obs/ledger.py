@@ -1,0 +1,174 @@
+"""The transfer ledger: every host<->device byte, attributed to a cause.
+
+CuPP's performance story (paper §4.6, §6.3) is a story about transfers
+that *didn't* happen — the lazy protocol skipping a re-upload, the const
+analysis eliding a copy-back, double buffering hiding a draw-data fetch
+behind compute.  Plain byte counters cannot express "bytes that would
+have moved"; the ledger can, because every entry carries both an
+attributed size and a ``moved`` bit:
+
+========================== ====================================================
+cause                      meaning
+========================== ====================================================
+``eager``                  unconditional copy (``memory1d``, constant mirrors)
+``lazy-miss``              the §4.6 lazy protocol found stale data and copied
+``copy-back``              post-kernel writeback of a mutable reference
+``copy-back-skipped-const`` writeback elided because the parameter was const
+                           (recorded with ``moved=False`` — bytes *saved*)
+``double-buffer-overlap``  draw-data fetch overlapped with compute (§6.3.2)
+========================== ====================================================
+
+Totals accumulate unconditionally (a handful of dict updates per
+transfer); the per-entry log is only kept while :attr:`TransferLedger.
+keep_entries` is set, which :func:`repro.obs.session.capture` toggles.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+#: The attribution vocabulary, in the order the paper introduces them.
+CAUSES = (
+    "eager",
+    "lazy-miss",
+    "copy-back",
+    "copy-back-skipped-const",
+    "double-buffer-overlap",
+)
+
+#: Transfer directions (``none`` for entries that moved nothing).
+DIRECTIONS = ("h2d", "d2h", "d2d", "none")
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One attributed transfer (or elided transfer, when not ``moved``)."""
+
+    cause: str
+    direction: str
+    nbytes: int
+    moved: bool
+    label: str
+    ts: float
+
+
+class TransferLedger:
+    """Accumulates attributed transfer totals (and optionally entries).
+
+    Thread-safe; one process-wide instance lives in :mod:`repro.obs`.
+    """
+
+    def __init__(self, keep_entries: bool = False) -> None:
+        self._lock = threading.Lock()
+        #: When true, individual :class:`TransferRecord` rows are retained.
+        self.keep_entries = keep_entries
+        self._bytes = {c: 0 for c in CAUSES}
+        self._counts = {c: 0 for c in CAUSES}
+        self._moved = {d: 0 for d in DIRECTIONS}
+        self._saved = 0
+        self._entries: list[TransferRecord] = []
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        cause: str,
+        direction: str,
+        nbytes: int,
+        *,
+        moved: bool = True,
+        label: str = "",
+        ts: float = 0.0,
+    ) -> None:
+        """Attribute ``nbytes`` to ``cause``.
+
+        ``moved=False`` marks an *elided* transfer: the bytes count
+        toward the cause's attributed total and toward
+        :attr:`bytes_saved`, but not toward any direction's moved total.
+        """
+        if cause not in self._bytes:
+            raise ValueError(f"unknown transfer cause {cause!r}; one of {CAUSES}")
+        if direction not in self._moved:
+            raise ValueError(
+                f"unknown transfer direction {direction!r}; one of {DIRECTIONS}"
+            )
+        nbytes = int(nbytes)
+        with self._lock:
+            self._bytes[cause] += nbytes
+            self._counts[cause] += 1
+            if moved:
+                self._moved[direction] += nbytes
+            else:
+                self._saved += nbytes
+            if self.keep_entries:
+                self._entries.append(
+                    TransferRecord(cause, direction, nbytes, moved, label, ts)
+                )
+
+    # ------------------------------------------------------------------
+    def bytes_for(self, cause: str) -> int:
+        """Bytes attributed to ``cause`` (moved or elided)."""
+        return self._bytes[cause]
+
+    def count_for(self, cause: str) -> int:
+        """Number of entries attributed to ``cause``."""
+        return self._counts[cause]
+
+    def moved_bytes(self, direction: "str | None" = None) -> int:
+        """Bytes that actually crossed the bus (optionally one direction)."""
+        with self._lock:
+            if direction is None:
+                return sum(self._moved.values())
+            return self._moved[direction]
+
+    @property
+    def bytes_saved(self) -> int:
+        """Bytes attributed but never moved (the paper's elisions)."""
+        return self._saved
+
+    @property
+    def entries(self) -> "tuple[TransferRecord, ...]":
+        """Retained per-entry rows (empty unless ``keep_entries``)."""
+        with self._lock:
+            return tuple(self._entries)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable totals (the bench/report consumable)."""
+        with self._lock:
+            return {
+                "bytes_by_cause": dict(self._bytes),
+                "count_by_cause": dict(self._counts),
+                "moved_bytes_by_direction": dict(self._moved),
+                "bytes_saved": self._saved,
+                "entries_retained": len(self._entries),
+            }
+
+    def delta_since(self, before: dict) -> dict:
+        """Totals accumulated since a previous :meth:`snapshot`."""
+        now = self.snapshot()
+        return {
+            "bytes_by_cause": {
+                c: now["bytes_by_cause"][c] - before["bytes_by_cause"].get(c, 0)
+                for c in CAUSES
+            },
+            "count_by_cause": {
+                c: now["count_by_cause"][c] - before["count_by_cause"].get(c, 0)
+                for c in CAUSES
+            },
+            "moved_bytes_by_direction": {
+                d: now["moved_bytes_by_direction"][d]
+                - before["moved_bytes_by_direction"].get(d, 0)
+                for d in DIRECTIONS
+            },
+            "bytes_saved": now["bytes_saved"] - before.get("bytes_saved", 0),
+        }
+
+    def reset(self) -> None:
+        """Zero all totals and drop retained entries."""
+        with self._lock:
+            self._bytes = {c: 0 for c in CAUSES}
+            self._counts = {c: 0 for c in CAUSES}
+            self._moved = {d: 0 for d in DIRECTIONS}
+            self._saved = 0
+            self._entries.clear()

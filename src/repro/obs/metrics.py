@@ -1,0 +1,194 @@
+"""Counters, gauges, histograms, and the labeled registry behind them.
+
+Instruments are deliberately tiny mutable objects — a hot path holds a
+direct reference to its :class:`Counter` and calls :meth:`Counter.inc`,
+paying one attribute store per event.  The :class:`MetricsRegistry`
+interns instruments by ``(name, labels)`` so every caller asking for the
+same series gets the same object, and renders everything into a plain
+dict via :meth:`MetricsRegistry.snapshot` (the format
+``repro.bench.report`` and the JSON exporters consume).
+
+Instrument classes are also usable standalone (unregistered): per-object
+statistics such as a single ``cupp.Vector``'s upload count are backed by
+private ``Counter`` instances, while the registry keeps the process-wide
+aggregate series — that split keeps the registry's cardinality bounded
+no matter how many vectors a workload creates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, launches)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: "int | float" = 0) -> None:
+        self.value = value
+
+    def inc(self, n: "int | float" = 1) -> None:
+        """Add ``n`` (defaults to 1) to the count."""
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (live allocations, queue depth)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        """Move the gauge up by ``n``."""
+        self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        """Move the gauge down by ``n``."""
+        self.value -= n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus power-of-two buckets.
+
+    The bucket layout (upper bounds ``1, 2, 4, ...``) suits the layer's
+    dominant distributions — transfer sizes in bytes and durations in
+    microseconds — without per-series configuration.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    #: Number of power-of-two buckets (the last one is unbounded).
+    BUCKETS = 40
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: "float | None" = None
+        self.max: "float | None" = None
+        self.buckets = [0] * self.BUCKETS
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        b = 0
+        bound = 1.0
+        while value > bound and b < self.BUCKETS - 1:
+            bound *= 2.0
+            b += 1
+        self.buckets[b] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """Plain-dict rendering (non-empty buckets only)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                f"le_{2 ** i}": n for i, n in enumerate(self.buckets) if n
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, sum={self.total})"
+
+
+def _series_key(name: str, labels: dict) -> "tuple[str, tuple]":
+    return name, tuple(sorted(labels.items()))
+
+
+def _series_name(name: str, labels: "tuple[tuple[str, object], ...]") -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class MetricsRegistry:
+    """Interned, labeled instruments plus a snapshot renderer.
+
+    ``counter``/``gauge``/``histogram`` get-or-create a series; asking
+    twice with the same name and labels returns the same instrument, so
+    instrumented code can cache the handle or re-resolve it each time.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, table: dict, factory, name: str, labels: dict):
+        key = _series_key(name, labels)
+        with self._lock:
+            inst = table.get(key)
+            if inst is None:
+                inst = table[key] = factory()
+            return inst
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The :class:`Counter` for ``name`` + ``labels`` (created once)."""
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The :class:`Gauge` for ``name`` + ``labels`` (created once)."""
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The :class:`Histogram` for ``name`` + ``labels`` (created once)."""
+        return self._get(self._histograms, Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything, as a JSON-serializable dict.
+
+        Series names render as ``name{label=value,...}``; counters and
+        gauges map to their value, histograms to their summary dict.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    _series_name(n, l): c.value
+                    for (n, l), c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    _series_name(n, l): g.value
+                    for (n, l), g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    _series_name(n, l): h.summary()
+                    for (n, l), h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every series (test isolation; existing handles detach)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

@@ -1,0 +1,84 @@
+"""Capture sessions: scoped collection of trace + metrics + ledger.
+
+:func:`capture` is how a benchmark or test grabs one experiment's worth
+of observability data without caring about global recorder state: it
+installs a fresh in-memory recorder (nesting-safe — an outer capture
+still sees the inner events), turns on ledger entry retention, and on
+exit freezes everything into a :class:`Capture` bundle that can be
+asserted on or dumped next to the experiment's results.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.obs.export import chrome_trace, write_chrome_trace, write_json
+from repro.obs.tracer import InMemoryRecorder, TraceEvent
+
+
+@dataclass
+class Capture:
+    """A frozen bundle of one capture session's observability data."""
+
+    events: "list[TraceEvent]" = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    ledger: dict = field(default_factory=dict)
+
+    def chrome_trace(self, process_name: str = "repro") -> dict:
+        """The captured events as a Chrome-trace JSON object."""
+        return chrome_trace(self.events, process_name)
+
+    def write(self, directory: str, stem: str = "capture") -> "list[str]":
+        """Write ``<stem>.trace.json`` and ``<stem>.metrics.json`` into
+        ``directory``; returns the paths written."""
+        import os
+
+        os.makedirs(directory, exist_ok=True)
+        trace_path = os.path.join(directory, f"{stem}.trace.json")
+        metrics_path = os.path.join(directory, f"{stem}.metrics.json")
+        write_chrome_trace(trace_path, self.events, process_name=stem)
+        write_json(
+            metrics_path, {"metrics": self.metrics, "transfer_ledger": self.ledger}
+        )
+        return [trace_path, metrics_path]
+
+
+@contextlib.contextmanager
+def capture(process_name: str = "repro"):
+    """Collect trace events, a metrics snapshot, and ledger deltas for
+    the duration of the ``with`` block.
+
+    Enables tracing into a fresh recorder for the block (restoring the
+    previous recorder afterwards — events are replayed into an enclosing
+    in-memory recorder so nested captures compose) and retains ledger
+    entries while active.  Yields a :class:`Capture` that is filled in
+    at block exit.
+    """
+    from repro import obs
+
+    tracer = obs.get_tracer()
+    ledger = obs.get_ledger()
+    registry = obs.get_metrics()
+
+    prev_recorder = tracer.recorder
+    recorder = InMemoryRecorder()
+    tracer.enable(recorder)
+    prev_keep = ledger.keep_entries
+    ledger.keep_entries = True
+    ledger_before = ledger.snapshot()
+
+    cap = Capture()
+    try:
+        yield cap
+    finally:
+        cap.events = recorder.drain()
+        cap.metrics = registry.snapshot()
+        cap.ledger = ledger.delta_since(ledger_before)
+        ledger.keep_entries = prev_keep
+        if isinstance(prev_recorder, InMemoryRecorder):
+            for event in cap.events:
+                prev_recorder.record(event)
+            tracer.enable(prev_recorder)
+        else:
+            tracer.disable()

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class SyntheticWarp:
@@ -66,23 +68,39 @@ def simulate_mp(
     reads_left = [reads_per_warp] * warps
     ready_at = [0] * warps  # when each warp can issue again
 
-    clock = 0
-    issued = 0
-    idle = 0
-    while any(r > 0 for r in reads_left):
-        # Oldest-ready-first among warps with work.
-        candidates = [w for w in range(warps) if reads_left[w] > 0]
-        w = min(candidates, key=lambda k: (ready_at[k], k))
-        if ready_at[w] > clock:
-            idle += ready_at[w] - clock
-            clock = ready_at[w]
-        # Greedy: the whole compute gap, then the read, back to back.
-        burst = gap_cycles + issue
-        clock += burst
-        issued += burst
-        ready_at[w] = clock + latency
-        reads_left[w] -= 1
-    return MpSimResult(total_cycles=clock, issue_cycles=issued, idle_cycles=idle)
+    with obs.span(
+        "mpsim.simulate",
+        warps=warps,
+        reads_per_warp=reads_per_warp,
+        gap_cycles=gap_cycles,
+        latency=latency,
+        issue=issue,
+    ) as span:
+        clock = 0
+        issued = 0
+        idle = 0
+        while any(r > 0 for r in reads_left):
+            # Oldest-ready-first among warps with work.
+            candidates = [w for w in range(warps) if reads_left[w] > 0]
+            w = min(candidates, key=lambda k: (ready_at[k], k))
+            if ready_at[w] > clock:
+                idle += ready_at[w] - clock
+                clock = ready_at[w]
+            # Greedy: the whole compute gap, then the read, back to back.
+            burst = gap_cycles + issue
+            clock += burst
+            issued += burst
+            ready_at[w] = clock + latency
+            reads_left[w] -= 1
+        result = MpSimResult(
+            total_cycles=clock, issue_cycles=issued, idle_cycles=idle
+        )
+        span.set(
+            total_cycles=result.total_cycles,
+            idle_cycles=result.idle_cycles,
+            utilization=result.utilization,
+        )
+    return result
 
 
 def analytic_prediction(

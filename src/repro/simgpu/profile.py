@@ -135,4 +135,5 @@ class InstructionProfile:
             "constant_misses": self.constant_misses,
             "texture_hits": self.texture_hits,
             "texture_misses": self.texture_misses,
+            "shared_bank_conflicts": self.shared_bank_conflicts,
         }

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro import obs
+
 #: Canonical stage names, in pipeline order (Fig. 5.4).
 STAGES = ("neighbor_search", "steering", "modification", "draw", "other")
 
@@ -27,6 +29,10 @@ class StageProfile:
         if stage not in self.cycles:
             raise KeyError(f"unknown stage {stage!r}; expected one of {STAGES}")
         self.cycles[stage] += cycles
+        obs.counter("steer.stage_cycles", stage=stage).inc(cycles)
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            tracer.instant(f"stage:{stage}", cycles=cycles)
 
     @property
     def total(self) -> float:
@@ -52,8 +58,17 @@ class StageProfile:
             (s, (c / total if total else 0.0)) for s, c in self.cycles.items()
         )
 
-    def merged(self, other: "StageProfile") -> "StageProfile":
-        out = StageProfile()
+    def merge(self, other: "StageProfile") -> None:
+        """Accumulate another profile into this one, in place — the same
+        API shape as :meth:`repro.simgpu.profile.InstructionProfile.merge`,
+        so the two profile types compose uniformly."""
         for s in STAGES:
-            out.cycles[s] = self.cycles[s] + other.cycles[s]
+            self.cycles[s] += other.cycles[s]
+
+    def merged(self, other: "StageProfile") -> "StageProfile":
+        """Out-of-place variant of :meth:`merge` (kept for callers that
+        want a fresh profile): returns ``self + other``."""
+        out = StageProfile()
+        out.merge(self)
+        out.merge(other)
         return out

@@ -1,0 +1,99 @@
+"""repro.obs.export + session: Chrome-trace schema, capture scoping."""
+
+import json
+
+from repro import obs
+from repro.obs.export import TRACE_PID, chrome_trace
+from repro.obs.tracer import InMemoryRecorder, Tracer
+
+
+def _sample_events():
+    tracer = Tracer(InMemoryRecorder())
+    with tracer.span("outer", n=4096):
+        tracer.instant("tick", nbytes=128)
+        with tracer.span("inner"):
+            pass
+    return tracer.events()
+
+
+class TestChromeTrace:
+    def test_schema_fields(self):
+        doc = chrome_trace(_sample_events(), process_name="demo")
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert events[0] == {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "demo"},
+        }
+        by_name = {e["name"]: e for e in events}
+        outer, inner, tick = by_name["outer"], by_name["inner"], by_name["tick"]
+        for span in (outer, inner):
+            assert span["ph"] == "X"
+            assert span["dur"] >= 0.0 and span["ts"] >= 0.0
+            assert span["pid"] == TRACE_PID
+        assert tick["ph"] == "i" and tick["s"] == "t"
+        assert tick["args"]["nbytes"] == 128
+        # Span containment survives the µs conversion.
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_round_trips_through_json(self):
+        doc = chrome_trace(_sample_events())
+        text = json.dumps(doc)
+        assert json.loads(text) == doc
+
+    def test_non_jsonable_args_coerced(self):
+        tracer = Tracer(InMemoryRecorder())
+        with tracer.span("weird", obj=object(), pair=(1, 2)):
+            pass
+        doc = chrome_trace(tracer.events())
+        args = doc["traceEvents"][-1]["args"]
+        assert isinstance(args["obj"], str)
+        assert args["pair"] == [1, 2]
+
+    def test_empty_event_list_is_valid(self):
+        doc = chrome_trace([])
+        assert doc["traceEvents"][0]["ph"] == "M"
+        json.dumps(doc)
+
+
+class TestCapture:
+    def test_capture_scopes_events_and_ledger(self):
+        obs.record_transfer("eager", "h2d", 7)  # before: must not leak in
+        with obs.capture() as cap:
+            with obs.span("work"):
+                obs.record_transfer("lazy-miss", "h2d", 64)
+        assert {e.name for e in cap.events} == {"work", "transfer:lazy-miss"}
+        assert cap.ledger["bytes_by_cause"]["lazy-miss"] == 64
+        assert cap.ledger["count_by_cause"]["eager"] == 0
+        assert not obs.enabled()  # restored to the pre-capture state
+
+    def test_nested_captures_compose(self):
+        with obs.capture() as outer_cap:
+            with obs.span("outer-only"):
+                pass
+            with obs.capture() as inner_cap:
+                with obs.span("inner-only"):
+                    pass
+        assert {e.name for e in inner_cap.events} == {"inner-only"}
+        # The enclosing capture still sees the inner events (replayed).
+        assert {e.name for e in outer_cap.events} == {"outer-only", "inner-only"}
+
+    def test_write_emits_loadable_files(self, tmp_path):
+        with obs.capture() as cap:
+            with obs.span("work"):
+                obs.record_transfer("copy-back", "d2h", 12)
+        paths = cap.write(str(tmp_path), stem="unit")
+        assert [p.rsplit("/", 1)[-1] for p in paths] == [
+            "unit.trace.json",
+            "unit.metrics.json",
+        ]
+        with open(paths[0], encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        with open(paths[1], encoding="utf-8") as fh:
+            metrics = json.load(fh)
+        assert metrics["transfer_ledger"]["bytes_by_cause"]["copy-back"] == 12

@@ -1,0 +1,182 @@
+"""End-to-end instrumentation: the obs layer wired through the stack."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cuda import CudaMachine, global_
+from repro.cupp import ConstRef, Device, DeviceVector, Kernel, Ref, Vector
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st
+
+
+@pytest.fixture
+def dev() -> Device:
+    return Device(machine=CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 22)]))
+
+
+@global_
+def saxpy_kernel(ctx, a: float, x: ConstRef[DeviceVector], y: Ref[DeviceVector]):
+    """y <- a*x + y (x const: copy-back elided)."""
+    i = ctx.global_thread_id
+    if i < len(x):
+        xi = yield ld(x.view, i)
+        yi = yield ld(y.view, i)
+        yield op(OpClass.FMAD)
+        yield st(y.view, i, a * xi + yi)
+
+
+def _vectors(n=64):
+    x = Vector(np.linspace(0, 1, n, dtype=np.float32))
+    y = Vector(np.ones(n, dtype=np.float32))
+    return x, y
+
+
+class TestLedgerMatchesLazyCopying:
+    def test_const_ref_call_records_elision_and_moves_nothing_back(self, dev):
+        x, y = _vectors()
+        saxpy = Kernel(saxpy_kernel, 2, 32)
+        with obs.capture() as cap:
+            saxpy(dev, 2.0, x, y)
+        skipped = cap.ledger["bytes_by_cause"]["copy-back-skipped-const"]
+        assert skipped > 0
+        # Attributed, not moved: elided bytes never show up as traffic.
+        assert cap.ledger["moved_bytes_by_direction"].get("none", 0) == 0
+        assert cap.ledger["bytes_saved"] >= skipped
+
+    def test_second_launch_uploads_nothing(self, dev):
+        x, y = _vectors()
+        saxpy = Kernel(saxpy_kernel, 2, 32)
+        saxpy(dev, 2.0, x, y)
+        with obs.capture() as cap:
+            saxpy(dev, 2.0, x, y)
+        # Lazy copying (§4.6): data already on the device, zero h2d bytes.
+        assert cap.ledger["moved_bytes_by_direction"].get("h2d", 0) == 0
+
+    def test_host_read_is_a_lazy_miss_download(self, dev):
+        x, y = _vectors(n=32)
+        saxpy = Kernel(saxpy_kernel, 1, 32)
+        saxpy(dev, 2.0, x, y)
+        with obs.capture() as cap:
+            y.to_numpy()
+        assert cap.ledger["bytes_by_cause"]["lazy-miss"] == 32 * 4
+        assert cap.ledger["moved_bytes_by_direction"]["d2h"] == 32 * 4
+
+
+class TestTraceNesting:
+    def test_kernel_span_contains_launch_and_transfers(self, dev):
+        x, y = _vectors()
+        saxpy = Kernel(saxpy_kernel, 2, 32)
+        with obs.capture() as cap:
+            saxpy(dev, 2.0, x, y)
+        by_name = {}
+        for ev in cap.events:
+            by_name.setdefault(ev.name, ev)
+        kernel = by_name["kernel:saxpy_kernel"]
+        assert kernel.kind == "span" and kernel.depth == 0
+        assert kernel.args["stats"]["elided_writebacks"] == 1
+        launch = by_name["cuda.launch:saxpy_kernel"]
+        assert launch.parent == "kernel:saxpy_kernel" and launch.depth == 1
+        elide = by_name["transfer:copy-back-skipped-const"]
+        assert elide.kind == "instant"
+        assert elide.parent == "kernel:saxpy_kernel"
+        # Uploads happen during argument handling, inside the kernel span.
+        assert by_name["transfer:lazy-miss"].depth >= 1
+
+
+class TestBackCompatCounters:
+    def test_vector_counters_read_through_registry(self, dev):
+        x, y = _vectors()
+        saxpy = Kernel(saxpy_kernel, 2, 32)
+        assert (x.uploads, x.downloads) == (0, 0)
+        saxpy(dev, 2.0, x, y)
+        assert x.uploads == 1 and y.uploads == 1
+        y.to_numpy()
+        assert y.downloads == 1
+        snap = obs.get_metrics().snapshot()
+        assert snap["counters"]["cupp.vector.uploads"] >= 2
+        assert snap["counters"]["cupp.vector.downloads"] >= 1
+
+    def test_call_stats_fields_backed_by_metrics(self, dev):
+        x, y = _vectors()
+        saxpy = Kernel(saxpy_kernel, 2, 32)
+        stats = saxpy(dev, 2.0, x, y)
+        assert stats.value_copies == 1  # the scalar a
+        assert stats.elided_writebacks == 1  # const x
+        assert stats.writebacks == 1  # mutable y's struct
+        assert stats.as_dict()["elided_writebacks"] == 1
+        snap = obs.get_metrics().snapshot()
+        assert snap["counters"]["cupp.kernel.elided_writebacks"] == 1
+        assert snap["counters"]["cupp.kernel.launches{kernel=saxpy_kernel}"] == 1
+
+    def test_call_stats_setters_still_work(self):
+        from repro.cupp.kernel import CallStats
+
+        stats = CallStats(value_copies=2)
+        assert stats.value_copies == 2
+        stats.writebacks = 5
+        assert stats.writebacks == 5
+        with pytest.raises(TypeError):
+            CallStats(bogus=1)
+
+    def test_zero_overhead_when_disabled(self, dev):
+        x, y = _vectors()
+        saxpy = Kernel(saxpy_kernel, 2, 32)
+        assert not obs.enabled()
+        saxpy(dev, 2.0, x, y)
+        assert obs.get_tracer().events() == []
+        # The ledger still attributes (it is cheap bookkeeping) but keeps
+        # no per-entry records unless asked to.
+        assert obs.get_ledger().entries == ()
+
+
+class TestSatellites:
+    def test_instruction_profile_summary_reports_bank_conflicts(self):
+        from repro.simgpu.profile import InstructionProfile
+
+        prof = InstructionProfile()
+        prof.shared_bank_conflicts = 7
+        assert prof.summary()["shared_bank_conflicts"] == 7
+
+    def test_stage_profile_merge_matches_instruction_profile_api(self):
+        from repro.steer.profiler import StageProfile
+
+        a = StageProfile()
+        a.add("steering", 10.0)
+        b = StageProfile()
+        b.add("steering", 5.0)
+        b.add("modification", 2.0)
+        out = a.merge(b)  # in-place, like InstructionProfile.merge
+        assert out is None
+        assert a.cycles["steering"] == 15.0
+        assert a.cycles["modification"] == 2.0
+
+    def test_stage_profile_merged_is_non_mutating_wrapper(self):
+        from repro.steer.profiler import StageProfile
+
+        a = StageProfile()
+        a.add("steering", 10.0)
+        b = StageProfile()
+        b.add("steering", 5.0)
+        c = a.merged(b)
+        assert c.cycles["steering"] == 15.0
+        assert a.cycles["steering"] == 10.0  # untouched
+
+    def test_bench_observed_attaches_capture(self):
+        from repro.bench.harness import run_fig_1_1
+
+        plain = run_fig_1_1()
+        assert plain.capture is None  # tracing off: no overhead
+        obs.enable_tracing()
+        traced = run_fig_1_1()
+        assert traced.capture is not None
+        assert traced.dump_observability.__doc__  # has the dump API
+
+    def test_bench_trace_flag_writes_files(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--trace", str(tmp_path), "fig-1.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1.1" in out
+        assert (tmp_path / "fig-1.1.trace.json").exists()
+        assert (tmp_path / "fig-1.1.metrics.json").exists()

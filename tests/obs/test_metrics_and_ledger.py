@@ -1,0 +1,120 @@
+"""repro.obs.metrics + repro.obs.ledger: registry semantics, attribution."""
+
+import pytest
+
+from repro import obs
+from repro.obs.ledger import TransferLedger
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestMetricsRegistry:
+    def test_counter_interned_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", kind="read")
+        b = reg.counter("hits", kind="read")
+        c = reg.counter("hits", kind="write")
+        assert a is b and a is not c
+        a.inc(3)
+        assert reg.counter("hits", kind="read").value == 3
+        assert c.value == 0
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        assert reg.counter("m", a=1, b=2) is reg.counter("m", b=2, a=1)
+
+    def test_snapshot_renders_label_series(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", cause="eager", direction="h2d").inc(10)
+        reg.gauge("live").set(4)
+        reg.histogram("lat").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["bytes{cause=eager,direction=h2d}"] == 10
+        assert snap["gauges"]["live"] == 4
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes")
+        for v in (1, 2, 4, 8):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["min"] == 1 and s["max"] == 8
+        assert h.mean == pytest.approx(3.75)
+
+    def test_reset_clears_all_series(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestTransferLedger:
+    def test_totals_by_cause_and_direction(self):
+        led = TransferLedger()
+        led.record("eager", "h2d", 100)
+        led.record("lazy-miss", "h2d", 50)
+        led.record("copy-back", "d2h", 25)
+        assert led.bytes_for("eager") == 100
+        assert led.count_for("lazy-miss") == 1
+        assert led.moved_bytes("h2d") == 150
+        assert led.moved_bytes() == 175
+
+    def test_elided_bytes_count_as_saved_not_moved(self):
+        led = TransferLedger()
+        led.record("copy-back-skipped-const", "none", 64, moved=False)
+        assert led.bytes_for("copy-back-skipped-const") == 64
+        assert led.moved_bytes() == 0
+        assert led.bytes_saved == 64
+
+    def test_unknown_cause_or_direction_rejected(self):
+        led = TransferLedger()
+        with pytest.raises(ValueError):
+            led.record("mystery", "h2d", 1)
+        with pytest.raises(ValueError):
+            led.record("eager", "sideways", 1)
+
+    def test_delta_since_isolates_a_window(self):
+        led = TransferLedger()
+        led.record("eager", "h2d", 10)
+        before = led.snapshot()
+        led.record("eager", "h2d", 5)
+        delta = led.delta_since(before)
+        assert delta["bytes_by_cause"]["eager"] == 5
+        assert delta["count_by_cause"]["eager"] == 1
+
+    def test_entry_retention_is_opt_in(self):
+        led = TransferLedger()
+        led.record("eager", "h2d", 1)
+        assert led.entries == ()
+        led.keep_entries = True
+        led.record("eager", "h2d", 2)
+        (entry,) = led.entries
+        assert entry.nbytes == 2 and entry.cause == "eager"
+
+
+class TestRecordTransferFunnel:
+    def test_updates_ledger_metrics_and_trace(self):
+        obs.enable_tracing()
+        obs.record_transfer("lazy-miss", "h2d", 256, label="vector")
+        assert obs.get_ledger().bytes_for("lazy-miss") == 256
+        snap = obs.get_metrics().snapshot()
+        key = "repro.transfer.bytes{cause=lazy-miss,direction=h2d}"
+        assert snap["counters"][key] == 256
+        (ev,) = obs.get_tracer().events()
+        assert ev.name == "transfer:lazy-miss"
+        assert ev.args["nbytes"] == 256 and ev.args["moved"] is True
+
+    def test_disabled_tracing_still_feeds_ledger_and_metrics(self):
+        obs.record_transfer("copy-back", "d2h", 32)
+        assert obs.get_ledger().bytes_for("copy-back") == 32
+        assert obs.get_tracer().events() == []
+
+    def test_reset_clears_the_trio(self):
+        obs.enable_tracing()
+        obs.record_transfer("eager", "h2d", 8)
+        obs.reset()
+        assert not obs.enabled()
+        assert obs.get_ledger().moved_bytes() == 0
+        assert obs.get_metrics().snapshot()["counters"] == {}

@@ -1,0 +1,121 @@
+"""repro.obs.tracer: span nesting, instants, and the zero-cost off path."""
+
+import threading
+
+from repro import obs
+from repro.obs.tracer import InMemoryRecorder, NullRecorder, Tracer
+
+
+class TestSpans:
+    def test_nesting_depth_and_parent(self):
+        tracer = Tracer(InMemoryRecorder())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.instant("tick", k=1)
+        events = {e.name: e for e in tracer.events()}
+        assert events["outer"].depth == 0 and events["outer"].parent is None
+        assert events["inner"].depth == 1 and events["inner"].parent == "outer"
+        assert events["tick"].kind == "instant"
+        assert events["tick"].depth == 2 and events["tick"].parent == "inner"
+
+    def test_children_recorded_before_parents(self):
+        # Spans land in the recorder at exit, so completion order is
+        # child-first — the exporter relies on ts/dur, not list order.
+        tracer = Tracer(InMemoryRecorder())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [e.name for e in tracer.events()]
+        assert names == ["inner", "outer"]
+
+    def test_span_timing_monotonic(self):
+        tracer = Tracer(InMemoryRecorder())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events()
+        assert outer.ts <= inner.ts
+        assert outer.dur >= inner.dur >= 0.0
+
+    def test_set_merges_attrs(self):
+        tracer = Tracer(InMemoryRecorder())
+        with tracer.span("work", a=1) as span:
+            span.set(b=2)
+        (ev,) = tracer.events()
+        assert ev.args == {"a": 1, "b": 2}
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer(InMemoryRecorder())
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        events = {e.name: e for e in tracer.events()}
+        assert events["first"].parent == "outer"
+        assert events["second"].parent == "outer"
+        assert events["first"].depth == events["second"].depth == 1
+
+    def test_per_thread_stacks(self):
+        tracer = Tracer(InMemoryRecorder())
+        seen = {}
+
+        def worker():
+            with tracer.span("threaded") as span:
+                seen["depth"] = span.depth
+
+        with tracer.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # The worker's span is a root on its own thread, not a child of
+        # the main thread's open span.
+        assert seen["depth"] == 0
+        events = {e.name: e for e in tracer.events()}
+        assert events["threaded"].parent is None
+        assert events["threaded"].tid != events["main"].tid
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        assert tracer.span("anything", heavy="attr") is obs.NULL_SPAN
+        assert tracer.span("other") is obs.NULL_SPAN  # same singleton
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("ghost"):
+            tracer.instant("ghost-tick")
+        assert tracer.events() == []
+
+    def test_null_span_set_is_noop(self):
+        with obs.NULL_SPAN as span:
+            span.set(anything="goes")
+
+    def test_enable_disable_roundtrip(self):
+        tracer = Tracer()
+        rec = tracer.enable()
+        assert tracer.enabled and isinstance(rec, InMemoryRecorder)
+        tracer.disable()
+        assert not tracer.enabled
+        assert isinstance(tracer.recorder, NullRecorder)
+
+    def test_enable_keeps_provided_empty_recorder(self):
+        # An empty InMemoryRecorder is falsy (__len__ == 0); enable must
+        # still install that exact instance.
+        tracer = Tracer()
+        mine = InMemoryRecorder()
+        assert tracer.enable(mine) is mine
+        assert tracer.recorder is mine
+
+    def test_global_helpers(self):
+        assert not obs.enabled()
+        obs.enable_tracing()
+        assert obs.enabled()
+        with obs.span("global-span"):
+            obs.instant("global-instant")
+        assert {e.name for e in obs.get_tracer().events()} == {
+            "global-span",
+            "global-instant",
+        }
