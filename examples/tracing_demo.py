@@ -79,4 +79,7 @@ def main(out_dir: "str | None" = None) -> None:
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else None)
+    # Ignore option-looking argv entries: when the test suite executes the
+    # examples via runpy, sys.argv still holds pytest's own flags (-q, -x).
+    arg = sys.argv[1] if len(sys.argv) > 1 else None
+    main(None if arg is not None and arg.startswith("-") else arg)

@@ -21,6 +21,7 @@ from repro.bench.harness import (
     run_fig_6_3,
     run_fig_6_4,
     run_sec_7_traits,
+    run_serve_slo,
 )
 
 EXPERIMENTS = {
@@ -31,6 +32,7 @@ EXPERIMENTS = {
     "fig-6.3": run_fig_6_3,
     "fig-6.4": run_fig_6_4,
     "sec-7": run_sec_7_traits,
+    "serve-slo": run_serve_slo,
 }
 
 

@@ -341,3 +341,71 @@ def run_sec_7_traits(repeats: int = 2000) -> Experiment:
         "analysis at Kernel construction.",
     )
     return exp
+
+
+# ----------------------------------------------------------------------
+# Serving SLO — batched vs per-request launches at one offered load
+# ----------------------------------------------------------------------
+@observed
+def run_serve_slo(
+    clients: int = 32,
+    duration_s: float = 0.25,
+    rate_rps: float = 16000.0,
+    seed: int = 0,
+) -> Experiment:
+    """repro.serve under open-loop load: batching on vs off.
+
+    Runs the load generator twice on the identical Poisson arrival
+    stream — dynamic batching enabled, then one-launch-per-request — and
+    tabulates the SLO deltas.  The qualitative shape the serving layer
+    exists for: batching amortizes launch + PCIe per-call overhead, so
+    at the same offered load it completes more requests with far fewer
+    modelled kernel launches, while the per-request baseline saturates
+    its dispatch path and starts rejecting.
+    """
+    from repro.serve.loadgen import run_load
+    from repro.serve.service import ServeConfig
+
+    reports = {}
+    for label, batching in (("batched", True), ("per-request", False)):
+        reports[label] = run_load(
+            clients=clients,
+            duration_s=duration_s,
+            rate_rps=rate_rps,
+            seed=seed,
+            config=ServeConfig(physics=False, batching=batching),
+        )
+
+    rows = []
+    for label, r in reports.items():
+        rows.append(
+            (
+                label,
+                r.completed,
+                f"{r.throughput_rps:,.0f}",
+                f"{r.p50_ms:.2f}",
+                f"{r.p99_ms:.2f}",
+                f"{r.mean_batch_size:.1f}",
+                r.launches,
+                r.rejected + r.shed + r.expired,
+            )
+        )
+    on, off = reports["batched"], reports["per-request"]
+    exp = Experiment("serve-slo", rows)
+    exp.data = {
+        "batched": on.to_dict(),
+        "per_request": off.to_dict(),
+        "throughput_gain": on.throughput_rps / max(off.throughput_rps, 1e-9),
+        "launch_ratio": off.launches / max(on.launches, 1),
+    }
+    exp.report = format_table(
+        f"serve SLO — {clients} clients, {rate_rps:,.0f} req/s offered "
+        f"for {duration_s:g} s (virtual)",
+        ["mode", "done", "req/s", "p50 ms", "p99 ms", "batch", "launches",
+         "failed"],
+        rows,
+        note="Dynamic batching amortizes launch + PCIe per-call overhead "
+        "across coalesced sessions; the per-request baseline saturates "
+        "its host dispatch path at the same offered load.",
+    )
+    return exp

@@ -192,11 +192,17 @@ class Vector:
     # ------------------------------------------------------------------
     # host-side freshness management
     # ------------------------------------------------------------------
-    def _ensure_host(self) -> None:
-        """Host read path: download from the device if the host is stale."""
+    def _ensure_host(self, cause: str = "lazy-miss") -> None:
+        """Host read path: download from the device if the host is stale.
+
+        ``cause`` names the ledger bucket a forced download lands in;
+        batch assembly (:meth:`concat` / :meth:`split_at`) passes its own
+        attribution so the serving layer's traffic is distinguishable
+        from ordinary lazy misses.
+        """
         if not self._host_valid:
             assert self._mem is not None, "host marked stale with no device data"
-            fresh = self._mem.copy_to_host(cause="lazy-miss")
+            fresh = self._mem.copy_to_host(cause=cause)
             self._store = fresh.copy()
             self._size = fresh.size
             self._host_valid = True
@@ -338,6 +344,74 @@ class Vector:
 
     def get_device_reference_readonly(self, device: Device) -> DeviceReference:
         return DeviceReference(device, self.transform_readonly(device))
+
+    # ------------------------------------------------------------------
+    # batching helpers (the repro.serve data path)
+    # ------------------------------------------------------------------
+    @classmethod
+    def concat(cls, parts: "Iterable[Vector]") -> "Vector":
+        """Fuse several vectors into one new vector (batch assembly).
+
+        The dynamic batcher concatenates per-session state so one kernel
+        launch (and one transfer) covers every request in a batch.  Parts
+        whose host copy is stale are downloaded first, attributed to the
+        ``batch-concat`` ledger cause; the fused vector is a fresh
+        host-valid vector with no device binding (its upload, if any, is
+        a separate attributed transfer).  All parts must share a dtype.
+        """
+        parts = list(parts)
+        if not parts:
+            raise CuppUsageError("concat needs at least one vector")
+        dtype = parts[0].dtype
+        arrays = []
+        for part in parts:
+            if not isinstance(part, Vector):
+                raise CuppUsageError("concat requires cupp.Vector parts")
+            if part.dtype != dtype:
+                raise CuppUsageError(
+                    f"concat dtype mismatch: {part.dtype} vs {dtype}"
+                )
+            part._ensure_host(cause="batch-concat")
+            arrays.append(part._store[: part._size])
+        fused = cls(np.concatenate(arrays), dtype=dtype)
+        obs.instant(
+            "vector.concat",
+            parts=len(parts),
+            nbytes=fused._size * dtype.itemsize,
+        )
+        return fused
+
+    def split_at(self, *offsets: int) -> "list[Vector]":
+        """Slice this vector into ``len(offsets) + 1`` independent vectors.
+
+        The inverse of :meth:`concat`: the batcher demultiplexes a fused
+        result back into per-request pieces.  ``offsets`` must be
+        non-decreasing element indices within the vector; each returned
+        vector owns a copy of its slice (so writes to a piece never leak
+        into the source, and the source's device copy stays valid).  A
+        stale host copy is downloaded first, attributed to the
+        ``batch-split`` ledger cause.
+        """
+        self._ensure_host(cause="batch-split")
+        previous = 0
+        for offset in offsets:
+            if not previous <= offset <= self._size:
+                raise CuppUsageError(
+                    f"split offsets must be non-decreasing and within "
+                    f"[0, {self._size}]; got {offsets}"
+                )
+            previous = offset
+        bounds = [0, *offsets, self._size]
+        pieces = [
+            Vector(self._store[start:stop].copy(), dtype=self.dtype)
+            for start, stop in zip(bounds, bounds[1:])
+        ]
+        obs.instant(
+            "vector.split",
+            pieces=len(pieces),
+            nbytes=self._size * self.dtype.itemsize,
+        )
+        return pieces
 
     # ------------------------------------------------------------------
     # std::vector-like host interface

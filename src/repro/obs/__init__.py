@@ -61,6 +61,7 @@ __all__ = [
     "Tracer",
     "TransferLedger",
     "TransferRecord",
+    "batch_size_histogram",
     "capture",
     "chrome_trace",
     "counter",
@@ -74,6 +75,7 @@ __all__ = [
     "histogram",
     "instant",
     "monotonic",
+    "queue_depth_gauge",
     "record_transfer",
     "reset",
     "span",
@@ -145,6 +147,27 @@ def gauge(name: str, **labels: object) -> Gauge:
 def histogram(name: str, **labels: object) -> Histogram:
     """A histogram from the global registry."""
     return _METRICS.histogram(name, **labels)
+
+
+def queue_depth_gauge(component: str, **labels: object) -> Gauge:
+    """The canonical queue-depth series for ``component``.
+
+    All queue-like structures report into the one ``repro.queue.depth``
+    gauge family, distinguished by a ``component`` label, so dashboards
+    and tests can find every queue the same way.
+    """
+    return _METRICS.gauge("repro.queue.depth", component=component, **labels)
+
+
+def batch_size_histogram(component: str, **labels: object) -> Histogram:
+    """The canonical batch-size distribution for ``component``.
+
+    Batching layers (the serving batcher, future request coalescers)
+    observe each formed batch's size into ``repro.batch.size`` labeled by
+    ``component``; :meth:`~repro.obs.metrics.Histogram.percentile` and
+    ``mean`` then answer "how well did batching amortize?".
+    """
+    return _METRICS.histogram("repro.batch.size", component=component, **labels)
 
 
 # ----------------------------------------------------------------------

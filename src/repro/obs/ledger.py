@@ -16,6 +16,12 @@ cause                      meaning
 ``copy-back-skipped-const`` writeback elided because the parameter was const
                            (recorded with ``moved=False`` — bytes *saved*)
 ``double-buffer-overlap``  draw-data fetch overlapped with compute (§6.3.2)
+``batch-concat``           bytes assembled into a fused batch input: downloads
+                           forced by ``Vector.concat`` plus the coalesced
+                           upload of cold session state (``repro.serve``)
+``batch-split``            bytes demultiplexed out of a fused batch result:
+                           the coalesced device->host fetch plus downloads
+                           forced by ``Vector.split_at``
 ========================== ====================================================
 
 Totals accumulate unconditionally (a handful of dict updates per
@@ -28,13 +34,16 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-#: The attribution vocabulary, in the order the paper introduces them.
+#: The attribution vocabulary: the paper's causes in the order it
+#: introduces them, then the serving layer's batching data path.
 CAUSES = (
     "eager",
     "lazy-miss",
     "copy-back",
     "copy-back-skipped-const",
     "double-buffer-overlap",
+    "batch-concat",
+    "batch-split",
 )
 
 #: Transfer directions (``none`` for entries that moved nothing).

@@ -100,6 +100,32 @@ class Histogram:
         """Arithmetic mean of all samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (0-100) from the buckets.
+
+        Linear interpolation inside the first bucket whose cumulative
+        count reaches the target rank, clamped to the observed min/max so
+        the coarse power-of-two bounds never over- or under-shoot the
+        data.  Returns 0.0 when the histogram is empty.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q / 100.0 * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if seen + n >= rank:
+                lo = 0.0 if i == 0 else float(2 ** (i - 1))
+                hi = float(2**i)
+                frac = (rank - seen) / n
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.min), self.max)
+            seen += n
+        return float(self.max)
+
     def summary(self) -> dict:
         """Plain-dict rendering (non-empty buckets only)."""
         return {

@@ -1,0 +1,317 @@
+"""Open-loop load generator + SLO report for the serving subsystem.
+
+``python -m repro.serve.loadgen`` drives a :class:`SimulationService`
+with Poisson arrivals at a configured offered rate, spread over a set of
+client sessions, then reports the SLO numbers a serving team would put
+on a dashboard: p50/p95/p99 latency, completed throughput, outcome
+counts, mean batch size, and modelled kernel-launch totals.
+
+The arrival process is **open-loop** (arrivals do not wait for earlier
+responses), which is what makes overload visible: when the service
+cannot keep up, the queue — not the client — absorbs the excess, and the
+admission policy decides who pays.  All times are virtual seconds on the
+service's modelled clock, so every run is deterministic for a given
+seed and free of wall-clock noise; with ``--physics`` the flocks really
+move (slower, identical timing numbers).
+
+``--compare`` runs the same offered load twice — batching on, then off —
+and prints both reports plus the headline ratios (throughput, p99,
+launches).  ``--trace DIR`` additionally writes Chrome-trace and metrics
+JSON via :func:`repro.obs.capture`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.serve.request import FAILED_STATUSES, RequestStatus, StepRequest
+from repro.serve.service import ServeConfig, SimulationService
+
+
+@dataclass
+class LoadReport:
+    """One load run's SLO summary (all times virtual seconds)."""
+
+    batching: bool
+    offered: int
+    offered_rate: float
+    duration_s: float
+    completed: int
+    rejected: int
+    shed: int
+    expired: int
+    finished_at_s: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_batch_size: float
+    batches: int
+    launches: int
+    max_queue_depth: int
+    latencies_ms: "list[float]" = field(default_factory=list, repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per virtual second of the run."""
+        horizon = max(self.finished_at_s, self.duration_s, 1e-9)
+        return self.completed / horizon
+
+    @property
+    def launches_per_request(self) -> float:
+        """Modelled kernel launches per completed request."""
+        return self.launches / max(1, self.completed)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (sans the raw latency samples)."""
+        return {
+            "batching": self.batching,
+            "offered": self.offered,
+            "offered_rate_rps": self.offered_rate,
+            "duration_s": self.duration_s,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "expired": self.expired,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_batch_size": self.mean_batch_size,
+            "batches": self.batches,
+            "launches": self.launches,
+            "launches_per_request": self.launches_per_request,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+    def lines(self) -> "list[str]":
+        """The human-readable report block."""
+        mode = "batching on" if self.batching else "batching OFF"
+        return [
+            f"--- serve loadgen ({mode}) ---",
+            f"offered     {self.offered} requests "
+            f"({self.offered_rate:.0f} req/s over {self.duration_s:g} s)",
+            f"completed   {self.completed}  "
+            f"(rejected {self.rejected}, shed {self.shed}, "
+            f"expired {self.expired})",
+            f"throughput  {self.throughput_rps:,.0f} req/s (virtual)",
+            f"latency     p50 {self.p50_ms:.3f} ms   "
+            f"p95 {self.p95_ms:.3f} ms   p99 {self.p99_ms:.3f} ms",
+            f"batches     {self.batches}  "
+            f"(mean size {self.mean_batch_size:.1f}, "
+            f"max queue depth {self.max_queue_depth})",
+            f"launches    {self.launches} modelled kernel launches "
+            f"({self.launches_per_request:.3f} per completed request)",
+        ]
+
+
+def _percentile(samples: "list[float]", q: float) -> float:
+    """Exact percentile of collected samples (0 when empty)."""
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def run_load(
+    clients: int = 64,
+    duration_s: float = 2.0,
+    rate_rps: float = 16000.0,
+    seed: int = 0,
+    config: "ServeConfig | None" = None,
+    deadline_s: "float | None" = None,
+) -> LoadReport:
+    """Drive one service instance with Poisson arrivals; summarize.
+
+    Arrivals are generated up front from ``seed`` (so batched and
+    unbatched runs in a comparison see the *identical* request stream),
+    assigned uniformly to ``clients`` sessions, then replayed through
+    :meth:`SimulationService.submit`/:meth:`~SimulationService.advance`.
+    """
+    config = config or ServeConfig(physics=False, default_deadline_s=deadline_s)
+    service = SimulationService(config)
+    for i in range(clients):
+        service.create_session(f"client-{i}", seed=seed + i)
+
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=max(1, int(rate_rps * duration_s * 2)))
+    arrivals = np.cumsum(gaps)
+    arrivals = arrivals[arrivals < duration_s]
+    owners = rng.integers(0, clients, size=arrivals.size)
+
+    requests: "list[StepRequest]" = []
+    max_depth = 0
+    for t, owner in zip(arrivals, owners):
+        service.advance(float(t))
+        requests.append(service.submit(f"client-{owner}"))
+        max_depth = max(max_depth, service.admission.depth)
+    service.drain()
+
+    latencies_ms = [
+        r.latency_s * 1e3
+        for r in requests
+        if r.status is RequestStatus.DONE and r.latency_s is not None
+    ]
+    by_status = {
+        status: sum(1 for r in requests if r.status is status)
+        for status in FAILED_STATUSES
+    }
+    stats = service.stats
+    return LoadReport(
+        batching=config.batching,
+        offered=len(requests),
+        offered_rate=rate_rps,
+        duration_s=duration_s,
+        completed=stats.completed,
+        rejected=by_status[RequestStatus.REJECTED],
+        shed=by_status[RequestStatus.SHED],
+        expired=by_status[RequestStatus.EXPIRED],
+        finished_at_s=service.now,
+        p50_ms=_percentile(latencies_ms, 50),
+        p95_ms=_percentile(latencies_ms, 95),
+        p99_ms=_percentile(latencies_ms, 99),
+        mean_batch_size=stats.mean_batch_size,
+        batches=stats.batches,
+        launches=stats.launches,
+        max_queue_depth=max_depth,
+        latencies_ms=latencies_ms,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """The ``repro.serve.loadgen`` command line."""
+    p = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Open-loop load generator for the repro.serve subsystem "
+        "(virtual-time SLO report).",
+    )
+    p.add_argument("--clients", type=int, default=64, help="client sessions")
+    p.add_argument(
+        "--duration", type=float, default=2.0, help="virtual seconds of arrivals"
+    )
+    p.add_argument(
+        "--rate", type=float, default=16000.0, help="offered requests/second"
+    )
+    p.add_argument("--agents", type=int, default=128, help="agents per session")
+    p.add_argument("--max-batch", type=int, default=32, help="batch size cap")
+    p.add_argument(
+        "--window-ms", type=float, default=2.0, help="batching window (ms)"
+    )
+    p.add_argument(
+        "--queue-capacity", type=int, default=256, help="admission queue slots"
+    )
+    p.add_argument(
+        "--policy",
+        default="reject",
+        choices=("reject", "shed-oldest", "block"),
+        help="backpressure policy when the queue is full",
+    )
+    p.add_argument("--devices", type=int, default=2, help="simulated GPUs")
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline (ms after arrival); default none",
+    )
+    p.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="one launch per request (the baseline batching amortizes)",
+    )
+    p.add_argument(
+        "--compare",
+        action="store_true",
+        help="run batched AND unbatched on the same arrivals; print both",
+    )
+    p.add_argument("--seed", type=int, default=0, help="arrival-stream seed")
+    p.add_argument(
+        "--physics",
+        action="store_true",
+        help="run real boids physics (slower; identical virtual timing)",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="DIR", help="write trace/metrics JSON"
+    )
+    p.add_argument(
+        "--json", default=None, metavar="PATH", help="write the report as JSON"
+    )
+    return p
+
+
+def _config(args: argparse.Namespace, batching: bool) -> ServeConfig:
+    """Build a ServeConfig from parsed CLI arguments."""
+    return ServeConfig(
+        agents_per_session=args.agents,
+        max_batch=args.max_batch,
+        window_s=args.window_ms * 1e-3,
+        batching=batching,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        default_deadline_s=(
+            None if args.deadline_ms is None else args.deadline_ms * 1e-3
+        ),
+        devices=args.devices,
+        physics=args.physics,
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    def one(batching: bool) -> LoadReport:
+        return run_load(
+            clients=args.clients,
+            duration_s=args.duration,
+            rate_rps=args.rate,
+            seed=args.seed,
+            config=_config(args, batching),
+        )
+
+    reports: "list[LoadReport]" = []
+    if args.trace:
+        with obs.capture("serve-loadgen") as cap:
+            reports.append(one(not args.no_batching))
+        paths = cap.write(args.trace, stem="serve-loadgen")
+        trace_note = f"trace/metrics written: {', '.join(paths)}"
+    else:
+        reports.append(one(not args.no_batching))
+        trace_note = None
+
+    if args.compare:
+        reports.append(one(False))
+
+    for report in reports:
+        print("\n".join(report.lines()))
+        print()
+    if args.compare and len(reports) == 2:
+        on, off = reports
+        print("--- batching vs no-batching ---")
+        print(
+            f"throughput  {on.throughput_rps:,.0f} vs {off.throughput_rps:,.0f} "
+            f"req/s ({on.throughput_rps / max(off.throughput_rps, 1e-9):.2f}x)"
+        )
+        print(
+            f"launches    {on.launches} vs {off.launches} "
+            f"({off.launches / max(on.launches, 1):.1f}x fewer with batching)"
+        )
+        print(f"p99         {on.p99_ms:.3f} ms vs {off.p99_ms:.3f} ms")
+    if trace_note:
+        print(trace_note)
+    if args.json:
+        payload = (
+            reports[0].to_dict()
+            if len(reports) == 1
+            else {"batching": reports[0].to_dict(), "no_batching": reports[1].to_dict()}
+        )
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"report written: {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Step requests — the unit of work the serving layer moves around.
+
+A client asks the service to advance its session's flock by one frame.
+The request object doubles as the per-request record: admission,
+launch, and finish timestamps land on it as the request moves through
+the pipeline (queue -> batch -> device -> demux), so latency breakdowns
+need no side tables.
+
+All timestamps are *virtual* seconds on the service's modelled clock
+(the same clock :class:`repro.simgpu.transfer.DeviceTimeline` runs on),
+which keeps every run deterministic and independent of wall time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of a step request inside the service."""
+
+    #: Created, not yet offered to admission control.
+    PENDING = "pending"
+    #: Admitted; waiting in the bounded queue for a batch slot.
+    QUEUED = "queued"
+    #: Admission queue was full under the ``block`` policy; the client
+    #: is being back-pressured until a slot frees.
+    BLOCKED = "blocked"
+    #: Turned away at admission (``reject`` policy, full queue).
+    REJECTED = "rejected"
+    #: Evicted from the queue by a newer arrival (``shed-oldest``).
+    SHED = "shed"
+    #: Deadline passed before the request reached a device.
+    EXPIRED = "expired"
+    #: Launched as part of a batch; executing on a device.
+    IN_FLIGHT = "in-flight"
+    #: Completed; ``finish_s`` and (optionally) ``result`` are set.
+    DONE = "done"
+
+
+#: Statuses that mean the request will never produce a result.
+FAILED_STATUSES = frozenset(
+    {RequestStatus.REJECTED, RequestStatus.SHED, RequestStatus.EXPIRED}
+)
+
+
+@dataclass
+class StepRequest:
+    """One "advance my flock by one frame" request, plus its journey.
+
+    Parameters
+    ----------
+    session_id:
+        The session whose agents this request steps.
+    arrival_s:
+        Virtual time the client issued the request.
+    deadline_s:
+        Optional absolute virtual deadline; requests still queued (or
+        blocked) past it are dropped as :attr:`RequestStatus.EXPIRED`
+        when the batcher next forms a batch.
+    want_draw:
+        When true, the per-request slice of the batch's fused draw-matrix
+        vector is attached as :attr:`result` (shape ``(n, 4, 4)``).
+    """
+
+    session_id: str
+    arrival_s: float
+    deadline_s: "float | None" = None
+    want_draw: bool = False
+
+    #: Assigned by the service at submit time (monotone, per service).
+    request_id: int = -1
+    status: RequestStatus = RequestStatus.PENDING
+    #: Virtual time the request entered the bounded queue.
+    admit_s: "float | None" = None
+    #: Virtual time the request's batch launched on a device.
+    launch_s: "float | None" = None
+    #: Virtual time the request's result was demultiplexed back.
+    finish_s: "float | None" = None
+    #: Index (within the device group) of the device that served it.
+    device_index: "int | None" = None
+    #: Batch the request rode in (service-wide monotone id).
+    batch_id: "int | None" = None
+    #: Draw matrices for the stepped frame, when ``want_draw`` was set.
+    result: "np.ndarray | None" = field(default=None, repr=False)
+
+    @property
+    def latency_s(self) -> "float | None":
+        """End-to-end virtual latency (None until the request finishes)."""
+        if self.finish_s is None:
+            return None
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> "float | None":
+        """Time spent between admission and launch (None until launched)."""
+        if self.launch_s is None or self.admit_s is None:
+            return None
+        return self.launch_s - self.admit_s
+
+    def expired(self, now: float) -> bool:
+        """Has this request's deadline passed at virtual time ``now``?"""
+        return self.deadline_s is not None and now > self.deadline_s

@@ -1,0 +1,323 @@
+"""The serving front door: a virtual-time discrete-event service.
+
+:class:`SimulationService` glues the pipeline together — session store,
+admission controller, dynamic batcher, device scheduler — and runs it as
+a deterministic discrete-event simulation on the same virtual clock the
+:class:`~repro.simgpu.transfer.DeviceTimeline` model uses everywhere
+else in this repo.  There are no threads and no wall-clock reads: a
+driver (the load generator, a test, the demo) injects arrivals with
+:meth:`SimulationService.submit` and turns the crank with
+:meth:`advance`/:meth:`drain`.  Identical inputs give identical
+latencies, byte counts, and launch totals, run to run.
+
+Two event types exist:
+
+* **launch-ready** — the batcher's window/size rule says a batch should
+  form *and* a device is free to take it;
+* **sub-batch completion** — a device's kernels finish; its results are
+  fetched, demultiplexed, and the sessions become schedulable again.
+
+The host is one thread, as in the paper: dispatch work (batch assembly,
+launches, memcpys) serializes on the global clock, while kernels run
+asynchronously per device — so the service overlaps one device's
+compute with the next batch's assembly exactly the way §2.2's async
+launch semantics allow.
+
+Device affinity keeps lazy reuse honest: a warm session's requests are
+only batched when its resident device is free, so an admitted session
+uploads its state **once** and every later step is a modelled lazy hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cupp.exceptions import CuppUsageError
+from repro.cupp.vector import Vector
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.engine import StepEngine
+from repro.serve.request import RequestStatus, StepRequest
+from repro.serve.scheduler import DeviceScheduler, SubBatch, make_group
+from repro.serve.sessions import Session, SessionStore
+from repro.steer.params import BoidsParams, DEFAULT_PARAMS
+
+#: Tolerance when comparing virtual timestamps (they are sums of many
+#: small floats; exact equality would drop simultaneous events).
+_EPS = 1e-12
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one service instance (defaults match the loadgen)."""
+
+    #: Agents per session when ``create_session`` is not given a size.
+    agents_per_session: int = 128
+    #: Batching window/size rule (see :class:`DynamicBatcher`).
+    max_batch: int = 32
+    window_s: float = 2e-3
+    batching: bool = True
+    #: Admission control (see :class:`AdmissionController`).
+    queue_capacity: int = 256
+    policy: str = "reject"
+    #: Default absolute deadline offset applied to submitted requests
+    #: (``None`` disables deadlines unless a request carries its own).
+    default_deadline_s: "float | None" = None
+    #: Devices in the serving group.
+    devices: int = 2
+    #: Run real boids physics (demos/tests) or frozen synthetic state
+    #: (load generation — modelled costs are identical either way).
+    physics: bool = True
+    #: Host-side cost of assembling + dispatching one batch, and the
+    #: per-request marshalling increment on top of it.
+    host_dispatch_s: float = 50e-6
+    host_per_request_s: float = 2e-6
+    params: BoidsParams = DEFAULT_PARAMS
+    calib: Calibration = DEFAULT_CALIBRATION
+    version: int = 5
+
+
+@dataclass
+class ServiceStats:
+    """Run counters the load generator reports from directly."""
+
+    submitted: int = 0
+    completed: int = 0
+    batches: int = 0
+    launches: int = 0
+    agents_stepped: int = 0
+    batch_sizes: "list[int]" = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per formed batch (0 when none formed)."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+
+class SimulationService:
+    """Multi-tenant boids serving on a simulated multi-GPU host."""
+
+    def __init__(self, config: "ServeConfig | None" = None) -> None:
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self.store = SessionStore()
+        self.admission = AdmissionController(cfg.queue_capacity, cfg.policy)
+        self.batcher = DynamicBatcher(
+            cfg.max_batch, cfg.window_s, enabled=cfg.batching
+        )
+        self.engine = StepEngine(cfg.params, cfg.calib, cfg.version)
+        self.group = make_group(cfg.devices)
+        self.scheduler = DeviceScheduler(
+            self.group,
+            calib=cfg.calib,
+            host_dispatch_s=cfg.host_dispatch_s,
+            host_per_request_s=cfg.host_per_request_s,
+        )
+        #: The service's virtual clock (seconds).
+        self.now = 0.0
+        self.stats = ServiceStats()
+        self._in_flight: "list[SubBatch]" = []
+        self._busy_sessions: "set[str]" = set()
+        self._next_request_id = 0
+        self._latency_us = obs.histogram("repro.serve.latency_us")
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        session_id: str,
+        n: "int | None" = None,
+        seed: "int | None" = None,
+    ) -> Session:
+        """Register a tenant flock (``n`` defaults from the config)."""
+        return self.store.create(
+            session_id,
+            self.config.agents_per_session if n is None else n,
+            params=self.config.params,
+            seed=seed,
+            physics=self.config.physics,
+        )
+
+    def submit(
+        self,
+        session_id: str,
+        want_draw: bool = False,
+        deadline_s: "float | None" = None,
+    ) -> StepRequest:
+        """Offer one step request at the current virtual time.
+
+        The request goes through admission immediately; launching waits
+        for :meth:`advance`/:meth:`drain` to move the clock.  The
+        returned request object is live — its status and timestamps
+        update as it moves through the pipeline.
+        """
+        if session_id not in self.store:
+            raise CuppUsageError(f"unknown session {session_id!r}")
+        if deadline_s is None and self.config.default_deadline_s is not None:
+            deadline_s = self.now + self.config.default_deadline_s
+        request = StepRequest(
+            session_id=session_id,
+            arrival_s=self.now,
+            deadline_s=deadline_s,
+            want_draw=want_draw,
+        )
+        request.request_id = self._next_request_id
+        self._next_request_id += 1
+        self.stats.submitted += 1
+        self.admission.submit(request, self.now)
+        return request
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def _placeable(self, free_set: "set[int]"):
+        """Device-affinity predicate for the batcher: cold sessions can
+        go anywhere free; warm sessions need their resident device."""
+
+        def ok(request: StepRequest) -> bool:
+            session = self.store.get(request.session_id)
+            return session.resident_on is None or session.resident_on in free_set
+
+        return ok
+
+    def _next_event_time(self) -> "float | None":
+        """Earliest pending event, or ``None`` when the service is idle."""
+        times = [sub.completion_s for sub in self._in_flight]
+        free = self.scheduler.free_devices()
+        if free:
+            ready = self.batcher.ready_time(
+                self.admission.queue,
+                self._busy_sessions,
+                self.now,
+                placeable=self._placeable(set(free)),
+            )
+            if ready is not None:
+                times.append(ready)
+        return min(times) if times else None
+
+    def advance(self, until: float) -> None:
+        """Process every event up to virtual time ``until``."""
+        while True:
+            t = self._next_event_time()
+            if t is None or t > until + _EPS:
+                break
+            self._run_event(t)
+        self.now = max(self.now, until)
+
+    def drain(self) -> None:
+        """Run the clock until no queued, blocked, or in-flight work is
+        left (every surviving request reaches a terminal status)."""
+        while True:
+            t = self._next_event_time()
+            if t is None:
+                if self.admission.pending and not self._in_flight:
+                    # Only unplaceable/blocked work remains with no event
+                    # to free it — expire what has deadlines, drop ties.
+                    self.admission.drop_expired(float("inf"))
+                    self.admission.on_slots_freed(self.now)
+                    if self._next_event_time() is None:
+                        break
+                    continue
+                break
+            self._run_event(t)
+
+    def _run_event(self, t: float) -> None:
+        """Advance to ``t``; complete finished work, then launch ready work."""
+        self.now = max(self.now, t)
+        for sub in [
+            s for s in self._in_flight if s.completion_s <= self.now + _EPS
+        ]:
+            self._complete(sub)
+        self.admission.drop_expired(self.now)
+        self._launch_ready()
+
+    def _launch_ready(self) -> None:
+        """Form and launch batches as long as the rule and devices allow."""
+        while True:
+            free = self.scheduler.free_devices()
+            if not free:
+                return
+            placeable = self._placeable(set(free))
+            ready = self.batcher.ready_time(
+                self.admission.queue, self._busy_sessions, self.now, placeable
+            )
+            if ready is None or ready > self.now + _EPS:
+                return
+            batch = self.batcher.take(
+                self.admission.queue, self._busy_sessions, self.now, placeable
+            )
+            self.admission.remove(batch.requests)
+            self.admission.on_slots_freed(self.now)
+            self.stats.batches += 1
+            self.stats.batch_sizes.append(len(batch))
+            with obs.span(
+                "serve.batch", batch=batch.batch_id, size=len(batch)
+            ):
+                for sub in self.scheduler.place(batch, self.store, free):
+                    for request, session in zip(sub.requests, sub.sessions):
+                        request.status = RequestStatus.IN_FLIGHT
+                        request.launch_s = self.now
+                        request.batch_id = batch.batch_id
+                        request.device_index = sub.device_index
+                        session.in_flight = True
+                        self._busy_sessions.add(session.session_id)
+                    self.scheduler.launch(sub, self.engine, self.now)
+                    # The single host thread serializes dispatch work.
+                    self.now = self.scheduler.timelines[
+                        sub.device_index
+                    ].host_time
+                    self.stats.launches += 2
+                    self._in_flight.append(sub)
+
+    def _complete(self, sub: SubBatch) -> None:
+        """Fetch, demux, and retire one finished sub-batch."""
+        finish_host = self.scheduler.finish(
+            sub, self.engine, max(self.now, sub.completion_s)
+        )
+        self.now = max(self.now, finish_host)
+        for session in sub.sessions:
+            self.engine.advance(session)
+            self.stats.agents_stepped += session.n
+        self._demux_results(sub)
+        for request, session in zip(sub.requests, sub.sessions):
+            session.in_flight = False
+            self._busy_sessions.discard(session.session_id)
+            request.status = RequestStatus.DONE
+            request.finish_s = self.now
+            self.stats.completed += 1
+            self._latency_us.observe(max(1, int(request.latency_s * 1e6)))
+        self._in_flight.remove(sub)
+        self.admission.on_slots_freed(self.now)
+
+    def _demux_results(self, sub: SubBatch) -> None:
+        """Slice the fused draw-matrix vector back per request.
+
+        Only materialized when some request asked for matrices — the
+        modelled d2h bytes were already charged in
+        :meth:`DeviceScheduler.finish` either way.
+        """
+        if not any(r.want_draw for r in sub.requests):
+            return
+        arrays = [
+            s.draw_matrices().astype(np.float32).reshape(-1)
+            for s in sub.sessions
+        ]
+        fused = Vector(np.concatenate(arrays), dtype=np.float32)
+        offsets = np.cumsum([a.size for a in arrays])[:-1]
+        parts = fused.split_at(*(int(o) for o in offsets))
+        for request, session, part in zip(sub.requests, sub.sessions, parts):
+            if request.want_draw:
+                request.result = part.to_numpy().reshape(session.n, 4, 4)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight_batches(self) -> int:
+        """Sub-batches currently executing on devices."""
+        return len(self._in_flight)

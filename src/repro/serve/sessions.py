@@ -1,0 +1,146 @@
+"""Per-client session state: a flock, its ``cupp.Vector``, its residency.
+
+Each tenant of the service owns a :class:`Session`: a functional
+:class:`~repro.steer.simulation.Simulation` (the truth about where its
+agents are) plus a flattened ``cupp.Vector`` of agent state — the thing
+the batcher concatenates and the scheduler uploads.  The vector gives
+sessions the paper's §4.6 lazy-copy behaviour across requests: after the
+first upload the state *stays* on its device, later requests reuse it
+(a modelled lazy hit), and only a device migration forces the bytes to
+move again.
+
+``physics=False`` turns a session into a timing-model-only tenant: the
+flock state is frozen, steps only count, and every modelled cost (kernel
+seconds, transfer bytes, launch overhead) is charged exactly as with
+physics on.  The load generator uses this mode — SLO numbers live in
+virtual time either way, so the reports are identical and the wall-clock
+cost of driving tens of thousands of requests disappears.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cupp.exceptions import CuppUsageError
+from repro.cupp.vector import Vector
+from repro.steer.params import BoidsParams, DEFAULT_PARAMS
+from repro.steer.simulation import Simulation
+
+#: Floats of device-resident state per agent: position (3), forward (3),
+#: speed (1) — the arrays the v5 kernels read and write in place.
+STATE_FLOATS_PER_AGENT = 7
+
+
+class Session:
+    """One client's flock plus its serving-side bookkeeping."""
+
+    def __init__(
+        self,
+        session_id: str,
+        n: int,
+        params: BoidsParams = DEFAULT_PARAMS,
+        seed: "int | None" = None,
+        physics: bool = True,
+    ) -> None:
+        if n <= 0:
+            raise CuppUsageError(f"a session needs at least one agent, got {n}")
+        self.session_id = session_id
+        self.params = params
+        self.physics = physics
+        self.sim = Simulation(n, params, seed=seed)
+        self.state = Vector(self._flat_state(), dtype=np.float32)
+        #: Device (index within the serving group) holding this session's
+        #: agent state, or None while the session is cold.
+        self.resident_on: "int | None" = None
+        #: True while a batch containing this session is on a device —
+        #: the batcher must not co-schedule a second step.
+        self.in_flight = False
+        self.steps_done = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Agents in this session's flock."""
+        return self.sim.n
+
+    @property
+    def state_bytes(self) -> int:
+        """Bytes of device-resident agent state."""
+        return self.n * STATE_FLOATS_PER_AGENT * 4
+
+    def _flat_state(self) -> np.ndarray:
+        """Flatten the simulation state into the device layout."""
+        return np.concatenate(
+            [
+                self.sim.positions.reshape(-1),
+                self.sim.forwards.reshape(-1),
+                self.sim.speeds.reshape(-1),
+            ]
+        ).astype(np.float32)
+
+    def refresh_state_vector(self) -> None:
+        """Rewrite the state vector from the simulation (host write).
+
+        Needed before a cold upload or a migration: the vector's host
+        copy must reflect the current flock.  With physics off the state
+        never changes, so the initial contents stay authoritative.
+        """
+        if not self.physics:
+            return
+        self.state = Vector(self._flat_state(), dtype=np.float32)
+
+    def step(self) -> None:
+        """Advance the flock one frame (or just the counter, synthetic)."""
+        if self.physics:
+            self.sim.update()
+        self.steps_done += 1
+
+    def draw_matrices(self) -> np.ndarray:
+        """The frame's ``(n, 4, 4)`` draw matrices (§6.2.3 payload)."""
+        if self.physics:
+            return self.sim.draw_stage()
+        mats = np.zeros((self.n, 4, 4))
+        mats[:, 3, 3] = 1.0
+        return mats
+
+
+class SessionStore:
+    """All live sessions, keyed by session id."""
+
+    def __init__(self) -> None:
+        self._sessions: "dict[str, Session]" = {}
+
+    def create(
+        self,
+        session_id: str,
+        n: int,
+        params: BoidsParams = DEFAULT_PARAMS,
+        seed: "int | None" = None,
+        physics: bool = True,
+    ) -> Session:
+        """Register a new session; ids must be unique."""
+        if session_id in self._sessions:
+            raise CuppUsageError(f"session {session_id!r} already exists")
+        session = Session(session_id, n, params, seed=seed, physics=physics)
+        self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id: str) -> Session:
+        """Look up a session; raises for unknown ids."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise CuppUsageError(f"unknown session {session_id!r}") from None
+
+    def remove(self, session_id: str) -> None:
+        """Drop a session (its device residency is simply forgotten)."""
+        self._sessions.pop(session_id, None)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self):
+        return iter(self._sessions.values())
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions

@@ -74,6 +74,23 @@ class TestDeviceGroup:
         assert sum(sizes) == 100
         assert max(sizes) - min(sizes) <= 1
 
+    def test_chunk_bounds_uneven_remainder_goes_to_leading_devices(self):
+        # 10 over 4 devices: remainder 2 lands on the first two chunks.
+        group = DeviceGroup(make_machine(4))
+        assert group.chunk_bounds(10) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_chunk_bounds_single_device_group(self):
+        group = DeviceGroup(make_machine(1))
+        assert group.chunk_bounds(7) == [(0, 7)]
+        assert group.chunk_bounds(0) == [(0, 0)]
+
+    def test_chunk_bounds_fewer_elements_than_devices(self):
+        # Trailing devices get empty [k, k) chunks, never negative ones.
+        group = DeviceGroup(make_machine(4))
+        bounds = group.chunk_bounds(2)
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2)]
+        assert all(stop >= start for start, stop in bounds)
+
     def test_context_manager_closes_all(self):
         with DeviceGroup(make_machine(2)) as group:
             for d in group:

@@ -1,0 +1,155 @@
+"""Vector.concat / Vector.split_at — the batching data path."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cuda import CudaMachine, global_
+from repro.cupp import (
+    CuppUsageError,
+    Device,
+    DeviceVector,
+    Kernel,
+    Ref,
+    Vector,
+)
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Ledger assertions need a fresh global trio per test."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture
+def dev() -> Device:
+    return Device(machine=CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 22)]))
+
+
+@global_
+def double_all(ctx, v: Ref[DeviceVector]):
+    i = ctx.global_thread_id
+    if i < len(v):
+        x = yield ld(v.view, i)
+        yield op(OpClass.FMUL)
+        yield st(v.view, i, x * 2.0)
+
+
+class TestConcat:
+    def test_round_trip(self):
+        a = Vector(np.arange(4, dtype=np.float32))
+        b = Vector(np.arange(4, 10, dtype=np.float32))
+        fused = Vector.concat([a, b])
+        np.testing.assert_array_equal(
+            fused.to_numpy(), np.arange(10, dtype=np.float32)
+        )
+        parts = fused.split_at(4)
+        assert [len(p) for p in parts] == [4, 6]
+        np.testing.assert_array_equal(parts[0].to_numpy(), a.to_numpy())
+        np.testing.assert_array_equal(parts[1].to_numpy(), b.to_numpy())
+
+    def test_result_is_independent_of_parts(self):
+        a = Vector(np.zeros(3, dtype=np.float32))
+        fused = Vector.concat([a, a])
+        a[0] = 99.0
+        assert fused[0] == 0.0 and fused[3] == 0.0
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(CuppUsageError):
+            Vector.concat([])
+
+    def test_non_vector_parts_rejected(self):
+        with pytest.raises(CuppUsageError):
+            Vector.concat([Vector(np.zeros(2)), np.zeros(2)])
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(CuppUsageError):
+            Vector.concat(
+                [Vector(np.zeros(2), dtype=np.float32),
+                 Vector(np.zeros(2), dtype=np.int32)]
+            )
+
+    def test_device_dirty_part_downloaded_with_batch_concat_cause(self, dev):
+        # A part whose freshest copy lives on a device must come back to
+        # the host before fusing — and the ledger blames the batching
+        # data path, not a generic lazy miss.
+        v = Vector(np.arange(8, dtype=np.float32))
+        Kernel(double_all, 1, 8)(dev, v)
+        assert v.downloads == 0
+        fused = Vector.concat([v, Vector(np.zeros(2, dtype=np.float32))])
+        assert v.downloads == 1
+        led = obs.get_ledger().snapshot()
+        assert led["bytes_by_cause"]["batch-concat"] == 8 * 4
+        np.testing.assert_array_equal(
+            fused.to_numpy()[:8], np.arange(8, dtype=np.float32) * 2
+        )
+
+    def test_host_clean_parts_record_no_transfer(self):
+        a = Vector(np.ones(4, dtype=np.float32))
+        b = Vector(np.ones(4, dtype=np.float32))
+        Vector.concat([a, b])
+        led = obs.get_ledger().snapshot()
+        assert led["bytes_by_cause"]["batch-concat"] == 0
+
+
+class TestSplitAt:
+    def test_no_offsets_is_whole_copy(self):
+        v = Vector(np.arange(5, dtype=np.float32))
+        (only,) = v.split_at()
+        np.testing.assert_array_equal(only.to_numpy(), v.to_numpy())
+
+    def test_empty_slices_allowed_at_edges(self):
+        v = Vector(np.arange(4, dtype=np.float32))
+        parts = v.split_at(0, 2, 4)
+        assert [len(p) for p in parts] == [0, 2, 2, 0]
+
+    def test_decreasing_offsets_rejected(self):
+        v = Vector(np.arange(4, dtype=np.float32))
+        with pytest.raises(CuppUsageError):
+            v.split_at(3, 1)
+
+    def test_out_of_range_offsets_rejected(self):
+        v = Vector(np.arange(4, dtype=np.float32))
+        with pytest.raises(CuppUsageError):
+            v.split_at(5)
+        with pytest.raises(CuppUsageError):
+            v.split_at(-1)
+
+    def test_slices_are_independent_copies(self):
+        v = Vector(np.arange(6, dtype=np.float32))
+        left, right = v.split_at(3)
+        left[0] = -1.0
+        assert v[0] == 0.0
+        v[3] = 42.0
+        assert right[0] == 3.0
+
+    def test_device_dirty_vector_downloaded_with_batch_split_cause(self, dev):
+        v = Vector(np.arange(8, dtype=np.float32))
+        Kernel(double_all, 1, 8)(dev, v)
+        left, right = v.split_at(4)
+        assert v.downloads == 1
+        led = obs.get_ledger().snapshot()
+        assert led["bytes_by_cause"]["batch-split"] == 8 * 4
+        np.testing.assert_array_equal(
+            left.to_numpy(), np.arange(4, dtype=np.float32) * 2
+        )
+        np.testing.assert_array_equal(
+            right.to_numpy(), np.arange(4, 8, dtype=np.float32) * 2
+        )
+
+    def test_split_then_kernel_per_slice(self, dev):
+        # The demux direction of serving: slices are full Vectors and can
+        # go straight back onto a device.
+        v = Vector(np.arange(8, dtype=np.float32))
+        left, right = v.split_at(4)
+        Kernel(double_all, 1, 4)(dev, left)
+        np.testing.assert_array_equal(
+            left.to_numpy(), np.arange(4, dtype=np.float32) * 2
+        )
+        np.testing.assert_array_equal(
+            right.to_numpy(), np.arange(4, 8, dtype=np.float32)
+        )

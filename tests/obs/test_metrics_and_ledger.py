@@ -118,3 +118,80 @@ class TestRecordTransferFunnel:
         assert not obs.enabled()
         assert obs.get_ledger().moved_bytes() == 0
         assert obs.get_metrics().snapshot()["counters"] == {}
+
+
+class TestHistogramPercentile:
+    def test_empty_returns_zero(self):
+        from repro.obs.metrics import Histogram
+
+        assert Histogram().percentile(99) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram()
+        h.observe(1)
+        import pytest
+
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_single_sample_every_percentile(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram()
+        h.observe(5)
+        for q in (0, 50, 99, 100):
+            assert h.percentile(q) == 5.0
+
+    def test_percentiles_are_monotone_and_clamped(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram()
+        for v in (1, 2, 4, 8, 100, 1000):
+            h.observe(v)
+        estimates = [h.percentile(q) for q in (10, 50, 90, 99, 100)]
+        assert estimates == sorted(estimates)
+        assert h.min <= estimates[0]
+        assert estimates[-1] <= h.max
+        assert h.percentile(100) == 1000
+
+    def test_interpolates_within_a_bucket(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram()
+        for _ in range(100):
+            h.observe(100)  # all samples in the (64, 128] bucket
+        # Any percentile must land inside the bucket, clamped to the data.
+        assert h.percentile(50) == 100.0
+
+
+class TestServingMetricHelpers:
+    def test_queue_depth_gauge_is_the_canonical_series(self):
+        g = obs.queue_depth_gauge("serve")
+        g.set(7)
+        snap = obs.get_metrics().snapshot()
+        assert snap["gauges"]["repro.queue.depth{component=serve}"] == 7
+
+    def test_queue_depth_gauge_interned_per_component(self):
+        assert obs.queue_depth_gauge("a") is obs.queue_depth_gauge("a")
+        assert obs.queue_depth_gauge("a") is not obs.queue_depth_gauge("b")
+
+    def test_batch_size_histogram_series_and_summary(self):
+        h = obs.batch_size_histogram("serve")
+        for size in (1, 4, 32):
+            h.observe(size)
+        snap = obs.get_metrics().snapshot()
+        summary = snap["histograms"]["repro.batch.size{component=serve}"]
+        assert summary["count"] == 3
+        assert summary["min"] == 1 and summary["max"] == 32
+
+    def test_helpers_accept_extra_labels(self):
+        obs.queue_depth_gauge("serve", device="gpu0").set(1)
+        snap = obs.get_metrics().snapshot()
+        assert any(
+            k.startswith("repro.queue.depth") and "device=gpu0" in k
+            for k in snap["gauges"]
+        )

@@ -1,0 +1,79 @@
+"""Session + SessionStore behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cupp import CuppUsageError
+from repro.serve.sessions import STATE_FLOATS_PER_AGENT, Session, SessionStore
+
+
+class TestSession:
+    def test_state_vector_layout(self):
+        s = Session("a", 16, seed=1)
+        assert len(s.state) == 16 * STATE_FLOATS_PER_AGENT
+        assert s.state_bytes == 16 * STATE_FLOATS_PER_AGENT * 4
+
+    def test_needs_positive_population(self):
+        with pytest.raises(CuppUsageError):
+            Session("a", 0)
+
+    def test_physics_step_moves_the_flock(self):
+        s = Session("a", 16, seed=1)
+        before = s.sim.positions.copy()
+        s.step()
+        assert s.steps_done == 1
+        assert not np.allclose(before, s.sim.positions)
+
+    def test_synthetic_step_only_counts(self):
+        s = Session("a", 16, seed=1, physics=False)
+        before = s.sim.positions.copy()
+        s.step()
+        s.step()
+        assert s.steps_done == 2
+        np.testing.assert_array_equal(before, s.sim.positions)
+
+    def test_refresh_tracks_physics_state(self):
+        s = Session("a", 8, seed=1)
+        stale = s.state.to_numpy().copy()
+        s.step()
+        s.refresh_state_vector()
+        assert not np.allclose(stale, s.state.to_numpy())
+
+    def test_synthetic_refresh_is_a_no_op(self):
+        s = Session("a", 8, seed=1, physics=False)
+        vec = s.state
+        s.step()
+        s.refresh_state_vector()
+        assert s.state is vec
+
+    def test_draw_matrices_shape_both_modes(self):
+        for physics in (True, False):
+            s = Session("a", 8, seed=1, physics=physics)
+            mats = s.draw_matrices()
+            assert mats.shape == (8, 4, 4)
+
+
+class TestSessionStore:
+    def test_create_get_remove(self):
+        store = SessionStore()
+        store.create("a", 8, seed=1)
+        assert "a" in store and len(store) == 1
+        assert store.get("a").n == 8
+        store.remove("a")
+        assert "a" not in store
+
+    def test_duplicate_ids_rejected(self):
+        store = SessionStore()
+        store.create("a", 8)
+        with pytest.raises(CuppUsageError):
+            store.create("a", 8)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(CuppUsageError):
+            SessionStore().get("nope")
+
+    def test_iterates_sessions(self):
+        store = SessionStore()
+        store.create("a", 4)
+        store.create("b", 4)
+        assert {s.session_id for s in store} == {"a", "b"}
