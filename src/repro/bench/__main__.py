@@ -2,14 +2,25 @@
 
 Usage::
 
-    python -m repro.bench               # everything
-    python -m repro.bench fig-6.2       # one experiment by id
-    python -m repro.bench --list        # available experiment ids
-    python -m repro.bench --trace DIR   # also dump Chrome traces + metrics
+    python -m repro.bench                    # everything
+    python -m repro.bench fig-6.2            # one experiment by id
+    python -m repro.bench --list             # available experiment ids
+    python -m repro.bench --trace DIR        # also dump traces + metrics
+
+The perf-regression gate rides the same entry point::
+
+    python -m repro.bench --baseline benchmarks/baseline.json
+    python -m repro.bench --check benchmarks/baseline.json --tolerance 25
+
+``--baseline`` snapshots every gated experiment's key scalars to JSON;
+``--check`` re-runs them, compares against the committed baseline (per
+:mod:`repro.bench.regression`), and exits non-zero on regression — the
+CI hook that makes the BENCH_* trajectory self-enforcing.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro import obs
@@ -36,33 +47,84 @@ EXPERIMENTS = {
 }
 
 
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables/figures; optionally "
+        "trace them or run the perf-regression gate.",
+    )
+    p.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to run (default: all)",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="print available experiment ids"
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="dump each experiment's Chrome trace + metrics JSON here",
+    )
+    gate = p.add_argument_group("perf-regression gate")
+    gate.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="snapshot gated experiment scalars to FILE and exit",
+    )
+    gate.add_argument(
+        "--check",
+        default=None,
+        metavar="FILE",
+        help="compare a fresh snapshot against FILE; exit 1 on regression",
+    )
+    gate.add_argument(
+        "--tolerance",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="per-metric tolerance for --check (default 25)",
+    )
+    return p
+
+
 def main(argv: "list[str]") -> int:
     """Entry point: run the selected (or all) experiments."""
-    if "--list" in argv:
+    args = _build_parser().parse_args(argv)
+    if args.list:
         print("\n".join(EXPERIMENTS))
         return 0
-    trace_dir: "str | None" = None
-    if "--trace" in argv:
-        i = argv.index("--trace")
-        if i + 1 >= len(argv):
-            print("--trace requires a directory argument", file=sys.stderr)
-            return 2
-        trace_dir = argv[i + 1]
-        argv = argv[:i] + argv[i + 2 :]
-        obs.enable_tracing()
-    wanted = [a for a in argv if not a.startswith("-")]
-    unknown = [w for w in wanted if w not in EXPERIMENTS]
+
+    if args.baseline or args.check:
+        from repro.bench import regression
+
+        snap = regression.snapshot(EXPERIMENTS)
+        if args.baseline:
+            regression.write_snapshot(args.baseline, snap)
+            print(f"baseline written: {args.baseline}")
+            return 0
+        baseline = regression.load_snapshot(args.check)
+        deltas = regression.compare(baseline, snap, args.tolerance)
+        print(regression.render(deltas, args.tolerance))
+        return 1 if any(d.failed for d in deltas) else 0
+
+    unknown = [w for w in args.experiments if w not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    if args.trace is not None:
+        obs.enable_tracing()
     for name, runner in EXPERIMENTS.items():
-        if wanted and name not in wanted:
+        if args.experiments and name not in args.experiments:
             continue
         exp = runner()
         print(exp.report)
-        if trace_dir is not None:
-            for path in exp.dump_observability(trace_dir):
+        if args.trace is not None:
+            for path in exp.dump_observability(args.trace):
                 print(f"wrote {path}")
         print()
     return 0

@@ -23,13 +23,20 @@ enable collection with :func:`enable_tracing` or scope it with
 Recording and exporting are deliberately split: recorders decide *what
 is kept* (nothing, an in-memory list), exporters decide *how it is
 rendered* (Chrome trace, JSON snapshot) — see ``DESIGN.md``.
+
+On top of the producing half sit two consumers (imported on demand, not
+re-exported here): :mod:`repro.obs.analyze` digests recorded or
+re-loaded traces into per-span statistics, critical paths, and
+run-to-run diffs, and :mod:`repro.obs.monitor` evaluates declarative
+SLO rules over sliding :class:`~repro.obs.metrics.Window`\\ s while the
+workload runs.
 """
 
 from __future__ import annotations
 
 from repro.obs.export import chrome_trace, write_chrome_trace, write_json
 from repro.obs.ledger import CAUSES, DIRECTIONS, TransferLedger, TransferRecord
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Window
 from repro.obs.session import Capture, capture
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -61,6 +68,7 @@ __all__ = [
     "Tracer",
     "TransferLedger",
     "TransferRecord",
+    "Window",
     "batch_size_histogram",
     "capture",
     "chrome_trace",
@@ -77,6 +85,8 @@ __all__ = [
     "monotonic",
     "queue_depth_gauge",
     "record_transfer",
+    "request_latency_histogram",
+    "request_outcome_counter",
     "reset",
     "span",
     "write_chrome_trace",
@@ -170,6 +180,34 @@ def batch_size_histogram(component: str, **labels: object) -> Histogram:
     return _METRICS.histogram("repro.batch.size", component=component, **labels)
 
 
+def request_latency_histogram(component: str, **labels: object) -> Histogram:
+    """The canonical per-request latency series for ``component``.
+
+    Request-serving layers observe every completed request's end-to-end
+    latency **in microseconds** into ``repro.request.latency`` labeled
+    by ``component`` — one series family the SLO monitor and dashboards
+    find uniformly, instead of reading per-component stats objects.
+    """
+    return _METRICS.histogram(
+        "repro.request.latency", component=component, **labels
+    )
+
+
+def request_outcome_counter(
+    component: str, outcome: str, **labels: object
+) -> Counter:
+    """The canonical request-outcome counter for ``component``.
+
+    Terminal request outcomes (``done``, ``rejected``, ``shed``,
+    ``expired``, ...) count into ``repro.request.outcome`` labeled by
+    ``component`` and ``outcome``, so deadline-miss ratios are a ratio
+    of two uniformly named counters.
+    """
+    return _METRICS.counter(
+        "repro.request.outcome", component=component, outcome=outcome, **labels
+    )
+
+
 # ----------------------------------------------------------------------
 # the transfer ledger funnel
 # ----------------------------------------------------------------------
@@ -187,8 +225,13 @@ def record_transfer(
     ``repro.transfer.bytes``/``repro.transfer.count`` registry series,
     and — when tracing is on — drops an instant event into the trace so
     transfers appear inline with the spans that caused them.
+
+    The ledger entry is always stamped with the monotonic clock (not
+    just when tracing is on) so phase attribution in
+    :func:`repro.obs.analyze.ledger_rollup` works for metrics-only runs
+    too.
     """
-    ts = monotonic() if _TRACER.enabled else 0.0
+    ts = monotonic()
     _LEDGER.record(
         cause, direction, nbytes, moved=moved, label=label, ts=ts
     )

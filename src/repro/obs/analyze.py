@@ -1,0 +1,512 @@
+"""Offline trace & ledger analysis: recorded events -> computed answers.
+
+The tracer (:mod:`repro.obs.tracer`) and ledger (:mod:`repro.obs.ledger`)
+*produce* observability; this module *consumes* it.  Given a list of
+:class:`~repro.obs.tracer.TraceEvent` (straight from an
+``InMemoryRecorder`` or re-loaded from an exported Chrome-trace JSON
+file), it answers the questions a human would otherwise squint at
+Perfetto for:
+
+* **Where did the time go?**  :func:`analyze` aggregates per-span-name
+  statistics — count, total time, *self* time (total minus child spans),
+  and exact p50/p95/p99 — plus a self-time breakdown whose top entry is
+  the computed bottleneck of the run.
+* **What was the critical path?**  :func:`critical_path` rebuilds the
+  span forest (by interval containment, so it works on re-loaded traces
+  that carry no nesting metadata) and walks the longest root's
+  heaviest-child chain — "kernel vs PCIe vs host dispatch" as data.
+* **Which bytes moved, and why, and when?**  :func:`ledger_rollup`
+  attributes transfer-ledger entries per cause per *phase*, where a
+  phase is the enclosing root span at the entry's timestamp.
+* **Did it get worse?**  :func:`diff` compares two analyses per span
+  name and flags regressions/improvements beyond a tolerance.
+
+The command line mirrors the API::
+
+    python -m repro.obs.analyze RUN.trace.json [--metrics RUN.metrics.json]
+    python -m repro.obs.analyze --diff A.trace.json B.trace.json
+    python -m repro.obs.analyze RUN.trace.json --json report.json
+
+Everything here is offline and allocation-happy by design — the
+analyzer runs *after* the workload, so the zero-cost rules that govern
+the tracer do not apply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.ledger import TransferRecord
+from repro.obs.tracer import TraceEvent
+
+#: Containment slack when rebuilding span nesting from timestamps
+#: (spans recorded by one thread never truly interleave, but float
+#: round-trips through microsecond JSON can shave an epsilon off).
+_EPS = 1e-9
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+def events_from_chrome_trace(doc: dict) -> "list[TraceEvent]":
+    """Re-hydrate :class:`TraceEvent` rows from an exported Chrome trace.
+
+    Accepts the object :func:`repro.obs.export.chrome_trace` produced
+    (or any conforming ``traceEvents`` document): ``ph:"X"`` complete
+    events become spans, ``ph:"i"`` instants become instants, metadata
+    (``ph:"M"``) is skipped.  Timestamps come back as seconds.  The
+    export format carries no nesting metadata, so ``depth``/``parent``
+    are left at their defaults — the analyzer rebuilds nesting from
+    interval containment either way.
+    """
+    out: "list[TraceEvent]" = []
+    for entry in doc.get("traceEvents", []):
+        ph = entry.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        out.append(
+            TraceEvent(
+                name=entry["name"],
+                kind="span" if ph == "X" else "instant",
+                ts=entry["ts"] / 1e6,
+                dur=entry.get("dur", 0.0) / 1e6,
+                tid=entry.get("tid", 0),
+                depth=0,
+                parent=None,
+                args=entry.get("args", {}),
+            )
+        )
+    return out
+
+
+def load_events(path: str) -> "list[TraceEvent]":
+    """Events from a ``*.trace.json`` file written by the exporters."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return events_from_chrome_trace(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# the span forest
+# ----------------------------------------------------------------------
+@dataclass
+class SpanNode:
+    """One span with its containment-derived children."""
+
+    event: TraceEvent
+    children: "list[SpanNode]" = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.event.name
+
+    @property
+    def dur(self) -> float:
+        return self.event.dur
+
+    @property
+    def end(self) -> float:
+        return self.event.ts + self.event.dur
+
+    @property
+    def self_s(self) -> float:
+        """Duration not covered by child spans (floor at zero)."""
+        return max(0.0, self.dur - sum(c.dur for c in self.children))
+
+
+def build_forest(events: "list[TraceEvent]") -> "list[SpanNode]":
+    """Span trees per thread, rebuilt from interval containment.
+
+    Spans within one tid are strictly nested (they come from a stack of
+    context managers), so a sweep in start order with an open-span stack
+    recovers the tree exactly — including for traces re-loaded from
+    Chrome JSON, which stores no parent links.  Returns the roots of
+    every thread, in start order.
+    """
+    roots: "list[SpanNode]" = []
+    spans = sorted(
+        (e for e in events if e.kind == "span"),
+        key=lambda e: (e.tid, e.ts, -e.dur),
+    )
+    stack: "list[SpanNode]" = []
+    tid = None
+    for event in spans:
+        if event.tid != tid:
+            stack = []
+            tid = event.tid
+        node = SpanNode(event)
+        while stack and event.ts >= stack[-1].end - _EPS:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            roots.append(node)
+        stack.append(node)
+    return roots
+
+
+def _walk(nodes: "list[SpanNode]"):
+    for node in nodes:
+        yield node
+        yield from _walk(node.children)
+
+
+# ----------------------------------------------------------------------
+# per-name statistics
+# ----------------------------------------------------------------------
+@dataclass
+class SpanStats:
+    """Aggregate statistics for every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    durations: "list[float]" = field(default_factory=list)
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (0-100) of the span durations."""
+        if not self.durations:
+            return 0.0
+        ordered = sorted(self.durations)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = q / 100.0 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "mean_s": self.total_s / self.count if self.count else 0.0,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+        }
+
+
+@dataclass
+class Analysis:
+    """One run, digested: per-name stats + breakdown + critical path."""
+
+    spans: "dict[str, SpanStats]" = field(default_factory=dict)
+    #: Per-name self time, heaviest first — the computed bottleneck list.
+    breakdown: "list[tuple[str, float]]" = field(default_factory=list)
+    #: The heaviest root's heaviest-child chain (name, dur, self time).
+    critical_path: "list[tuple[str, float, float]]" = field(
+        default_factory=list
+    )
+    #: Instant events per name (transfers, lazy hits, SLO alerts...).
+    instants: "dict[str, int]" = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_s": self.wall_s,
+            "spans": {n: s.to_dict() for n, s in sorted(self.spans.items())},
+            "self_time_breakdown": [
+                {"name": n, "self_s": s} for n, s in self.breakdown
+            ],
+            "critical_path": [
+                {"name": n, "total_s": d, "self_s": s}
+                for n, d, s in self.critical_path
+            ],
+            "instants": dict(sorted(self.instants.items())),
+        }
+
+
+def critical_path(
+    roots: "list[SpanNode]",
+) -> "list[tuple[str, float, float]]":
+    """The heaviest root's chain of heaviest children.
+
+    Each entry is ``(name, total_s, self_s)`` from the root down — the
+    chain a wall-clock optimizer should attack first.  Empty when the
+    trace has no spans.
+    """
+    if not roots:
+        return []
+    node = max(roots, key=lambda n: n.dur)
+    chain: "list[tuple[str, float, float]]" = []
+    while node is not None:
+        chain.append((node.name, node.dur, node.self_s))
+        node = max(node.children, key=lambda n: n.dur, default=None)
+    return chain
+
+
+def analyze(events: "list[TraceEvent]") -> Analysis:
+    """Digest one run's events into an :class:`Analysis`."""
+    roots = build_forest(events)
+    out = Analysis()
+    for node in _walk(roots):
+        stats = out.spans.get(node.name)
+        if stats is None:
+            stats = out.spans[node.name] = SpanStats(node.name)
+        stats.count += 1
+        stats.total_s += node.dur
+        stats.self_s += node.self_s
+        stats.durations.append(node.dur)
+    for event in events:
+        if event.kind == "instant":
+            out.instants[event.name] = out.instants.get(event.name, 0) + 1
+    out.breakdown = sorted(
+        ((n, s.self_s) for n, s in out.spans.items()),
+        key=lambda item: -item[1],
+    )
+    out.critical_path = critical_path(roots)
+    spans = [e for e in events if e.kind == "span"]
+    if spans:
+        out.wall_s = max(e.ts + e.dur for e in spans) - min(
+            e.ts for e in spans
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# transfer-ledger rollup
+# ----------------------------------------------------------------------
+def ledger_rollup(
+    entries: "list[TransferRecord] | tuple[TransferRecord, ...]",
+    events: "list[TraceEvent] | None" = None,
+) -> dict:
+    """Attribute ledger entries per cause, split moved vs avoided, and —
+    when trace events are supplied — per *phase*.
+
+    A phase is the root span covering the entry's timestamp on any
+    thread (entries outside every root land in ``"(untraced)"``).  This
+    is what turns "8 MB of lazy-miss traffic" into "8 MB of lazy-miss
+    traffic, all of it during warmup".
+    """
+    roots = build_forest(events) if events else []
+    by_cause: dict = {}
+    for entry in entries:
+        cause = by_cause.setdefault(
+            entry.cause,
+            {"moved_bytes": 0, "avoided_bytes": 0, "count": 0, "phases": {}},
+        )
+        cause["count"] += 1
+        key = "moved_bytes" if entry.moved else "avoided_bytes"
+        cause[key] += entry.nbytes
+        phase = "(untraced)"
+        for root in roots:
+            if root.event.ts - _EPS <= entry.ts <= root.end + _EPS:
+                phase = root.name
+                break
+        cause["phases"][phase] = cause["phases"].get(phase, 0) + entry.nbytes
+    return by_cause
+
+
+# ----------------------------------------------------------------------
+# run-to-run comparison
+# ----------------------------------------------------------------------
+def diff(a: Analysis, b: Analysis, tolerance_pct: float = 10.0) -> dict:
+    """Compare two analyses per span name (``b`` relative to ``a``).
+
+    For every name in either run: counts, total seconds, p99, and the
+    relative total-time change.  Changes beyond ``tolerance_pct`` are
+    classified ``regression`` (slower) or ``improvement`` (faster);
+    names present in only one run are ``added``/``removed``.
+    """
+    names = sorted(set(a.spans) | set(b.spans))
+    rows = []
+    regressions = improvements = 0
+    for name in names:
+        sa, sb = a.spans.get(name), b.spans.get(name)
+        if sa is None or sb is None:
+            rows.append(
+                {
+                    "name": name,
+                    "verdict": "added" if sa is None else "removed",
+                    "total_a_s": sa.total_s if sa else 0.0,
+                    "total_b_s": sb.total_s if sb else 0.0,
+                }
+            )
+            continue
+        change = (
+            (sb.total_s - sa.total_s) / sa.total_s * 100.0
+            if sa.total_s > 0
+            else 0.0
+        )
+        verdict = "unchanged"
+        if change > tolerance_pct:
+            verdict, regressions = "regression", regressions + 1
+        elif change < -tolerance_pct:
+            verdict, improvements = "improvement", improvements + 1
+        rows.append(
+            {
+                "name": name,
+                "verdict": verdict,
+                "count_a": sa.count,
+                "count_b": sb.count,
+                "total_a_s": sa.total_s,
+                "total_b_s": sb.total_s,
+                "p99_a_s": sa.percentile(99),
+                "p99_b_s": sb.percentile(99),
+                "total_change_pct": change,
+            }
+        )
+    return {
+        "tolerance_pct": tolerance_pct,
+        "regressions": regressions,
+        "improvements": improvements,
+        "spans": rows,
+        "critical_path_a": [
+            {"name": n, "total_s": d, "self_s": s}
+            for n, d, s in a.critical_path
+        ],
+        "critical_path_b": [
+            {"name": n, "total_s": d, "self_s": s}
+            for n, d, s in b.critical_path
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# rendering + CLI
+# ----------------------------------------------------------------------
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def render_analysis(analysis: Analysis) -> str:
+    """The human-readable single-run report."""
+    from repro.bench.report import format_table
+
+    span_rows = [
+        (
+            name,
+            stats.count,
+            _ms(stats.total_s),
+            _ms(stats.self_s),
+            _ms(stats.percentile(50)),
+            _ms(stats.percentile(95)),
+            _ms(stats.percentile(99)),
+        )
+        for name, stats in sorted(
+            analysis.spans.items(), key=lambda kv: -kv[1].total_s
+        )
+    ]
+    blocks = [
+        format_table(
+            f"span statistics (wall {_ms(analysis.wall_s)} ms)",
+            ["span", "count", "total ms", "self ms", "p50 ms", "p95 ms",
+             "p99 ms"],
+            span_rows,
+        )
+    ]
+    wall = max(analysis.wall_s, 1e-12)
+    blocks.append(
+        format_table(
+            "critical-path breakdown (self time, heaviest first)",
+            ["span", "self ms", "share"],
+            [
+                (name, _ms(self_s), f"{self_s / wall * 100:.1f}%")
+                for name, self_s in analysis.breakdown[:10]
+            ],
+        )
+    )
+    if analysis.critical_path:
+        blocks.append(
+            format_table(
+                "critical path (heaviest chain, root down)",
+                ["span", "total ms", "self ms"],
+                [
+                    (name, _ms(dur), _ms(self_s))
+                    for name, dur, self_s in analysis.critical_path
+                ],
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_diff(result: dict) -> str:
+    """The human-readable A-vs-B report."""
+    from repro.bench.report import format_table
+
+    rows = [
+        (
+            row["name"],
+            row["verdict"],
+            _ms(row.get("total_a_s", 0.0)),
+            _ms(row.get("total_b_s", 0.0)),
+            f"{row['total_change_pct']:+.1f}%"
+            if "total_change_pct" in row
+            else "-",
+        )
+        for row in result["spans"]
+    ]
+    summary = (
+        f"{result['regressions']} regression(s), "
+        f"{result['improvements']} improvement(s) beyond "
+        f"{result['tolerance_pct']:g}%"
+    )
+    return format_table(
+        "trace diff (B relative to A)",
+        ["span", "verdict", "total A ms", "total B ms", "change"],
+        rows,
+        note=summary,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs.analyze",
+        description="Analyze exported Chrome-trace JSON: per-span stats, "
+        "critical path, and run-to-run diffs.",
+    )
+    p.add_argument(
+        "traces",
+        nargs="+",
+        metavar="TRACE.json",
+        help="one trace to analyze, or two with --diff",
+    )
+    p.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare two traces (A then B) instead of analyzing one",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="per-span change classified as regression/improvement",
+    )
+    p.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the report as JSON"
+    )
+    return p
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.diff:
+        if len(args.traces) != 2:
+            print("--diff needs exactly two trace files")
+            return 2
+        a, b = (analyze(load_events(path)) for path in args.traces)
+        result = diff(a, b, tolerance_pct=args.tolerance)
+        print(render_diff(result))
+        payload: dict = result
+    else:
+        if len(args.traces) != 1:
+            print("expected one trace file (or use --diff with two)")
+            return 2
+        analysis = analyze(load_events(args.traces[0]))
+        print(render_analysis(analysis))
+        payload = analysis.to_dict()
+    if args.json:
+        from repro.obs.export import write_json
+
+        write_json(args.json, payload)
+        print(f"report written: {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ no matter how many vectors a workload creates.
 from __future__ import annotations
 
 import threading
+from collections import deque
 
 
 class Counter:
@@ -141,6 +142,85 @@ class Histogram:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram(count={self.count}, sum={self.total})"
+
+
+class Window:
+    """A sliding window of explicitly timestamped samples.
+
+    Cumulative instruments (:class:`Counter`, :class:`Histogram`) cannot
+    answer "what was the p99 over the *last 50 ms*" — windows can,
+    because every observation carries its own timestamp (virtual or
+    wall, the window does not care) and old samples age out as newer
+    ones arrive.  This is the store the SLO monitor
+    (:mod:`repro.obs.monitor`) evaluates rules against.
+
+    Pruning happens on :meth:`observe` and on every read, driven by the
+    newest timestamp seen (``now`` may be passed explicitly to read
+    "as of" a later time).  Timestamps must be non-decreasing, which
+    both the virtual-time serving clock and the monotonic wall clock
+    guarantee.
+    """
+
+    __slots__ = ("horizon_s", "_samples", "_now")
+
+    def __init__(self, horizon_s: float) -> None:
+        if horizon_s <= 0:
+            raise ValueError(f"window horizon must be positive, got {horizon_s}")
+        self.horizon_s = horizon_s
+        self._samples: "deque[tuple[float, float]]" = deque()
+        self._now = 0.0
+
+    def observe(self, ts: float, value: float) -> None:
+        """Record one sample at time ``ts`` (non-decreasing)."""
+        self._samples.append((ts, float(value)))
+        self._prune(ts)
+
+    def _prune(self, now: float) -> None:
+        self._now = max(self._now, now)
+        cutoff = self._now - self.horizon_s
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    # ------------------------------------------------------------------
+    def values(self, now: "float | None" = None) -> "list[float]":
+        """Samples currently inside the window, oldest first."""
+        if now is not None:
+            self._prune(now)
+        return [v for _, v in self._samples]
+
+    def count(self, now: "float | None" = None) -> int:
+        """Number of in-window samples."""
+        return len(self.values(now))
+
+    def mean(self, now: "float | None" = None) -> float:
+        """Arithmetic mean of in-window samples (0.0 when empty)."""
+        values = self.values(now)
+        return sum(values) / len(values) if values else 0.0
+
+    def max(self, now: "float | None" = None) -> float:
+        """Largest in-window sample (0.0 when empty)."""
+        values = self.values(now)
+        return max(values) if values else 0.0
+
+    def percentile(self, q: float, now: "float | None" = None) -> float:
+        """Exact ``q``-th percentile (0-100) of in-window samples."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        values = sorted(self.values(now))
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        rank = q / 100.0 * (len(values) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(values) - 1)
+        return values[lo] + (values[hi] - values[lo]) * (rank - lo)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Window(horizon_s={self.horizon_s}, samples={len(self._samples)})"
 
 
 def _series_key(name: str, labels: dict) -> "tuple[str, tuple]":

@@ -53,10 +53,16 @@ class AdmissionController:
         self.blocked: "deque[StepRequest]" = deque()
         self._depth = obs.queue_depth_gauge("serve")
         self._depth_samples = obs.histogram("repro.serve.queue_depth.samples")
+        #: Optional ``listener(request, outcome, now)`` the service
+        #: installs to feed the live SLO monitor terminal outcomes.
+        self.outcome_listener = None
 
     # ------------------------------------------------------------------
-    def _outcome(self, name: str) -> None:
+    def _outcome(self, request: StepRequest, name: str, now: float) -> None:
         obs.counter("repro.serve.requests", outcome=name).inc()
+        obs.request_outcome_counter("serve", name).inc()
+        if self.outcome_listener is not None:
+            self.outcome_listener(request, name, now)
 
     def _note_depth(self) -> None:
         depth = len(self.queue)
@@ -67,7 +73,7 @@ class AdmissionController:
         request.status = RequestStatus.QUEUED
         request.admit_s = now
         self.queue.append(request)
-        self._outcome("admitted")
+        self._outcome(request, "admitted", now)
 
     # ------------------------------------------------------------------
     def submit(self, request: StepRequest, now: float) -> RequestStatus:
@@ -81,13 +87,13 @@ class AdmissionController:
             self._admit(request, now)
         elif self.policy == "reject":
             request.status = RequestStatus.REJECTED
-            self._outcome("rejected")
+            self._outcome(request, "rejected", now)
             obs.instant("serve.reject", request=request.request_id)
         elif self.policy == "shed-oldest":
             if len(self.queue) >= self.capacity:
                 victim = self.queue.popleft()
                 victim.status = RequestStatus.SHED
-                self._outcome("shed")
+                self._outcome(victim, "shed", now)
                 obs.instant(
                     "serve.shed",
                     request=victim.request_id,
@@ -97,7 +103,7 @@ class AdmissionController:
         else:  # block
             request.status = RequestStatus.BLOCKED
             self.blocked.append(request)
-            self._outcome("blocked")
+            self._outcome(request, "blocked", now)
         self._note_depth()
         return request.status
 
@@ -112,7 +118,7 @@ class AdmissionController:
             request = self.blocked.popleft()
             if request.expired(now):
                 request.status = RequestStatus.EXPIRED
-                self._outcome("expired")
+                self._outcome(request, "expired", now)
                 continue
             self._admit(request, now)
             moved += 1
@@ -127,7 +133,7 @@ class AdmissionController:
         if expired:
             for request in expired:
                 request.status = RequestStatus.EXPIRED
-                self._outcome("expired")
+                self._outcome(request, "expired", now)
                 obs.instant("serve.deadline-miss", request=request.request_id)
             survivors = [r for r in self.queue if not r.expired(now)]
             self.queue.clear()

@@ -18,6 +18,12 @@ move (slower, identical timing numbers).
 and prints both reports plus the headline ratios (throughput, p99,
 launches).  ``--trace DIR`` additionally writes Chrome-trace and metrics
 JSON via :func:`repro.obs.capture`.
+
+SLO rules can ride along: ``--slo-p99-ms`` / ``--slo-miss-ratio`` /
+``--slo-queue-depth`` build an :class:`repro.obs.monitor.SloMonitor`
+that evaluates in virtual time inside the service, ``--slo-degrade``
+lets admission switch policy while an alert fires, and the alert log
+lands in the report (and as ``*.alerts.json`` next to the trace).
 """
 
 from __future__ import annotations
@@ -54,6 +60,8 @@ class LoadReport:
     launches: int
     max_queue_depth: int
     latencies_ms: "list[float]" = field(default_factory=list, repr=False)
+    #: Alert log from an attached SLO monitor (empty when none ran).
+    alerts: "list[dict]" = field(default_factory=list, repr=False)
 
     @property
     def throughput_rps(self) -> float:
@@ -86,6 +94,8 @@ class LoadReport:
             "launches": self.launches,
             "launches_per_request": self.launches_per_request,
             "max_queue_depth": self.max_queue_depth,
+            "alerts_fired": len(self.alerts),
+            "alerts": self.alerts,
         }
 
     def lines(self) -> "list[str]":
@@ -106,7 +116,14 @@ class LoadReport:
             f"max queue depth {self.max_queue_depth})",
             f"launches    {self.launches} modelled kernel launches "
             f"({self.launches_per_request:.3f} per completed request)",
-        ]
+        ] + (
+            [
+                f"slo alerts  {len(self.alerts)} fired "
+                f"({', '.join(sorted({a['rule'] for a in self.alerts}))})"
+            ]
+            if self.alerts
+            else []
+        )
 
 
 def _percentile(samples: "list[float]", q: float) -> float:
@@ -116,6 +133,64 @@ def _percentile(samples: "list[float]", q: float) -> float:
     return float(np.percentile(np.asarray(samples), q))
 
 
+def slo_monitor(
+    p99_ms: "float | None" = None,
+    miss_ratio: "float | None" = None,
+    queue_depth: "float | None" = None,
+    window_s: float = 0.05,
+):
+    """Build an :class:`~repro.obs.monitor.SloMonitor` from thresholds.
+
+    The rule vocabulary the serving layer cares about, over the
+    canonical series the service feeds: p99 completed-request latency
+    (``p99_ms``, milliseconds), terminal-failure ratio (``miss_ratio``,
+    0-1), and admission queue depth (``queue_depth``).  Each rule uses
+    ``window_s`` as its long window and a quarter of it as the
+    burn-rate fast window.  Returns ``None`` when every threshold is
+    ``None``.
+    """
+    from repro.obs.monitor import SloMonitor, SloRule
+
+    short_s = window_s / 4
+    rules = []
+    if p99_ms is not None:
+        rules.append(
+            SloRule(
+                "latency-p99",
+                "repro.request.latency",
+                "p99",
+                threshold=p99_ms * 1e3,  # the series is in microseconds
+                window_s=window_s,
+                short_window_s=short_s,
+                min_count=10,
+            )
+        )
+    if miss_ratio is not None:
+        rules.append(
+            SloRule(
+                "deadline-miss-ratio",
+                "repro.request.outcome",
+                "ratio",
+                threshold=miss_ratio,
+                window_s=window_s,
+                short_window_s=short_s,
+                min_count=10,
+            )
+        )
+    if queue_depth is not None:
+        rules.append(
+            SloRule(
+                "queue-depth",
+                "repro.queue.depth",
+                "max",
+                threshold=queue_depth,
+                window_s=window_s,
+                short_window_s=short_s,
+            )
+        )
+    return SloMonitor(rules) if rules else None
+
+
 def run_load(
     clients: int = 64,
     duration_s: float = 2.0,
@@ -123,6 +198,8 @@ def run_load(
     seed: int = 0,
     config: "ServeConfig | None" = None,
     deadline_s: "float | None" = None,
+    monitor=None,
+    degrade_policy: "str | None" = None,
 ) -> LoadReport:
     """Drive one service instance with Poisson arrivals; summarize.
 
@@ -133,6 +210,8 @@ def run_load(
     """
     config = config or ServeConfig(physics=False, default_deadline_s=deadline_s)
     service = SimulationService(config)
+    if monitor is not None:
+        service.attach_monitor(monitor, degrade_policy=degrade_policy)
     for i in range(clients):
         service.create_session(f"client-{i}", seed=seed + i)
 
@@ -178,6 +257,11 @@ def run_load(
         launches=stats.launches,
         max_queue_depth=max_depth,
         latencies_ms=latencies_ms,
+        alerts=(
+            [alert.to_dict() for alert in monitor.log]
+            if monitor is not None
+            else []
+        ),
     )
 
 
@@ -238,6 +322,43 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", default=None, metavar="PATH", help="write the report as JSON"
     )
+    slo = p.add_argument_group("SLO monitoring (virtual-time, in-service)")
+    slo.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        help="alert when windowed p99 latency exceeds this (ms)",
+    )
+    slo.add_argument(
+        "--slo-miss-ratio",
+        type=float,
+        default=None,
+        help="alert when the windowed failure ratio exceeds this (0-1)",
+    )
+    slo.add_argument(
+        "--slo-queue-depth",
+        type=float,
+        default=None,
+        help="alert when the admission queue exceeds this depth",
+    )
+    slo.add_argument(
+        "--slo-window-ms",
+        type=float,
+        default=50.0,
+        help="SLO sliding window (ms of virtual time)",
+    )
+    slo.add_argument(
+        "--slo-degrade",
+        default=None,
+        choices=("reject", "shed-oldest", "block"),
+        help="admission policy to switch to while an alert fires",
+    )
+    slo.add_argument(
+        "--alerts",
+        default=None,
+        metavar="PATH",
+        help="write the alert log as JSON (defaults into --trace DIR)",
+    )
     return p
 
 
@@ -261,14 +382,25 @@ def _config(args: argparse.Namespace, batching: bool) -> ServeConfig:
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    monitors: "list" = []
 
     def one(batching: bool) -> LoadReport:
+        monitor = slo_monitor(
+            p99_ms=args.slo_p99_ms,
+            miss_ratio=args.slo_miss_ratio,
+            queue_depth=args.slo_queue_depth,
+            window_s=args.slo_window_ms * 1e-3,
+        )
+        if monitor is not None:
+            monitors.append(monitor)
         return run_load(
             clients=args.clients,
             duration_s=args.duration,
             rate_rps=args.rate,
             seed=args.seed,
             config=_config(args, batching),
+            monitor=monitor,
+            degrade_policy=args.slo_degrade,
         )
 
     reports: "list[LoadReport]" = []
@@ -301,6 +433,23 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"p99         {on.p99_ms:.3f} ms vs {off.p99_ms:.3f} ms")
     if trace_note:
         print(trace_note)
+    alerts_path = args.alerts
+    if alerts_path is None and args.trace and monitors:
+        import os
+
+        alerts_path = os.path.join(args.trace, "serve-loadgen.alerts.json")
+    if alerts_path and monitors:
+        alert_payload = (
+            monitors[0].to_dict()
+            if len(monitors) == 1
+            else {
+                "batching": monitors[0].to_dict(),
+                "no_batching": monitors[1].to_dict(),
+            }
+        )
+        with open(alerts_path, "w", encoding="utf-8") as fh:
+            json.dump(alert_payload, fh, indent=2, sort_keys=True)
+        print(f"alert log written: {alerts_path}")
     if args.json:
         payload = (
             reports[0].to_dict()

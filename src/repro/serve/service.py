@@ -125,7 +125,11 @@ class SimulationService:
         self._in_flight: "list[SubBatch]" = []
         self._busy_sessions: "set[str]" = set()
         self._next_request_id = 0
-        self._latency_us = obs.histogram("repro.serve.latency_us")
+        self._latency_us = obs.request_latency_histogram("serve")
+        #: Optional live SLO monitor (see :meth:`attach_monitor`).
+        self.monitor = None
+        self._degrade_policy: "str | None" = None
+        self._normal_policy: "str | None" = None
 
     # ------------------------------------------------------------------
     # client API
@@ -144,6 +148,68 @@ class SimulationService:
             seed=seed,
             physics=self.config.physics,
         )
+
+    # ------------------------------------------------------------------
+    # live SLO monitoring
+    # ------------------------------------------------------------------
+    def attach_monitor(
+        self, monitor, degrade_policy: "str | None" = None
+    ) -> None:
+        """Evaluate ``monitor`` (an :class:`repro.obs.monitor.SloMonitor`)
+        live, on the service's virtual clock.
+
+        The service feeds the monitor the canonical series — completed
+        request latency (µs) into ``repro.request.latency``, a 0/1
+        failure indicator per terminal request into
+        ``repro.request.outcome``, and the admission queue depth into
+        ``repro.queue.depth`` — and evaluates it after every event.
+
+        ``degrade_policy`` makes admission *react* to alerts: while any
+        alert is firing the admission policy switches to it (e.g.
+        ``"shed-oldest"`` sheds the stalest queued work instead of
+        rejecting fresh arrivals), and the original policy is restored
+        when the last alert clears.  Both transitions land in the trace
+        as ``serve.slo-fire``/``serve.slo-clear`` instants.
+        """
+        from repro.serve.admission import POLICIES
+
+        if degrade_policy is not None and degrade_policy not in POLICIES:
+            raise CuppUsageError(
+                f"unknown degrade policy {degrade_policy!r}; one of {POLICIES}"
+            )
+        self.monitor = monitor
+        self._degrade_policy = degrade_policy
+        self.admission.outcome_listener = self._on_admission_outcome
+        monitor.on_fire(self._on_alert_fire)
+        monitor.on_clear(self._on_alert_clear)
+
+    def _on_admission_outcome(
+        self, request: StepRequest, outcome: str, now: float
+    ) -> None:
+        """Admission callback: terminal failures feed the outcome series."""
+        if self.monitor is not None and outcome in ("rejected", "shed", "expired"):
+            self.monitor.observe("repro.request.outcome", now, 1.0)
+
+    def _on_alert_fire(self, alert) -> None:
+        obs.instant(
+            "serve.slo-fire",
+            rule=alert.rule,
+            value=alert.value,
+            threshold=alert.threshold,
+        )
+        if self._degrade_policy is not None and self._normal_policy is None:
+            self._normal_policy = self.admission.policy
+            self.admission.policy = self._degrade_policy
+
+    def _on_alert_clear(self, alert) -> None:
+        obs.instant("serve.slo-clear", rule=alert.rule)
+        if self._normal_policy is not None and not self.monitor.active:
+            self.admission.policy = self._normal_policy
+            self._normal_policy = None
+
+    def _evaluate_monitor(self) -> None:
+        if self.monitor is not None:
+            self.monitor.evaluate(self.now)
 
     def submit(
         self,
@@ -172,6 +238,11 @@ class SimulationService:
         self._next_request_id += 1
         self.stats.submitted += 1
         self.admission.submit(request, self.now)
+        if self.monitor is not None:
+            self.monitor.observe(
+                "repro.queue.depth", self.now, self.admission.depth
+            )
+            self._evaluate_monitor()
         return request
 
     # ------------------------------------------------------------------
@@ -237,6 +308,7 @@ class SimulationService:
             self._complete(sub)
         self.admission.drop_expired(self.now)
         self._launch_ready()
+        self._evaluate_monitor()
 
     def _launch_ready(self) -> None:
         """Form and launch batches as long as the rule and devices allow."""
@@ -292,7 +364,14 @@ class SimulationService:
             request.status = RequestStatus.DONE
             request.finish_s = self.now
             self.stats.completed += 1
-            self._latency_us.observe(max(1, int(request.latency_s * 1e6)))
+            latency_us = max(1, int(request.latency_s * 1e6))
+            self._latency_us.observe(latency_us)
+            obs.request_outcome_counter("serve", "done").inc()
+            if self.monitor is not None:
+                self.monitor.observe(
+                    "repro.request.latency", self.now, latency_us
+                )
+                self.monitor.observe("repro.request.outcome", self.now, 0.0)
         self._in_flight.remove(sub)
         self.admission.on_slots_freed(self.now)
 

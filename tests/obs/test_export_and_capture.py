@@ -97,3 +97,71 @@ class TestCapture:
         with open(paths[1], encoding="utf-8") as fh:
             metrics = json.load(fh)
         assert metrics["transfer_ledger"]["bytes_by_cause"]["copy-back"] == 12
+
+
+class TestMultiThreadedTracing:
+    """Concurrent spans from several threads survive the export."""
+
+    def _trace_two_threads(self):
+        import threading
+
+        tracer = Tracer(InMemoryRecorder())
+        barrier = threading.Barrier(2)
+
+        def worker(label):
+            barrier.wait()  # both threads trace concurrently
+            with tracer.span(f"{label}.outer", who=label):
+                tracer.instant(f"{label}.tick", who=label, n=3)
+                with tracer.span(f"{label}.inner"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(label,))
+            for label in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return tracer.events()
+
+    def test_tids_distinguish_threads_in_chrome_json(self):
+        events = self._trace_two_threads()
+        doc = json.loads(json.dumps(chrome_trace(events)))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 4
+        tids = {e["name"].split(".")[0]: e["tid"] for e in spans}
+        assert tids["a"] != tids["b"]
+        # Every event of one logical thread carries that thread's tid.
+        for entry in spans:
+            assert entry["tid"] == tids[entry["name"].split(".")[0]]
+
+    def test_nesting_is_correct_per_thread(self):
+        events = self._trace_two_threads()
+        doc = json.loads(json.dumps(chrome_trace(events)))
+        by_name = {e["name"]: e for e in doc["traceEvents"] if "ph" in e}
+        for label in ("a", "b"):
+            outer, inner = by_name[f"{label}.outer"], by_name[f"{label}.inner"]
+            assert outer["ts"] <= inner["ts"]
+            assert (
+                inner["ts"] + inner["dur"]
+                <= outer["ts"] + outer["dur"] + 1e-6
+            )
+
+    def test_instant_args_survive_round_trip(self):
+        events = self._trace_two_threads()
+        doc = json.loads(json.dumps(chrome_trace(events)))
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert {e["args"]["who"] for e in instants} == {"a", "b"}
+        assert all(e["args"]["n"] == 3 for e in instants)
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_analyzer_builds_one_tree_per_thread(self):
+        from repro.obs.analyze import analyze, build_forest
+
+        events = self._trace_two_threads()
+        roots = build_forest(events)
+        assert sorted(r.name for r in roots) == ["a.outer", "b.outer"]
+        assert all([c.name for c in r.children] for r in roots)
+        result = analyze(events)
+        assert result.spans["a.inner"].count == 1

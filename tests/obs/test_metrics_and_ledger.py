@@ -195,3 +195,46 @@ class TestServingMetricHelpers:
             k.startswith("repro.queue.depth") and "device=gpu0" in k
             for k in snap["gauges"]
         )
+
+    def test_request_latency_histogram_is_the_canonical_series(self):
+        h = obs.request_latency_histogram("serve")
+        h.observe(1500)  # microseconds
+        snap = obs.get_metrics().snapshot()
+        summary = snap["histograms"]["repro.request.latency{component=serve}"]
+        assert summary["count"] == 1 and summary["max"] == 1500
+        assert obs.request_latency_histogram("serve") is h
+
+    def test_request_outcome_counter_is_labeled_per_outcome(self):
+        obs.request_outcome_counter("serve", "done").inc()
+        obs.request_outcome_counter("serve", "rejected").inc(2)
+        counters = obs.get_metrics().snapshot()["counters"]
+        assert (
+            counters["repro.request.outcome{component=serve,outcome=done}"]
+            == 1
+        )
+        assert (
+            counters[
+                "repro.request.outcome{component=serve,outcome=rejected}"
+            ]
+            == 2
+        )
+
+
+class TestLedgerTimestamps:
+    """Regression: entries must carry real timestamps without tracing."""
+
+    def test_entries_are_timestamped_when_tracing_is_disabled(self):
+        obs.get_ledger().keep_entries = True
+        assert not obs.enabled()
+        obs.record_transfer("eager", "h2d", 1)
+        obs.record_transfer("copy-back", "d2h", 2)
+        first, second = obs.get_ledger().entries
+        assert first.ts > 0.0
+        assert second.ts >= first.ts
+
+    def test_timestamps_match_tracing_enabled_behaviour(self):
+        obs.get_ledger().keep_entries = True
+        obs.enable_tracing()
+        obs.record_transfer("eager", "h2d", 1)
+        (entry,) = obs.get_ledger().entries
+        assert entry.ts > 0.0

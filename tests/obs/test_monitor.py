@@ -1,0 +1,153 @@
+"""repro.obs.monitor + metrics.Window: sliding windows, SLO alerting."""
+
+import pytest
+
+from repro.obs.metrics import Window
+from repro.obs.monitor import Alert, SloMonitor, SloRule
+
+
+class TestWindow:
+    def test_rejects_non_positive_horizon(self):
+        with pytest.raises(ValueError):
+            Window(0.0)
+
+    def test_prunes_samples_older_than_horizon(self):
+        w = Window(1.0)
+        w.observe(0.0, 10.0)
+        w.observe(0.9, 20.0)
+        w.observe(1.8, 30.0)  # pushes the t=0.0 sample out
+        assert w.values() == [20.0, 30.0]
+        assert w.count() == 2
+        assert w.mean() == 25.0
+        assert w.max() == 30.0
+
+    def test_explicit_now_advances_the_cutoff(self):
+        w = Window(1.0)
+        w.observe(0.0, 1.0)
+        w.observe(0.2, 2.0)
+        assert w.count() == 2
+        assert w.count(now=1.1) == 1  # virtual time moved on, no new sample
+        assert w.values(now=5.0) == []
+
+    def test_percentile_interpolates(self):
+        w = Window(100.0)
+        for ts, value in enumerate([1.0, 2.0, 3.0, 4.0]):
+            w.observe(float(ts), value)
+        assert w.percentile(0) == 1.0
+        assert w.percentile(50) == 2.5
+        assert w.percentile(100) == 4.0
+        assert Window(1.0).percentile(99) == 0.0
+
+
+class TestSloRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloRule("r", "s", "p42", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            SloRule("r", "s", "p99", 1.0, 0.0)
+        with pytest.raises(ValueError):
+            SloRule("r", "s", "p99", 1.0, 1.0, short_window_s=2.0)
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = SloRule("r", "s", "max", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            SloMonitor([rule, rule])
+
+
+class TestSloMonitor:
+    def _monitor(self, **kw):
+        defaults = dict(
+            name="lat-p99",
+            series="lat",
+            stat="p99",
+            threshold=100.0,
+            window_s=10.0,
+            min_count=2,
+        )
+        defaults.update(kw)
+        return SloMonitor([SloRule(**defaults)])
+
+    def test_fires_on_breach_and_clears_on_recovery(self):
+        mon = self._monitor()
+        fired, cleared = [], []
+        mon.on_fire(fired.append)
+        mon.on_clear(cleared.append)
+
+        mon.observe("lat", 0.0, 50.0)
+        assert mon.evaluate(0.0) == []  # below min_count
+        mon.observe("lat", 1.0, 500.0)
+        (alert,) = mon.evaluate(1.0)
+        assert alert.rule == "lat-p99" and alert.active
+        assert alert.value > 100.0
+        assert mon.evaluate(1.5) == []  # steady state: no re-fire
+        assert fired == [alert]
+
+        # The slow samples age out of the 10 s window -> alert clears.
+        mon.observe("lat", 12.0, 10.0)
+        mon.observe("lat", 12.5, 10.0)
+        (transition,) = mon.evaluate(12.5)
+        assert transition is alert and not alert.active
+        assert alert.cleared_at == 12.5
+        assert cleared == [alert]
+        assert mon.active == [] and mon.fired("lat-p99")
+
+    def test_min_count_suppresses_early_noise(self):
+        mon = self._monitor(min_count=5)
+        for ts in range(4):
+            mon.observe("lat", float(ts), 10_000.0)
+            assert mon.evaluate(float(ts)) == []
+        mon.observe("lat", 4.0, 10_000.0)
+        assert len(mon.evaluate(4.0)) == 1
+
+    def test_observe_routes_by_series(self):
+        mon = self._monitor(min_count=1)
+        mon.observe("unrelated", 0.0, 10_000.0)
+        assert mon.evaluate(0.0) == []
+
+    def test_burn_rate_needs_both_windows(self):
+        mon = self._monitor(
+            stat="mean", window_s=10.0, short_window_s=2.0, min_count=1
+        )
+        # Sustained breach: long and short windows both over threshold.
+        for ts in (0.0, 1.0, 2.0):
+            mon.observe("lat", ts, 400.0)
+        assert len(mon.evaluate(2.0)) == 1
+
+        # Burn ends: recent samples healthy.  The long window still
+        # averages over threshold, but the short window has recovered,
+        # so the alert clears fast instead of lingering for 10 s.
+        for ts in (3.0, 3.5, 4.0, 4.5):
+            mon.observe("lat", ts, 1.0)
+        long_mean = (3 * 400.0 + 4 * 1.0) / 7
+        assert long_mean > 100.0
+        (transition,) = mon.evaluate(4.5)
+        assert not transition.active
+
+    def test_ratio_stat_tracks_miss_fraction(self):
+        rule = SloRule(
+            "miss", "outcome", "ratio", 0.25, window_s=10.0, min_count=4
+        )
+        mon = SloMonitor([rule])
+        for ts, miss in enumerate([0.0, 0.0, 1.0, 1.0]):
+            mon.observe("outcome", float(ts), miss)
+        (alert,) = mon.evaluate(3.0)  # 50% miss ratio > 25%
+        assert alert.value == 0.5
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        mon = self._monitor(short_window_s=1.0)
+        mon.observe("lat", 0.0, 500.0)
+        mon.observe("lat", 0.1, 500.0)
+        mon.evaluate(0.1)
+        doc = json.loads(json.dumps(mon.to_dict()))
+        assert doc["rules"][0]["name"] == "lat-p99"
+        assert doc["active"] == ["lat-p99"]
+        (entry,) = doc["alerts"]
+        assert entry["fired_at_s"] == 0.1 and entry["cleared_at_s"] is None
+
+    def test_alert_dataclass_activity(self):
+        alert = Alert("r", "s", 1.0, 2.0, 1.5)
+        assert alert.active
+        alert.cleared_at = 3.0
+        assert not alert.active
