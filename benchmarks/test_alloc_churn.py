@@ -1,0 +1,28 @@
+"""Allocation churn — the repro.mem caching allocator vs raw driver."""
+
+from conftest import emit
+
+from repro.bench.harness import run_alloc_churn
+
+
+def test_alloc_churn(benchmark):
+    exp = benchmark.pedantic(run_alloc_churn, rounds=2, iterations=1)
+    emit(exp.report)
+    serve = exp.data["serve"]
+    vector = exp.data["vector"]
+
+    # The tentpole claim: the pool absorbs serving's allocation churn —
+    # after warmup the steady state never touches the raw driver.
+    assert serve["alloc_reduction_gain"] >= 5.0
+    assert serve["steady_hit_rate"] >= 0.8
+    assert serve["steady_raw_allocs_pooled"] == 0
+    assert serve["steady_raw_allocs_nopool"] > 0
+    assert serve["warmup_raw_allocs_pooled"] > 0
+    assert serve["completed"] > 0
+
+    # Vector growth pays the driver once per power-of-two bin, then
+    # every subsequent realloc is a cache hit.
+    assert vector["alloc_reduction_gain"] >= 5.0
+    assert vector["hit_rate"] >= 0.8
+    assert vector["reallocs"] > 0
+    assert vector["raw_allocs_pooled"] < vector["raw_allocs_nopool"]

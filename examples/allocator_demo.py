@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Memory-pooling tour: the repro.mem caching allocator at work.
+
+Walks the allocator's whole surface on a small simulated device:
+
+1. an allocation-churn loop run twice — against the raw driver and
+   through the pool — counting raw driver calls each way,
+2. the pool's two tiers (pow-2 bins for small blocks, the segment
+   arena with split/coalesce for large ones) and watermark trimming,
+3. double-free detection (``CuppInvalidFree``), and
+4. a forced out-of-memory showing the flush-and-retry path and the
+   fragmentation report ``OutOfMemory`` carries.
+
+Run:  python examples/allocator_demo.py
+"""
+
+from repro import obs
+from repro.cuda.runtime import CudaMachine
+from repro.cupp import Device
+from repro.cupp.exceptions import CuppInvalidFree, OutOfMemory
+from repro.mem import PoolConfig
+from repro.simgpu.arch import scaled_arch
+
+MIB = 1 << 20
+
+
+def make_device(memory_bytes: int) -> Device:
+    machine = CudaMachine(
+        [scaled_arch("allocator-demo", 4, memory_bytes=memory_bytes)]
+    )
+    return Device(machine=machine)
+
+
+def churn(device: Device, rounds: int = 200) -> int:
+    """A serving-shaped workload: transient buffers of a few sizes."""
+    raw = obs.counter("cuda.malloc.count")
+    before = raw.value
+    for i in range(rounds):
+        staging = device.alloc(4096 + (i % 4) * 1024)
+        result = device.alloc(16 * 1024)
+        device.free(staging)
+        device.free(result)
+    return int(raw.value - before)
+
+
+def main() -> None:
+    print("=== 1. churn: raw driver vs pool ===")
+    device = make_device(64 * MIB)
+    raw_calls = churn(device)
+    print(f"raw driver     : {raw_calls} cudaMalloc calls for 400 allocs")
+
+    pool = device.enable_pool()
+    pooled_calls = churn(device)
+    s = pool.stats()
+    print(
+        f"with the pool  : {pooled_calls} cudaMalloc calls "
+        f"(hit rate {s.hit_rate * 100:.1f}%, "
+        f"{s.bytes_cached:,} bytes cached for reuse)"
+    )
+
+    print()
+    print("=== 2. bins, arena, trim ===")
+    small = device.alloc(1000)  # bins: rounds up to 1024
+    big = device.alloc(3 * MIB)  # arena: carves a segment
+    device.free(small)
+    device.free(big)
+    snap = pool.snapshot()
+    print(f"bins cached    : {snap['bins']}")
+    print(
+        f"arena segments : {len(snap['segments'])} "
+        f"(coalesced back to {snap['segments'][0]['blocks']} block)"
+    )
+    released = pool.trim(0)
+    print(f"trim(0)        : released {released:,} bytes back to the driver")
+
+    print()
+    print("=== 3. double free ===")
+    p = device.alloc(2048)
+    device.free(p)
+    try:
+        device.free(p)
+    except CuppInvalidFree as exc:
+        print(f"caught         : {exc}")
+
+    print()
+    print("=== 4. OOM: flush, retry, report ===")
+    tiny = make_device(1 * MIB)
+    tiny_pool = tiny.enable_pool(PoolConfig(trim_enabled=False))
+    # Fill the cache, then ask for a block only a flush can satisfy.
+    for ptr in [tiny.alloc(100_000) for _ in range(7)]:
+        tiny.free(ptr)
+    tiny.alloc(400_000)
+    print(
+        f"flush-and-retry: succeeded after "
+        f"{tiny_pool.stats().oom_flushes} cache flush"
+    )
+    try:
+        tiny.alloc(2 * MIB)  # bigger than the whole device
+    except OutOfMemory as exc:
+        print("hard OOM report:")
+        for key in (
+            "requested",
+            "bytes_in_use",
+            "bytes_reserved",
+            "flushed_bytes",
+            "device_free_bytes",
+            "device_largest_free_bytes",
+            "fragmentation",
+        ):
+            print(f"  {key:26s}= {exc.report[key]}")
+
+    device.close()
+    tiny.close()
+
+
+if __name__ == "__main__":
+    main()

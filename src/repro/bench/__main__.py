@@ -25,6 +25,7 @@ import sys
 
 from repro import obs
 from repro.bench.harness import (
+    run_alloc_churn,
     run_fig_1_1,
     run_fig_5_5,
     run_fig_5_6,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "fig-6.4": run_fig_6_4,
     "sec-7": run_sec_7_traits,
     "serve-slo": run_serve_slo,
+    "alloc-churn": run_alloc_churn,
 }
 
 
@@ -67,6 +69,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="dump each experiment's Chrome trace + metrics JSON here",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the selected experiments' data dicts as JSON "
+        "(CI smoke steps consume this)",
     )
     gate = p.add_argument_group("perf-regression gate")
     gate.add_argument(
@@ -118,15 +127,26 @@ def main(argv: "list[str]") -> int:
         return 2
     if args.trace is not None:
         obs.enable_tracing()
+    collected: "dict[str, dict]" = {}
     for name, runner in EXPERIMENTS.items():
         if args.experiments and name not in args.experiments:
             continue
         exp = runner()
+        collected[name] = exp.data
         print(exp.report)
         if args.trace is not None:
             for path in exp.dump_observability(args.trace):
                 print(f"wrote {path}")
         print()
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"experiments": collected}, fh, indent=1, sort_keys=True
+            )
+            fh.write("\n")
+        print(f"data written: {args.json}")
     return 0
 
 

@@ -409,3 +409,169 @@ def run_serve_slo(
         "its host dispatch path at the same offered load.",
     )
     return exp
+
+
+# ----------------------------------------------------------------------
+# Allocation churn — the repro.mem caching allocator, pooled vs raw
+# ----------------------------------------------------------------------
+@observed
+def run_alloc_churn(
+    clients: int = 16,
+    warmup_s: float = 0.08,
+    steady_s: float = 0.16,
+    rate_rps: float = 12000.0,
+    seed: int = 0,
+) -> Experiment:
+    """Allocation churn with and without the :mod:`repro.mem` pool.
+
+    Two workloads, each run pooled and raw:
+
+    * the serving loadgen (per-batch result/staging buffers plus session
+      state blocks) — after a warmup window, a caching allocator should
+      serve the steady state entirely from its bins, so the headline is
+      *raw driver allocations in the steady window*;
+    * a ``cupp.Vector`` growth microbench (push_back + transform churn,
+      §4.6 realloc-on-growth) — every realloc re-allocates the next
+      power-of-two bin, which the pool has cached after the first pass.
+
+    All counts are deterministic (virtual-time serve, fixed seeds), so
+    the perf gate can hold the reduction factors exactly.
+    """
+    import numpy as np
+
+    from repro.cuda.runtime import CudaMachine
+    from repro.cupp import Device
+    from repro.cupp.vector import Vector
+    from repro.serve.service import ServeConfig, SimulationService
+
+    raw_mallocs = obs.counter("cuda.malloc.count")
+
+    def pool_counts(devices: int) -> "tuple[int, int]":
+        hits = sum(
+            obs.counter("mem.pool.hits", device=i).value
+            for i in range(devices)
+        )
+        misses = sum(
+            obs.counter("mem.pool.misses", device=i).value
+            for i in range(devices)
+        )
+        return int(hits), int(misses)
+
+    def drive_serve(pool: bool) -> dict:
+        cfg = ServeConfig(physics=False, pool=pool)
+        service = SimulationService(cfg)
+        for i in range(clients):
+            service.create_session(f"client-{i}", seed=seed + i)
+        rng = np.random.default_rng(seed)
+        total = warmup_s + steady_s
+        gaps = rng.exponential(
+            1.0 / rate_rps, size=max(1, int(rate_rps * total * 2))
+        )
+        arrivals = np.cumsum(gaps)
+        arrivals = arrivals[arrivals < total]
+        owners = rng.integers(0, clients, size=arrivals.size)
+        start = raw_mallocs.value
+        boundary: "float | None" = None
+        hits0 = misses0 = 0
+        for t, owner in zip(arrivals, owners):
+            if boundary is None and t >= warmup_s:
+                service.advance(warmup_s)
+                boundary = raw_mallocs.value
+                hits0, misses0 = pool_counts(cfg.devices)
+            service.advance(float(t))
+            service.submit(f"client-{owner}")
+        if boundary is None:
+            boundary = raw_mallocs.value
+            hits0, misses0 = pool_counts(cfg.devices)
+        service.drain()
+        hits1, misses1 = pool_counts(cfg.devices)
+        steady_hits = hits1 - hits0
+        steady_misses = misses1 - misses0
+        steady_pool_allocs = steady_hits + steady_misses
+        return {
+            "completed": service.stats.completed,
+            "warmup_raw": int(boundary - start),
+            "steady_raw": int(raw_mallocs.value - boundary),
+            "steady_hit_rate": (
+                steady_hits / steady_pool_allocs if steady_pool_allocs else 0.0
+            ),
+        }
+
+    def drive_vector(pool: bool) -> dict:
+        machine = CudaMachine(
+            [scaled_arch("alloc-churn-gpu", 12, memory_bytes=1 << 26)]
+        )
+        device = Device(machine=machine)
+        if pool:
+            device.enable_pool()
+        raw0 = raw_mallocs.value
+        re0 = obs.counter("cupp.vector.reallocs").value
+        vec = Vector(dtype="float32")
+        for i in range(512):
+            vec.push_back(float(i))
+            if (i + 1) % 16 == 0:
+                vec.transform(device)  # grew -> realloc + re-upload
+        stats = device.pool.stats() if pool else None
+        raw = int(raw_mallocs.value - raw0)
+        reallocs = int(obs.counter("cupp.vector.reallocs").value - re0)
+        device.close()
+        return {
+            "raw": raw,
+            "reallocs": reallocs,
+            "hit_rate": stats.hit_rate if stats else 0.0,
+        }
+
+    serve_pooled = drive_serve(pool=True)
+    serve_raw = drive_serve(pool=False)
+    vec_pooled = drive_vector(pool=True)
+    vec_raw = drive_vector(pool=False)
+
+    serve_gain = serve_raw["steady_raw"] / max(serve_pooled["steady_raw"], 1)
+    vec_gain = vec_raw["raw"] / max(vec_pooled["raw"], 1)
+
+    rows = [
+        (
+            "serve loadgen (steady)",
+            serve_raw["steady_raw"],
+            serve_pooled["steady_raw"],
+            f"{serve_gain:.1f}x",
+            f"{serve_pooled['steady_hit_rate'] * 100:.1f}%",
+        ),
+        (
+            "vector growth",
+            vec_raw["raw"],
+            vec_pooled["raw"],
+            f"{vec_gain:.1f}x",
+            f"{vec_pooled['hit_rate'] * 100:.1f}%",
+        ),
+    ]
+    exp = Experiment("alloc-churn", rows)
+    exp.data = {
+        "serve": {
+            "completed": serve_pooled["completed"],
+            "warmup_raw_allocs_pooled": serve_pooled["warmup_raw"],
+            "steady_raw_allocs_pooled": serve_pooled["steady_raw"],
+            "steady_raw_allocs_nopool": serve_raw["steady_raw"],
+            "alloc_reduction_gain": serve_gain,
+            "steady_hit_rate": serve_pooled["steady_hit_rate"],
+        },
+        "vector": {
+            "reallocs": vec_pooled["reallocs"],
+            "raw_allocs_pooled": vec_pooled["raw"],
+            "raw_allocs_nopool": vec_raw["raw"],
+            "alloc_reduction_gain": vec_gain,
+            "hit_rate": vec_pooled["hit_rate"],
+        },
+    }
+    exp.report = format_table(
+        f"alloc churn — raw driver allocations, pooled vs raw "
+        f"({clients} clients, {rate_rps:,.0f} req/s; 512-element vector "
+        f"growth)",
+        ["workload", "raw allocs", "pooled allocs", "reduction", "hit rate"],
+        rows,
+        note="The repro.mem caching allocator serves the steady state from "
+        "its bins: after warmup the serve loadgen performs (near-)zero raw "
+        "driver allocations, and vector growth pays the driver only for "
+        "the first visit to each power-of-two bin.",
+    )
+    return exp

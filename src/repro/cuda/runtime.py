@@ -165,6 +165,8 @@ class CudaRuntime(GlInteropMixin):
             return cudaError.cudaErrorMemoryAllocation, None
         except DeviceMemoryError:
             return cudaError.cudaErrorInvalidValue, None
+        obs.counter("cuda.malloc.count").inc()
+        obs.counter("cuda.malloc.bytes").inc(int(count))
         obs.instant("cuda.malloc", nbytes=count, addr=ptr.addr)
         return cudaError.cudaSuccess, ptr
 
@@ -173,6 +175,7 @@ class CudaRuntime(GlInteropMixin):
             self.device.memory.free(ptr)
         except InvalidFree:
             return cudaError.cudaErrorInvalidDevicePointer
+        obs.counter("cuda.free.count").inc()
         obs.instant("cuda.free", addr=ptr.addr)
         return cudaError.cudaSuccess
 

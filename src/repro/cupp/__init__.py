@@ -24,10 +24,12 @@ from repro.cupp.device_reference import DeviceReference
 from repro.cupp.exceptions import (
     CuppError,
     CuppInvalidDevice,
+    CuppInvalidFree,
     CuppLaunchError,
     CuppMemoryError,
     CuppTraitError,
     CuppUsageError,
+    OutOfMemory,
     check,
 )
 from repro.cupp.kernel import CallStats, Kernel, plan_grid
@@ -59,6 +61,7 @@ __all__ = [
     "ConstRef",
     "CuppError",
     "CuppInvalidDevice",
+    "CuppInvalidFree",
     "CuppLaunchError",
     "CuppMemoryError",
     "CuppTraitError",
@@ -72,6 +75,7 @@ __all__ = [
     "DeviceVector",
     "Kernel",
     "MultiKernel",
+    "OutOfMemory",
     "Sharded",
     "shard",
     "KernelTraits",

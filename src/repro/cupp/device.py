@@ -13,9 +13,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro.cuda.errors import cudaError
 from repro.cuda.runtime import CudaMachine, CudaRuntime
 from repro.cuda.types import cudaDeviceProp, cudaMemcpyKind
-from repro.cupp.exceptions import CuppUsageError, check
+from repro.cupp.exceptions import CuppUsageError, check, invalid_free
 from repro.simgpu.device import SimDevice
 from repro.simgpu.memory import DevicePtr
 
@@ -56,6 +57,7 @@ class Device:
                     "no device matches the requested properties"
                 )
         check(self.runtime.cudaSetDevice(0 if index is None else index))
+        self._pool = None
         self._open = True
 
     # ------------------------------------------------------------------
@@ -68,6 +70,11 @@ class Device:
         """The underlying simulated device."""
         self._ensure_open()
         return self.runtime.device
+
+    @property
+    def index(self) -> int:
+        """The bound device number (binding lazily, like §3.2.1)."""
+        return self.runtime._bind_default()
 
     # -- queries (§4.1: "the device handle can be queried") -------------
     def properties(self) -> cudaDeviceProp:
@@ -100,20 +107,95 @@ class Device:
     def supports_atomics(self) -> bool:
         return self.sim.arch.supports_atomics
 
+    # -- memory pooling (repro.mem) --------------------------------------
+    @property
+    def pool(self):
+        """The active :class:`repro.mem.MemoryPool`, or ``None``."""
+        return self._pool
+
+    def enable_pool(self, config=None) -> "object":
+        """Route :meth:`alloc`/:meth:`free` through a caching
+        :class:`repro.mem.MemoryPool` (idempotent when no ``config`` is
+        given).  The serving layer and the benchmarks enable this; raw
+        driver tests leave it off."""
+        self._ensure_open()
+        if self._pool is not None:
+            if config is not None:
+                raise CuppUsageError(
+                    "pool already enabled; disable_pool() before "
+                    "reconfiguring"
+                )
+            return self._pool
+        from repro.mem import MemoryPool
+
+        self._pool = MemoryPool(self, config)
+        return self._pool
+
+    def disable_pool(self) -> None:
+        """Release the pool's cache back to the driver and detach it.
+
+        Raises :class:`CuppUsageError` while pool allocations are live
+        (arena pointers cannot outlive their segments).  A no-op when no
+        pool is enabled."""
+        self._ensure_open()
+        if self._pool is None:
+            return
+        self._pool.release()
+        self._pool = None
+
     # -- memory (exception-throwing variants of §3.2.3) -----------------
-    def alloc(self, nbytes: int) -> DevicePtr:
-        """Allocate global memory; raises :class:`CuppMemoryError` on
-        failure instead of returning an error code."""
+    def _raw_alloc(self, nbytes: int) -> DevicePtr:
+        """Driver-level allocation, bypassing any pool."""
         self._ensure_open()
         err, ptr = self.runtime.cudaMalloc(nbytes)
         check(err, f"allocating {nbytes} bytes")
         obs.instant("device.alloc", nbytes=nbytes, addr=ptr.addr)
         return ptr
 
-    def free(self, ptr: DevicePtr) -> None:
+    def _raw_free(self, ptr: DevicePtr) -> None:
+        """Driver-level free, bypassing any pool.
+
+        Maps the driver's invalid-pointer code to the richer
+        :class:`~repro.cupp.exceptions.CuppInvalidFree` so a double free
+        names the pointer and device instead of failing generically."""
         self._ensure_open()
-        check(self.runtime.cudaFree(ptr))
+        err = self.runtime.cudaFree(ptr)
+        if err is cudaError.cudaErrorInvalidDevicePointer:
+            raise invalid_free(
+                ptr.addr,
+                self.index,
+                "not a live allocation (double free or foreign pointer)",
+            )
+        check(err)
         obs.instant("device.free", addr=ptr.addr)
+
+    def alloc(self, nbytes: int) -> DevicePtr:
+        """Allocate global memory; raises :class:`CuppMemoryError` on
+        failure instead of returning an error code.  Served from the
+        cache when a :meth:`enable_pool` pool is active."""
+        if self._pool is not None:
+            self._ensure_open()
+            return self._pool.alloc(nbytes)
+        return self._raw_alloc(nbytes)
+
+    def free(self, ptr: DevicePtr) -> None:
+        """Release an allocation.  Freeing the null pointer is a no-op;
+        a double free or foreign pointer raises
+        :class:`~repro.cupp.exceptions.CuppInvalidFree`."""
+        if self._pool is not None:
+            self._ensure_open()
+            kind = self._pool.classify(ptr)
+            if kind == "live":
+                self._pool.free(ptr)
+                return
+            if kind == "cached":
+                raise invalid_free(
+                    ptr.addr,
+                    self.index,
+                    "pointer is pool-owned but not live (double free)",
+                )
+            # Unknown to the pool: predates enable_pool — raw path.
+        self._raw_free(ptr)
 
     def upload(self, ptr: DevicePtr, data: np.ndarray) -> None:
         """Host -> device transfer (blocking, implicit synchronization)."""
@@ -148,6 +230,11 @@ class Device:
         """Destroy the handle: "all memory allocated on this device is
         freed as well"."""
         if self._open:
+            if self._pool is not None:
+                # free_all() below releases at the driver level; drop the
+                # pool's books first so nothing dangles.
+                self._pool.invalidate()
+                self._pool = None
             self.runtime.device.memory.free_all()
             self._open = False
 

@@ -24,6 +24,51 @@ class CuppMemoryError(CuppError):
     """Device memory allocation or transfer failed."""
 
 
+class OutOfMemory(CuppMemoryError):
+    """Device memory exhausted even after the pool flushed its cache.
+
+    Raised by :class:`repro.mem.MemoryPool` once the flush-and-retry
+    path fails.  Carries a :attr:`report` dict (requested size, bytes in
+    use / reserved, largest contiguous free range, per-bin and
+    per-segment occupancy) so the caller can see *why* the allocation
+    failed — exhaustion and fragmentation look identical without it.
+    """
+
+    def __init__(self, message: str, *, report: "dict | None" = None) -> None:
+        super().__init__(message)
+        #: The fragmentation report captured at the failure point.
+        self.report: dict = report or {}
+
+
+class CuppInvalidFree(CuppMemoryError):
+    """``free`` called with a pointer that is not a live allocation.
+
+    Covers both double frees and foreign pointers.  Carries the
+    offending address and the device id so the failure is debuggable
+    from the message alone.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        addr: "int | None" = None,
+        device_index: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.addr = addr
+        self.device_index = device_index
+
+
+def invalid_free(addr: int, device_index: int, reason: str) -> CuppInvalidFree:
+    """Build the canonical :class:`CuppInvalidFree` for ``addr``."""
+    return CuppInvalidFree(
+        f"invalid free of 0x{addr:x} on device {device_index}: {reason}",
+        addr=addr,
+        device_index=device_index,
+    )
+
+
 class CuppInvalidDevice(CuppError):
     """No device matches the request, or the handle is unusable."""
 

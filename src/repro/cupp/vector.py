@@ -232,16 +232,26 @@ class Vector:
         # trustworthy even while the host copy is stale — and if the
         # device copy is current we must NOT touch the host at all:
         # that deferred download is the whole point of lazy copying.
+        upload_cause = "lazy-miss"
         if self._mem is None or self._mem.count != self._size:
             self._ensure_host()
             if self._mem is not None:
+                # Growth (or shrink) churn: the old device block is freed
+                # and the full contents re-uploaded — attributed under its
+                # own cause so the allocator benchmarks can count it.
                 self._mem.close()
+                upload_cause = "vector-realloc"
+                obs.counter("cupp.vector.reallocs").inc()
+                obs.instant(
+                    "vector.realloc",
+                    nbytes=self._size * self.dtype.itemsize,
+                )
             self._mem = Memory1D(device, self.dtype, self._size)
             self._device_valid = False
         if not self._device_valid:
             self._ensure_host()
             self._mem.copy_from_host(
-                self._store[: self._size], cause="lazy-miss"
+                self._store[: self._size], cause=upload_cause
             )
             self._device_valid = True
             self._uploads.inc()

@@ -1,0 +1,32 @@
+"""``repro.mem`` — a caching device-memory allocator (pool + arena).
+
+The paper's memory layer (``memory1d``, ``shared_ptr``, ``vector``) pays
+a raw ``cudaMalloc``/``cudaFree`` for every allocation; production GPU
+stacks (PyTorch's caching allocator, RMM) interpose a per-device cache
+so steady-state churn never reaches the driver.  :class:`MemoryPool` is
+that layer for the simulated runtime:
+
+* **small requests** go to size-bucketed free lists (power-of-two bins,
+  256-byte minimum — the CUDA 1.0 allocation granule);
+* **large requests** go to a segment arena whose blocks are split on
+  allocation and coalesced with free neighbours on free;
+* **watermark trimming** caps how much the cache may hoard: when cached
+  bytes exceed the high watermark they are released back to the driver
+  until the low watermark is reached;
+* **OOM resilience**: a failed driver allocation flushes the entire
+  cache and retries once before raising
+  :class:`repro.cupp.exceptions.OutOfMemory` with a fragmentation
+  report.
+
+Opt in per device with :meth:`repro.cupp.Device.enable_pool` (the
+serving layer and the benchmarks do this by default); raw-driver tests
+keep the direct path.  Every cache decision is observable: ledger
+causes ``pool-hit``/``pool-miss``/``pool-trim``/``oom-flush``, registry
+gauges ``mem.bytes_in_use``/``mem.bytes_reserved``/``mem.fragmentation``
+and hit/miss counters, plus :meth:`MemoryPool.stats` /
+:meth:`MemoryPool.snapshot` for programmatic consumers.
+"""
+
+from repro.mem.pool import MemoryPool, PoolConfig, PoolStats
+
+__all__ = ["MemoryPool", "PoolConfig", "PoolStats"]

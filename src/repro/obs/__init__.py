@@ -35,7 +35,13 @@ workload runs.
 from __future__ import annotations
 
 from repro.obs.export import chrome_trace, write_chrome_trace, write_json
-from repro.obs.ledger import CAUSES, DIRECTIONS, TransferLedger, TransferRecord
+from repro.obs.ledger import (
+    CAUSES,
+    DIRECTIONS,
+    MEMORY_CAUSES,
+    TransferLedger,
+    TransferRecord,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Window
 from repro.obs.session import Capture, capture
 from repro.obs.tracer import (
@@ -58,6 +64,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "InMemoryRecorder",
+    "MEMORY_CAUSES",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullRecorder",

@@ -202,6 +202,9 @@ class Analysis:
     )
     #: Instant events per name (transfers, lazy hits, SLO alerts...).
     instants: "dict[str, int]" = field(default_factory=dict)
+    #: Allocator behaviour: ``{cause: {"count", "bytes"}}`` for the
+    #: :data:`repro.obs.ledger.MEMORY_CAUSES` found in the trace.
+    memory: "dict[str, dict]" = field(default_factory=dict)
     wall_s: float = 0.0
 
     def to_dict(self) -> dict:
@@ -216,6 +219,7 @@ class Analysis:
                 for n, d, s in self.critical_path
             ],
             "instants": dict(sorted(self.instants.items())),
+            "memory": {c: dict(v) for c, v in sorted(self.memory.items())},
         }
 
 
@@ -250,9 +254,17 @@ def analyze(events: "list[TraceEvent]") -> Analysis:
         stats.total_s += node.dur
         stats.self_s += node.self_s
         stats.durations.append(node.dur)
+    from repro.obs.ledger import MEMORY_CAUSES
+
+    memory_names = {f"transfer:{c}": c for c in MEMORY_CAUSES}
     for event in events:
         if event.kind == "instant":
             out.instants[event.name] = out.instants.get(event.name, 0) + 1
+            cause = memory_names.get(event.name)
+            if cause is not None:
+                row = out.memory.setdefault(cause, {"count": 0, "bytes": 0})
+                row["count"] += 1
+                row["bytes"] += int(event.args.get("nbytes", 0) or 0)
     out.breakdown = sorted(
         ((n, s.self_s) for n, s in out.spans.items()),
         key=lambda item: -item[1],
@@ -298,6 +310,28 @@ def ledger_rollup(
                 break
         cause["phases"][phase] = cause["phases"].get(phase, 0) + entry.nbytes
     return by_cause
+
+
+def memory_rollup(by_cause: dict) -> dict:
+    """Split a :func:`ledger_rollup` result into transfer vs memory
+    sections.
+
+    The flat per-cause shape of :func:`ledger_rollup` is unchanged (its
+    consumers depend on it); this view groups the
+    :data:`~repro.obs.ledger.MEMORY_CAUSES` — allocator behaviour, not
+    bus traffic — under ``"memory"`` and everything else under
+    ``"transfers"``, which is how the text and ``--json`` reports
+    present them.
+    """
+    from repro.obs.ledger import MEMORY_CAUSES
+
+    memory_set = set(MEMORY_CAUSES)
+    return {
+        "transfers": {
+            c: v for c, v in by_cause.items() if c not in memory_set
+        },
+        "memory": {c: v for c, v in by_cause.items() if c in memory_set},
+    }
 
 
 # ----------------------------------------------------------------------
@@ -349,11 +383,25 @@ def diff(a: Analysis, b: Analysis, tolerance_pct: float = 10.0) -> dict:
                 "total_change_pct": change,
             }
         )
+    memory_rows = []
+    for cause in sorted(set(a.memory) | set(b.memory)):
+        ma = a.memory.get(cause, {"count": 0, "bytes": 0})
+        mb = b.memory.get(cause, {"count": 0, "bytes": 0})
+        memory_rows.append(
+            {
+                "cause": cause,
+                "count_a": ma["count"],
+                "count_b": mb["count"],
+                "bytes_a": ma["bytes"],
+                "bytes_b": mb["bytes"],
+            }
+        )
     return {
         "tolerance_pct": tolerance_pct,
         "regressions": regressions,
         "improvements": improvements,
         "spans": rows,
+        "memory": memory_rows,
         "critical_path_a": [
             {"name": n, "total_s": d, "self_s": s}
             for n, d, s in a.critical_path
@@ -420,6 +468,17 @@ def render_analysis(analysis: Analysis) -> str:
                 ],
             )
         )
+    if analysis.memory:
+        blocks.append(
+            format_table(
+                "memory (allocator causes)",
+                ["cause", "count", "bytes"],
+                [
+                    (cause, row["count"], f"{row['bytes']:,}")
+                    for cause, row in sorted(analysis.memory.items())
+                ],
+            )
+        )
     return "\n\n".join(blocks)
 
 
@@ -444,12 +503,32 @@ def render_diff(result: dict) -> str:
         f"{result['improvements']} improvement(s) beyond "
         f"{result['tolerance_pct']:g}%"
     )
-    return format_table(
-        "trace diff (B relative to A)",
-        ["span", "verdict", "total A ms", "total B ms", "change"],
-        rows,
-        note=summary,
-    )
+    blocks = [
+        format_table(
+            "trace diff (B relative to A)",
+            ["span", "verdict", "total A ms", "total B ms", "change"],
+            rows,
+            note=summary,
+        )
+    ]
+    if result.get("memory"):
+        blocks.append(
+            format_table(
+                "memory (allocator causes, A vs B)",
+                ["cause", "count A", "count B", "bytes A", "bytes B"],
+                [
+                    (
+                        row["cause"],
+                        row["count_a"],
+                        row["count_b"],
+                        f"{row['bytes_a']:,}",
+                        f"{row['bytes_b']:,}",
+                    )
+                    for row in result["memory"]
+                ],
+            )
+        )
+    return "\n\n".join(blocks)
 
 
 def _build_parser() -> argparse.ArgumentParser:

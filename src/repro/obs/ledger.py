@@ -22,6 +22,19 @@ cause                      meaning
 ``batch-split``            bytes demultiplexed out of a fused batch result:
                            the coalesced device->host fetch plus downloads
                            forced by ``Vector.split_at``
+``vector-realloc``         a ``cupp.Vector`` outgrew its device block: the old
+                           block is freed and the full contents re-uploaded
+                           (growth churn, attributable per §4.6)
+``pool-hit``               an allocation served from the ``repro.mem`` cache —
+                           the simulated ``cudaMalloc`` that *didn't* run
+                           (``moved=False``, direction ``none``)
+``pool-miss``              the pool had no cached block and paid a raw driver
+                           allocation (``moved=False`` — nothing crossed the
+                           bus, the bytes are reserved capacity)
+``pool-trim``              cached bytes released back to the driver by
+                           high/low watermark trimming (``moved=False``)
+``oom-flush``              the entire cache flushed on allocation failure
+                           before the retry (``moved=False``)
 ========================== ====================================================
 
 Totals accumulate unconditionally (a handful of dict updates per
@@ -44,6 +57,25 @@ CAUSES = (
     "double-buffer-overlap",
     "batch-concat",
     "batch-split",
+    "vector-realloc",
+    "pool-hit",
+    "pool-miss",
+    "pool-trim",
+    "oom-flush",
+)
+
+#: The allocator-behaviour subset of :data:`CAUSES` — what
+#: :mod:`repro.obs.analyze` groups under its "memory" section.  Pool
+#: entries are always ``moved=False`` (no bytes cross the bus; the size
+#: is the block the cache served, reserved, or released), while
+#: ``vector-realloc`` is a genuine h2d transfer that also belongs to the
+#: allocation-churn story.
+MEMORY_CAUSES = (
+    "vector-realloc",
+    "pool-hit",
+    "pool-miss",
+    "pool-trim",
+    "oom-flush",
 )
 
 #: Transfer directions (``none`` for entries that moved nothing).

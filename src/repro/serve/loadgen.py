@@ -295,6 +295,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--devices", type=int, default=2, help="simulated GPUs")
     p.add_argument(
+        "--no-pool",
+        action="store_true",
+        help="bypass the repro.mem caching allocator (raw driver allocs)",
+    )
+    p.add_argument(
         "--deadline-ms",
         type=float,
         default=None,
@@ -375,6 +380,7 @@ def _config(args: argparse.Namespace, batching: bool) -> ServeConfig:
             None if args.deadline_ms is None else args.deadline_ms * 1e-3
         ),
         devices=args.devices,
+        pool=not args.no_pool,
         physics=args.physics,
     )
 

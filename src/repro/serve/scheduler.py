@@ -45,8 +45,15 @@ from repro.serve.sessions import Session
 from repro.simgpu.arch import scaled_arch
 
 
-def make_group(devices: int = 2, multiprocessors: int = 12) -> DeviceGroup:
-    """A serving device group: ``devices`` G80-class simulated GPUs."""
+def make_group(
+    devices: int = 2, multiprocessors: int = 12, pool: bool = True
+) -> DeviceGroup:
+    """A serving device group: ``devices`` G80-class simulated GPUs.
+
+    ``pool`` (default on) routes each device's allocations through a
+    :class:`repro.mem.MemoryPool`, so the per-batch buffer churn the
+    scheduler generates is served from cache instead of the driver.
+    """
     if devices <= 0:
         raise CuppUsageError(f"need at least one device, got {devices}")
     machine = CudaMachine(
@@ -55,7 +62,11 @@ def make_group(devices: int = 2, multiprocessors: int = 12) -> DeviceGroup:
             for i in range(devices)
         ]
     )
-    return DeviceGroup(machine)
+    group = DeviceGroup(machine)
+    if pool:
+        for device in group.devices:
+            device.enable_pool()
+    return group
 
 
 @dataclass
@@ -67,6 +78,9 @@ class SubBatch:
     sessions: "list[Session]" = field(default_factory=list)
     #: Virtual time the sub-batch's kernels finish on its device.
     completion_s: float = 0.0
+    #: Device buffer holding the fused draw-matrix results between
+    #: :meth:`DeviceScheduler.launch` and :meth:`~DeviceScheduler.finish`.
+    result_ptr: "object | None" = None
 
 
 class DeviceScheduler:
@@ -170,12 +184,25 @@ class DeviceScheduler:
         if cold:
             for session in cold:
                 session.refresh_state_vector()
+                # Real device residency for the session state: drop the
+                # stale block on the old device (a migration), allocate
+                # on this one.  Warm sessions keep their block, so the
+                # steady state performs no allocations here at all.
+                if session.state_ptr is not None:
+                    self.group.devices[session.resident_on].free(
+                        session.state_ptr
+                    )
+                    session.state_ptr = None
+                session.state_ptr = device.alloc(session.state_bytes)
             fused = Vector.concat([s.state for s in cold])
             nbytes = len(fused) * fused.dtype.itemsize
+            # Transient staging buffer backing the fused upload.
+            staging = device.alloc(nbytes)
             tl.memcpy(nbytes)
             obs.record_transfer(
                 "batch-concat", "h2d", nbytes, label="serve.session-upload"
             )
+            device.free(staging)
             for session in cold:
                 session.resident_on = sub.device_index
         else:
@@ -184,6 +211,10 @@ class DeviceScheduler:
                 device=device.name,
                 sessions=len(sub.sessions),
             )
+
+        # Device buffer the kernels write the fused draw matrices into;
+        # freed by finish() once the results are fetched.
+        sub.result_ptr = device.alloc(engine.result_bytes(sub.sessions))
 
         # The fused v5 kernels: asynchronous launches, additive cost.
         kernel_s = engine.batch_kernel_seconds(sub.sessions)
@@ -209,6 +240,9 @@ class DeviceScheduler:
         obs.record_transfer(
             "batch-split", "d2h", nbytes, label="serve.draw-matrices"
         )
+        if sub.result_ptr is not None:
+            self.group.devices[sub.device_index].free(sub.result_ptr)
+            sub.result_ptr = None
         tl.host_work(self.host_per_request_s * len(sub.requests))
         self.busy.discard(sub.device_index)
         return tl.host_time

@@ -69,6 +69,9 @@ class ServeConfig:
     default_deadline_s: "float | None" = None
     #: Devices in the serving group.
     devices: int = 2
+    #: Route device allocations through the :mod:`repro.mem` caching
+    #: pool (the serving layer's default; ``--no-pool`` in the loadgen).
+    pool: bool = True
     #: Run real boids physics (demos/tests) or frozen synthetic state
     #: (load generation — modelled costs are identical either way).
     physics: bool = True
@@ -112,7 +115,7 @@ class SimulationService:
             cfg.max_batch, cfg.window_s, enabled=cfg.batching
         )
         self.engine = StepEngine(cfg.params, cfg.calib, cfg.version)
-        self.group = make_group(cfg.devices)
+        self.group = make_group(cfg.devices, pool=cfg.pool)
         self.scheduler = DeviceScheduler(
             self.group,
             calib=cfg.calib,

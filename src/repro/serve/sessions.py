@@ -52,6 +52,9 @@ class Session:
         #: Device (index within the serving group) holding this session's
         #: agent state, or None while the session is cold.
         self.resident_on: "int | None" = None
+        #: The device block backing the resident state (allocated by the
+        #: scheduler on first placement, reallocated on migration).
+        self.state_ptr = None
         #: True while a batch containing this session is on a device —
         #: the batcher must not co-schedule a second step.
         self.in_flight = False

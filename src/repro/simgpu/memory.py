@@ -259,6 +259,20 @@ class DeviceMemory:
     def allocation_count(self) -> int:
         return len(self._blocks)
 
+    @property
+    def largest_free_bytes(self) -> int:
+        """The biggest contiguous free range (0 when memory is full).
+
+        ``free_bytes - largest_free_bytes`` is the space only reachable
+        by smaller allocations — the external-fragmentation number the
+        :mod:`repro.mem` pool reports on OOM.
+        """
+        return max(self._free_sizes, default=0)
+
+    def free_ranges(self) -> "list[tuple[int, int]]":
+        """Address-ordered ``(start, size)`` free ranges (a copy)."""
+        return list(zip(self._free_starts, self._free_sizes))
+
     def check_invariants(self) -> None:
         """Assert allocator invariants (used by the property tests)."""
         ranges: list[tuple[int, int, str]] = []

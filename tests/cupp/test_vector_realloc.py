@@ -1,0 +1,95 @@
+"""Vector growth reallocation: ledger cause, counter, and trace event."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cuda.runtime import CudaMachine
+from repro.cupp import Device
+from repro.cupp.vector import Vector
+from repro.simgpu.arch import scaled_arch
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def make_device() -> Device:
+    machine = CudaMachine(
+        [scaled_arch("vec-realloc", 2, memory_bytes=1 << 26)]
+    )
+    return Device(machine=machine)
+
+
+def grow_and_sync(device: Device, steps: int = 64) -> Vector:
+    vec = Vector(dtype="float32")
+    for i in range(steps):
+        vec.push_back(float(i))
+        if (i + 1) % 8 == 0:
+            vec.transform(device)  # device copy must follow the growth
+    return vec
+
+
+def test_growth_records_vector_realloc_cause():
+    device = make_device()
+    grow_and_sync(device)
+    ledger = obs.get_ledger()
+    assert ledger.count_for("vector-realloc") > 0
+    assert ledger.bytes_for("vector-realloc") > 0
+    # Reallocation re-uploads are genuine host-to-device traffic.
+    assert ledger.moved_bytes("h2d") >= ledger.bytes_for("vector-realloc")
+
+
+def test_growth_increments_realloc_counter():
+    device = make_device()
+    grow_and_sync(device)
+    count = obs.counter("cupp.vector.reallocs").value
+    assert count > 0
+    assert count == obs.get_ledger().count_for("vector-realloc")
+
+
+def test_first_upload_is_not_a_realloc():
+    device = make_device()
+    vec = Vector(dtype="float32")
+    for i in range(8):
+        vec.push_back(float(i))
+    vec.transform(device)
+    assert obs.counter("cupp.vector.reallocs").value == 0
+    assert obs.get_ledger().count_for("vector-realloc") == 0
+
+
+def test_resync_without_growth_is_not_a_realloc():
+    device = make_device()
+    vec = Vector(dtype="float32")
+    for i in range(8):
+        vec.push_back(float(i))
+    vec.transform(device)
+    before = obs.counter("cupp.vector.reallocs").value
+    vec.transform(device)  # same size: dirty re-upload at most, no realloc
+    assert obs.counter("cupp.vector.reallocs").value == before
+
+
+def test_realloc_emits_trace_instant():
+    obs.enable_tracing()
+    device = make_device()
+    grow_and_sync(device)
+    events = [
+        e for e in obs.get_tracer().events() if e.name == "vector.realloc"
+    ]
+    assert events
+    assert all(e.args["nbytes"] > 0 for e in events)
+
+
+def test_pool_absorbs_realloc_churn():
+    device = make_device()
+    device.enable_pool()
+    grow_and_sync(device, steps=256)
+    stats = device.pool.stats()
+    assert stats.hits > 0
+    # Power-of-two growth means each new capacity rebins; once a bin has
+    # been visited, later vectors (or the shrinking side of churn) hit it.
+    assert stats.hit_rate > 0.0

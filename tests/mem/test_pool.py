@@ -1,0 +1,378 @@
+"""Unit tests for the repro.mem caching allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cuda.runtime import CudaMachine
+from repro.cupp import Device
+from repro.cupp.exceptions import (
+    CuppInvalidFree,
+    CuppUsageError,
+    OutOfMemory,
+)
+from repro.mem import MemoryPool, PoolConfig
+from repro.mem.pool import bin_size_for
+from repro.simgpu.arch import scaled_arch
+from repro.simgpu.memory import DevicePtr
+
+MIB = 1 << 20
+
+
+def make_device(memory_bytes: int = 64 * MIB) -> Device:
+    machine = CudaMachine(
+        [scaled_arch("pool-test", 2, memory_bytes=memory_bytes)]
+    )
+    return Device(machine=machine)
+
+
+# ----------------------------------------------------------------------
+# binning
+# ----------------------------------------------------------------------
+def test_bin_size_rounds_to_power_of_two():
+    assert bin_size_for(1) == 256
+    assert bin_size_for(256) == 256
+    assert bin_size_for(257) == 512
+    assert bin_size_for(1000) == 1024
+    assert bin_size_for(1 << 20) == 1 << 20
+
+
+def test_small_free_then_alloc_is_a_cache_hit():
+    device = make_device()
+    pool = device.enable_pool()
+    p1 = device.alloc(1000)
+    device.free(p1)
+    p2 = device.alloc(900)  # same 1024 bin
+    assert p2.addr == p1.addr
+    stats = pool.stats()
+    assert stats.hits == 1 and stats.misses == 1
+    assert stats.hit_rate == 0.5
+    pool.check_invariants()
+
+
+def test_different_bins_do_not_share_blocks():
+    device = make_device()
+    pool = device.enable_pool()
+    p1 = device.alloc(100)  # bin 256
+    device.free(p1)
+    p2 = device.alloc(5000)  # bin 8192 — no hit possible
+    assert pool.stats().hits == 0
+    assert pool.stats().misses == 2
+    device.free(p2)
+    pool.check_invariants()
+
+
+def test_cache_hit_skips_the_driver():
+    device = make_device()
+    device.enable_pool()
+    p = device.alloc(4096)
+    device.free(p)
+    raw_before = obs.counter("cuda.malloc.count").value
+    device.alloc(4096)
+    assert obs.counter("cuda.malloc.count").value == raw_before
+
+
+# ----------------------------------------------------------------------
+# arena (large blocks)
+# ----------------------------------------------------------------------
+def test_large_allocations_share_one_segment():
+    device = make_device()
+    pool = device.enable_pool(PoolConfig(segment_bytes=8 * MIB))
+    raw_before = obs.counter("cuda.malloc.count").value
+    a = device.alloc(2 * MIB)  # segment miss
+    b = device.alloc(2 * MIB)  # split from the same segment: a hit
+    assert obs.counter("cuda.malloc.count").value == raw_before + 1
+    assert pool.stats().hits == 1
+    assert a.addr != b.addr
+    pool.check_invariants()
+
+
+def test_coalescing_restores_the_segment_to_one_block():
+    device = make_device()
+    pool = device.enable_pool(
+        PoolConfig(segment_bytes=8 * MIB, trim_enabled=False)
+    )
+    ptrs = [device.alloc(2 * MIB) for _ in range(4)]
+    # Free in an order that exercises both coalesce directions.
+    for p in (ptrs[1], ptrs[3], ptrs[0], ptrs[2]):
+        device.free(p)
+        pool.check_invariants()
+    snap = pool.snapshot()
+    assert len(snap["segments"]) == 1
+    assert snap["segments"][0]["blocks"] == 1
+    assert snap["segments"][0]["live_blocks"] == 0
+
+
+def test_split_leaves_remainder_allocatable():
+    device = make_device()
+    pool = device.enable_pool(
+        PoolConfig(segment_bytes=4 * MIB, trim_enabled=False)
+    )
+    a = device.alloc(3 * MIB)
+    b = device.alloc((1 * MIB) + 256)  # too big for the 1 MiB remainder
+    assert pool.stats().misses == 2  # second needed its own segment
+    c = device.alloc(1 * MIB + 256)  # but an exact re-fit hits the cache
+    device.free(b)
+    d = device.alloc(1 * MIB + 256)
+    assert d.addr == b.addr
+    pool.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# watermark trimming
+# ----------------------------------------------------------------------
+def test_trim_releases_down_to_the_low_watermark():
+    device = make_device()
+    pool = device.enable_pool(
+        PoolConfig(
+            high_watermark_bytes=4096, low_watermark_bytes=1024
+        )
+    )
+    ptrs = [device.alloc(1024) for _ in range(6)]
+    for p in ptrs:
+        device.free(p)
+    stats = pool.stats()
+    assert stats.trims >= 1
+    assert pool.bytes_cached <= 4096
+    assert obs.get_ledger().count_for("pool-trim") >= 1
+    pool.check_invariants()
+
+
+def test_trim_disabled_caches_without_bound():
+    device = make_device()
+    pool = device.enable_pool(
+        PoolConfig(
+            high_watermark_bytes=4096,
+            low_watermark_bytes=1024,
+            trim_enabled=False,
+        )
+    )
+    ptrs = [device.alloc(1024) for _ in range(6)]
+    for p in ptrs:
+        device.free(p)
+    assert pool.stats().trims == 0
+    assert pool.bytes_cached == 6 * 1024
+
+
+def test_explicit_trim_to_zero_returns_everything():
+    device = make_device()
+    pool = device.enable_pool(PoolConfig(trim_enabled=False))
+    for _ in range(3):
+        device.free(device.alloc(2048))
+    big = device.alloc(2 * MIB)
+    device.free(big)
+    released = pool.trim(0)
+    assert released > 0
+    assert pool.bytes_cached == 0
+    assert pool.bytes_reserved == 0
+    assert device.sim.memory.allocated_bytes == 0
+    pool.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# OOM: flush, retry, report
+# ----------------------------------------------------------------------
+def test_oom_flushes_cache_and_retries():
+    device = make_device(1 * MIB)
+    pool = device.enable_pool(PoolConfig(trim_enabled=False))
+    ptrs = [device.alloc(100_000) for _ in range(7)]
+    for p in ptrs:
+        device.free(p)
+    assert pool.bytes_cached > 700_000
+    # Needs most of the device: only satisfiable after the flush.
+    p = device.alloc(400_000)
+    assert pool.stats().oom_flushes == 1
+    assert obs.get_ledger().count_for("oom-flush") == 1
+    pool.check_invariants()
+
+
+def test_oom_raises_with_fragmentation_report():
+    device = make_device(1 * MIB)
+    pool = device.enable_pool()
+    keep = device.alloc(200_000)
+    with pytest.raises(OutOfMemory) as excinfo:
+        device.alloc(1 * MIB)
+    report = excinfo.value.report
+    assert report["requested"] == 1 * MIB
+    assert report["device_index"] == 0
+    assert report["bytes_in_use"] == bin_size_for(200_000)
+    assert report["device_free_bytes"] < 1 * MIB
+    assert 0.0 <= report["fragmentation"] <= 1.0
+    assert "bins" in report and "segments" in report
+    # The failed attempt still flushed (and counted it).
+    assert pool.stats().oom_flushes == 1
+    # The pool stays usable after the failure.
+    p = device.alloc(1000)
+    device.free(p)
+    pool.check_invariants()
+
+
+def test_out_of_memory_is_a_cupp_memory_error():
+    from repro.cupp.exceptions import CuppMemoryError
+
+    assert issubclass(OutOfMemory, CuppMemoryError)
+
+
+# ----------------------------------------------------------------------
+# double free & classification
+# ----------------------------------------------------------------------
+def test_double_free_of_pooled_pointer_raises():
+    device = make_device()
+    device.enable_pool()
+    p = device.alloc(1000)
+    device.free(p)
+    with pytest.raises(CuppInvalidFree) as excinfo:
+        device.free(p)
+    assert excinfo.value.addr == p.addr
+    assert excinfo.value.device_index == 0
+    assert hex(p.addr) in str(excinfo.value)
+
+
+def test_double_free_without_pool_raises_with_context():
+    device = make_device()
+    p = device.alloc(1000)
+    device.free(p)
+    with pytest.raises(CuppInvalidFree) as excinfo:
+        device.free(p)
+    assert excinfo.value.addr == p.addr
+    assert excinfo.value.device_index == 0
+
+
+def test_foreign_pointer_free_raises():
+    device = make_device()
+    device.enable_pool()
+    with pytest.raises(CuppInvalidFree):
+        device.free(DevicePtr(0x13370))
+
+
+def test_free_null_is_a_noop():
+    device = make_device()
+    device.enable_pool()
+    device.free(DevicePtr(0))  # cudaFree(NULL) semantics
+
+
+def test_classify():
+    device = make_device()
+    pool = device.enable_pool()
+    live = device.alloc(512)
+    cached = device.alloc(512 * 3)
+    device.free(cached)
+    assert pool.classify(live) == "live"
+    assert pool.classify(cached) == "cached"
+    assert pool.classify(DevicePtr(0xDEAD00)) == "unknown"
+    assert pool.owns(live) and pool.owns(cached)
+    assert not pool.owns(DevicePtr(0xDEAD00))
+
+
+def test_prepool_allocation_falls_through_to_raw_free():
+    device = make_device()
+    before = device.alloc(1000)  # raw allocation, no pool yet
+    device.enable_pool()
+    device.free(before)  # classify -> unknown -> raw path succeeds
+    assert device.sim.memory.allocated_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_enable_pool_is_idempotent():
+    device = make_device()
+    pool = device.enable_pool()
+    assert device.enable_pool() is pool
+    with pytest.raises(CuppUsageError):
+        device.enable_pool(PoolConfig())  # reconfigure needs disable first
+
+
+def test_disable_pool_with_live_allocations_refuses():
+    device = make_device()
+    device.enable_pool()
+    p = device.alloc(1000)
+    with pytest.raises(CuppUsageError):
+        device.disable_pool()
+    device.free(p)
+    device.disable_pool()
+    assert device.pool is None
+    assert device.sim.memory.allocated_bytes == 0
+
+
+def test_close_with_pool_leaves_no_driver_allocations():
+    device = make_device()
+    device.enable_pool()
+    device.alloc(1000)
+    device.alloc(3 * MIB)
+    mem = device.sim.memory
+    device.close()
+    assert mem.allocated_bytes == 0
+    mem.check_invariants()
+
+
+def test_watermark_config_validated():
+    device = make_device()
+    with pytest.raises(CuppUsageError):
+        MemoryPool(
+            device,
+            PoolConfig(high_watermark_bytes=100, low_watermark_bytes=200),
+        )
+
+
+def test_negative_alloc_rejected():
+    device = make_device()
+    device.enable_pool()
+    with pytest.raises(CuppUsageError):
+        device.alloc(-1)
+
+
+def test_zero_byte_alloc_is_valid():
+    device = make_device()
+    pool = device.enable_pool()
+    p = device.alloc(0)
+    assert p
+    device.free(p)
+    pool.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def test_gauges_track_use_and_reservation():
+    device = make_device()
+    device.enable_pool()
+    p = device.alloc(1000)
+    assert obs.gauge("mem.bytes_in_use", device=0).value == 1024
+    assert obs.gauge("mem.bytes_reserved", device=0).value == 1024
+    device.free(p)
+    assert obs.gauge("mem.bytes_in_use", device=0).value == 0
+    assert obs.gauge("mem.bytes_reserved", device=0).value == 1024
+    frag = obs.gauge("mem.fragmentation", device=0).value
+    assert 0.0 <= frag <= 1.0
+
+
+def test_ledger_pool_causes_move_nothing():
+    device = make_device()
+    device.enable_pool()
+    p = device.alloc(1000)
+    device.free(p)
+    device.alloc(1000)
+    ledger = obs.get_ledger()
+    assert ledger.count_for("pool-miss") == 1
+    assert ledger.count_for("pool-hit") == 1
+    assert ledger.bytes_for("pool-hit") == 1024
+    # Pool entries never move bytes across the bus.
+    assert ledger.moved_bytes("none") == 0
+    assert ledger.bytes_saved >= 2048
+
+
+def test_snapshot_shape():
+    device = make_device()
+    pool = device.enable_pool()
+    device.alloc(1000)
+    big = device.alloc(2 * MIB)
+    device.free(big)
+    snap = pool.snapshot()
+    assert snap["device_index"] == 0
+    assert snap["allocs"] == 2 and snap["frees"] == 1
+    assert snap["bytes_in_use"] == 1024
+    assert snap["watermarks"]["high"] > snap["watermarks"]["low"]
+    assert snap["segments"][0]["live_blocks"] == 0
+    assert isinstance(snap["hit_rate"], float)

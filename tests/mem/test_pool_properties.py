@@ -1,0 +1,102 @@
+"""Property tests: random alloc/free churn never corrupts the allocator.
+
+Every sequence of pool operations must leave both the pool's own books
+(`MemoryPool.check_invariants`) and the simulated driver heap
+(`DeviceMemory.check_invariants`) consistent, and the two must agree on
+how many bytes are reserved when the pool is the sole allocator.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuda.runtime import CudaMachine
+from repro.cupp import Device
+from repro.mem import PoolConfig
+from repro.simgpu.arch import scaled_arch
+
+MIB = 1 << 20
+
+
+def make_device(memory_bytes: int = 64 * MIB) -> Device:
+    machine = CudaMachine(
+        [scaled_arch("pool-prop", 2, memory_bytes=memory_bytes)]
+    )
+    return Device(machine=machine)
+
+
+# (is_alloc, value): alloc of `value` bytes, or free of the live ptr at
+# index `value % len(live)`. Sizes straddle the small/large threshold so
+# both the bins and the arena churn.
+OPS = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=3 * MIB),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS)
+def test_random_churn_preserves_invariants(ops):
+    device = make_device()
+    pool = device.enable_pool()
+    live = []
+    for is_alloc, value in ops:
+        if is_alloc or not live:
+            live.append(device.alloc(value))
+        else:
+            device.free(live.pop(value % len(live)))
+        pool.check_invariants()
+        device.sim.memory.check_invariants()
+        # Sole allocator: pool reservation mirrors the driver heap.
+        assert pool.bytes_reserved == device.sim.memory.allocated_bytes
+    for ptr in live:
+        device.free(ptr)
+    pool.check_invariants()
+    assert pool.stats().bytes_in_use == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=MIB + 1, max_value=2 * MIB),
+        min_size=2,
+        max_size=8,
+    ),
+    free_order=st.randoms(use_true_random=False),
+)
+def test_freeing_everything_coalesces_every_segment(sizes, free_order):
+    device = make_device()
+    pool = device.enable_pool(
+        PoolConfig(segment_bytes=8 * MIB, trim_enabled=False)
+    )
+    ptrs = [device.alloc(n) for n in sizes]
+    free_order.shuffle(ptrs)
+    for p in ptrs:
+        device.free(p)
+        pool.check_invariants()
+    for seg in pool.snapshot()["segments"]:
+        assert seg["live_blocks"] == 0
+        assert seg["blocks"] == 1  # fully coalesced back to one block
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=OPS)
+def test_disable_pool_after_churn_returns_all_memory(ops):
+    device = make_device()
+    device.enable_pool()
+    live = []
+    for is_alloc, value in ops:
+        if is_alloc or not live:
+            live.append(device.alloc(value))
+        else:
+            device.free(live.pop(value % len(live)))
+    for ptr in live:
+        device.free(ptr)
+    device.disable_pool()
+    assert device.sim.memory.allocated_bytes == 0
+    device.sim.memory.check_invariants()

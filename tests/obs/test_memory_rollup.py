@@ -1,0 +1,135 @@
+"""The analyzer's memory section: allocator causes grouped apart from
+bus traffic in single-run reports, rollups, and diffs."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.analyze import (
+    Analysis,
+    analyze,
+    diff,
+    ledger_rollup,
+    memory_rollup,
+    render_analysis,
+    render_diff,
+)
+from repro.obs.ledger import MEMORY_CAUSES, TransferRecord
+from repro.obs.tracer import TraceEvent
+
+
+def _instant(name, ts, **args):
+    return TraceEvent(
+        name=name,
+        kind="instant",
+        ts=ts,
+        dur=0.0,
+        tid=0,
+        depth=0,
+        parent=None,
+        args=args,
+    )
+
+
+def _span(name, ts, dur):
+    return TraceEvent(
+        name=name, kind="span", ts=ts, dur=dur, tid=0, depth=0, parent=None
+    )
+
+
+def test_memory_causes_cover_the_allocator_vocabulary():
+    assert set(MEMORY_CAUSES) == {
+        "vector-realloc",
+        "pool-hit",
+        "pool-miss",
+        "pool-trim",
+        "oom-flush",
+    }
+
+
+def test_analyze_collects_memory_instants():
+    events = [
+        _span("run", 0.0, 10.0),
+        _instant("transfer:pool-hit", 1.0, nbytes=1024),
+        _instant("transfer:pool-hit", 2.0, nbytes=2048),
+        _instant("transfer:pool-miss", 3.0, nbytes=4096),
+        _instant("transfer:eager", 4.0, nbytes=999),  # bus traffic: excluded
+        _instant("checkpoint", 5.0),  # unrelated instant: excluded
+    ]
+    analysis = analyze(events)
+    assert analysis.memory == {
+        "pool-hit": {"count": 2, "bytes": 3072},
+        "pool-miss": {"count": 1, "bytes": 4096},
+    }
+    assert analysis.to_dict()["memory"] == analysis.memory
+
+
+def test_analyze_from_live_pool_activity():
+    obs.reset()
+    obs.enable_tracing()
+    obs.record_transfer("pool-miss", "none", 512, moved=False, label="t")
+    obs.record_transfer("pool-hit", "none", 512, moved=False, label="t")
+    analysis = analyze(obs.get_tracer().events())
+    assert analysis.memory["pool-hit"] == {"count": 1, "bytes": 512}
+    assert analysis.memory["pool-miss"] == {"count": 1, "bytes": 512}
+    obs.reset()
+
+
+def test_memory_rollup_splits_allocator_from_bus_causes():
+    entries = [
+        TransferRecord("eager", "h2d", 100, True, "a", ts=1.0),
+        TransferRecord("pool-hit", "none", 1024, False, "p", ts=2.0),
+        TransferRecord("oom-flush", "none", 4096, False, "p", ts=3.0),
+        TransferRecord("vector-realloc", "h2d", 64, True, "v", ts=4.0),
+    ]
+    flat = ledger_rollup(entries)
+    split = memory_rollup(flat)
+    assert set(split["transfers"]) == {"eager"}
+    assert set(split["memory"]) == {"pool-hit", "oom-flush", "vector-realloc"}
+    # The flat per-cause rows pass through unchanged.
+    assert split["memory"]["pool-hit"] is flat["pool-hit"]
+    assert split["transfers"]["eager"] is flat["eager"]
+
+
+def test_diff_reports_memory_deltas():
+    a = analyze([_instant("transfer:pool-hit", 1.0, nbytes=100)])
+    b = analyze(
+        [
+            _instant("transfer:pool-hit", 1.0, nbytes=300),
+            _instant("transfer:pool-hit", 2.0, nbytes=300),
+            _instant("transfer:pool-trim", 3.0, nbytes=50),
+        ]
+    )
+    rows = {row["cause"]: row for row in diff(a, b)["memory"]}
+    assert rows["pool-hit"] == {
+        "cause": "pool-hit",
+        "count_a": 1,
+        "count_b": 2,
+        "bytes_a": 100,
+        "bytes_b": 600,
+    }
+    assert rows["pool-trim"]["count_a"] == 0
+    assert rows["pool-trim"]["bytes_b"] == 50
+
+
+def test_render_analysis_includes_memory_table_only_when_present():
+    with_memory = analyze(
+        [
+            _span("run", 0.0, 1.0),
+            _instant("transfer:pool-hit", 0.5, nbytes=4096),
+        ]
+    )
+    text = render_analysis(with_memory)
+    assert "memory (allocator causes)" in text
+    assert "pool-hit" in text and "4,096" in text
+    without = analyze([_span("run", 0.0, 1.0)])
+    assert "memory (allocator causes)" not in render_analysis(without)
+
+
+def test_render_diff_includes_memory_table_only_when_present():
+    a = analyze([_instant("transfer:oom-flush", 1.0, nbytes=10)])
+    b = Analysis()
+    text = render_diff(diff(a, b))
+    assert "memory (allocator causes, A vs B)" in text
+    assert "oom-flush" in text
+    empty = render_diff(diff(Analysis(), Analysis()))
+    assert "memory (allocator causes, A vs B)" not in empty
