@@ -26,6 +26,7 @@ import sys
 from repro import obs
 from repro.bench.harness import (
     run_alloc_churn,
+    run_fault_recovery,
     run_fig_1_1,
     run_fig_5_5,
     run_fig_5_6,
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "sec-7": run_sec_7_traits,
     "serve-slo": run_serve_slo,
     "alloc-churn": run_alloc_churn,
+    "fault-recovery": run_fault_recovery,
 }
 
 

@@ -25,6 +25,7 @@ class cudaError(enum.Enum):  # noqa: N801 - matches the CUDA spelling
     cudaErrorInvalidConfiguration = 9
     cudaErrorSetOnActiveProcess = 36
     cudaErrorNoDevice = 38
+    cudaErrorECCUncorrectable = 39
     cudaErrorUnknown = 30
 
     @property
@@ -44,6 +45,7 @@ _ERROR_STRINGS = {
     "cudaErrorInvalidConfiguration": "invalid configuration argument",
     "cudaErrorSetOnActiveProcess": "cannot set while device is active in this process",
     "cudaErrorNoDevice": "no CUDA-capable device is detected",
+    "cudaErrorECCUncorrectable": "uncorrectable ECC error encountered",
     "cudaErrorUnknown": "unknown error",
 }
 

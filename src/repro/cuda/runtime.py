@@ -159,6 +159,16 @@ class CudaRuntime(GlInteropMixin):
     # Memory management (§3.2.3)
     # ------------------------------------------------------------------
     def cudaMalloc(self, count: int) -> tuple[cudaError, DevicePtr | None]:  # noqa: N802
+        injector = self.device.fault_injector
+        if injector is not None and (
+            injector.draw(
+                "alloc", device_index=self._bind_default(), nbytes=count
+            )
+            is not None
+        ):
+            # Spurious OOM: the driver claims exhaustion although memory
+            # is available; the caller's retry path decides what happens.
+            return cudaError.cudaErrorMemoryAllocation, None
         try:
             ptr = self.device.memory.alloc(count)
         except OutOfDeviceMemory:
@@ -198,6 +208,19 @@ class CudaRuntime(GlInteropMixin):
         }
         if expected.get(kind) != (dst_dev, src_dev):
             return cudaError.cudaErrorInvalidMemcpyDirection
+        injector = self.device.fault_injector
+        if (
+            injector is not None
+            and (dst_dev or src_dev)
+            and injector.draw(
+                "transfer", device_index=self._bind_default(), nbytes=count
+            )
+            is not None
+        ):
+            # Uncorrectable ECC error: the bytes cross the bus (the time
+            # is charged) but arrive poisoned, so nothing is copied.
+            self.device.timeline.memcpy(count)
+            return cudaError.cudaErrorECCUncorrectable
         self.memcpy_count += 1
         obs.counter("cuda.memcpy.count", kind=kind.name).inc()
         obs.counter("cuda.memcpy.bytes", kind=kind.name).inc(count)
@@ -343,6 +366,22 @@ class CudaRuntime(GlInteropMixin):
             grid=str(pending.grid_dim),
             block=str(pending.block_dim),
         ) as span:
+            injector = self.device.fault_injector
+            if injector is not None:
+                fault = injector.draw(
+                    "launch", device_index=self._bind_default()
+                )
+                if fault == "launch-fail":
+                    span.set(error="injected-launch-failure")
+                    return cudaError.cudaErrorLaunchFailure
+                if fault == "hang":
+                    # The device wedges for the configured latency; the
+                    # failure is only visible once a watchdog gives up.
+                    self.device.timeline.launch_kernel(
+                        injector.config.hang_latency_s
+                    )
+                    span.set(error="injected-hang")
+                    return cudaError.cudaErrorLaunchFailure
             try:
                 with kernel_guard():
                     result = self.device.launch(

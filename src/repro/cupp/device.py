@@ -140,6 +140,15 @@ class Device:
         self._ensure_open()
         if self._pool is None:
             return
+        stats = self._pool.stats()
+        if stats.bytes_in_use > 0:
+            # Checked here, before touching the pool, so a refused
+            # disable leaves the pool attached and every live pointer
+            # (bin blocks *and* interior arena pointers) valid.
+            raise CuppUsageError(
+                f"cannot disable pool on device {self.index} with "
+                f"{stats.bytes_in_use} bytes live; free them first"
+            )
         self._pool.release()
         self._pool = None
 

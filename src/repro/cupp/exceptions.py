@@ -94,6 +94,7 @@ _ERROR_MAP: dict[cudaError, type[CuppError]] = {
     cudaError.cudaErrorMemoryAllocation: CuppMemoryError,
     cudaError.cudaErrorInvalidDevicePointer: CuppMemoryError,
     cudaError.cudaErrorInvalidMemcpyDirection: CuppMemoryError,
+    cudaError.cudaErrorECCUncorrectable: CuppMemoryError,
     cudaError.cudaErrorInvalidValue: CuppUsageError,
     cudaError.cudaErrorInvalidDevice: CuppInvalidDevice,
     cudaError.cudaErrorNoDevice: CuppInvalidDevice,

@@ -1,0 +1,25 @@
+"""repro.fault — deterministic fault injection & the chaos vocabulary.
+
+See :mod:`repro.fault.injector` for the model.  The serving layer's
+recovery machinery (retry with backoff, batch timeouts, device
+eviction, session failover) lives in :mod:`repro.serve`; this package
+only decides *when something breaks*.
+"""
+
+from repro.fault.injector import (
+    FAULT_KINDS,
+    FAULT_POINTS,
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+    InjectedFault,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "InjectedFault",
+]

@@ -88,6 +88,9 @@ class PoolStats:
     misses: int
     trims: int
     oom_flushes: int
+    #: Flush-and-retry outcomes: retries that then succeeded / failed.
+    oom_retries_ok: int
+    oom_retries_failed: int
     allocs: int
     frees: int
     bytes_in_use: int
@@ -189,6 +192,8 @@ class MemoryPool:
         self._misses = 0
         self._trims = 0
         self._oom_flushes = 0
+        self._oom_retries_ok = 0
+        self._oom_retries_failed = 0
         self._allocs = 0
         self._frees = 0
         self._publish()
@@ -245,7 +250,17 @@ class MemoryPool:
             try:
                 ptr = self.device._raw_alloc(nbytes)
             except CuppMemoryError as exc:
+                # Record the retry outcome on the failure path too, so
+                # the report always carries the post-flush verdict (not
+                # just the happy retry).
+                self._oom_retries_failed += 1
+                obs.counter(
+                    "mem.pool.oom_retries",
+                    device=self.device.index,
+                    outcome="failed",
+                ).inc()
                 report = self._oom_report(nbytes, released)
+                report["retry_outcome"] = "failed"
                 raise OutOfMemory(
                     f"out of device memory allocating {nbytes} bytes on "
                     f"device {self.device.index} even after flushing the "
@@ -255,6 +270,13 @@ class MemoryPool:
                     f"fragmentation {report['fragmentation']:.2f}",
                     report=report,
                 ) from exc
+            else:
+                self._oom_retries_ok += 1
+                obs.counter(
+                    "mem.pool.oom_retries",
+                    device=self.device.index,
+                    outcome="ok",
+                ).inc()
         self._reserved += self._charged_size(nbytes)
         return ptr
 
@@ -533,6 +555,8 @@ class MemoryPool:
             misses=self._misses,
             trims=self._trims,
             oom_flushes=self._oom_flushes,
+            oom_retries_ok=self._oom_retries_ok,
+            oom_retries_failed=self._oom_retries_failed,
             allocs=self._allocs,
             frees=self._frees,
             bytes_in_use=self._in_use,
@@ -552,6 +576,8 @@ class MemoryPool:
             "hit_rate": s.hit_rate,
             "trims": s.trims,
             "oom_flushes": s.oom_flushes,
+            "oom_retries_ok": s.oom_retries_ok,
+            "oom_retries_failed": s.oom_retries_failed,
             "allocs": s.allocs,
             "frees": s.frees,
             "bytes_in_use": s.bytes_in_use,

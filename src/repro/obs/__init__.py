@@ -38,6 +38,7 @@ from repro.obs.export import chrome_trace, write_chrome_trace, write_json
 from repro.obs.ledger import (
     CAUSES,
     DIRECTIONS,
+    FAULT_CAUSES,
     MEMORY_CAUSES,
     TransferLedger,
     TransferRecord,
@@ -61,6 +62,7 @@ __all__ = [
     "DIRECTIONS",
     "Capture",
     "Counter",
+    "FAULT_CAUSES",
     "Gauge",
     "Histogram",
     "InMemoryRecorder",

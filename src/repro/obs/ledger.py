@@ -35,6 +35,19 @@ cause                      meaning
                            high/low watermark trimming (``moved=False``)
 ``oom-flush``              the entire cache flushed on allocation failure
                            before the retry (``moved=False``)
+``fault-inject``           a fault fired from :mod:`repro.fault` (the size is
+                           the payload the fault poisoned, 0 for control-path
+                           faults; always ``moved=False``)
+``retry``                  a failed request re-queued with backoff by the
+                           serving layer (``moved=False`` — bookkeeping, not
+                           bytes)
+``failover-restore``       a session restored from its host-side checkpoint
+                           and migrated off a dead device; the size is the
+                           session state that must re-upload (``moved=False``
+                           here — the actual upload is attributed
+                           ``batch-concat`` when the next batch launches)
+``device-evict``           a device removed from the serving group by the
+                           health machinery (``moved=False``, size 0)
 ========================== ====================================================
 
 Totals accumulate unconditionally (a handful of dict updates per
@@ -62,6 +75,20 @@ CAUSES = (
     "pool-miss",
     "pool-trim",
     "oom-flush",
+    "fault-inject",
+    "retry",
+    "failover-restore",
+    "device-evict",
+)
+
+#: The fault/recovery subset of :data:`CAUSES` — injected faults and
+#: the serving layer's recovery actions.  All entries are
+#: ``moved=False``: they attribute chaos and its repair, not bus bytes.
+FAULT_CAUSES = (
+    "fault-inject",
+    "retry",
+    "failover-restore",
+    "device-evict",
 )
 
 #: The allocator-behaviour subset of :data:`CAUSES` — what

@@ -243,7 +243,10 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # Reentrant: a GC pass can run ``Device.__del__`` (which
+        # publishes pool gauges) while this thread already holds the
+        # lock inside ``_get`` — a plain Lock deadlocks the process.
+        self._lock = threading.RLock()
         self._counters: dict = {}
         self._gauges: dict = {}
         self._histograms: dict = {}

@@ -17,9 +17,19 @@ latency, throughput, and batch/launch statistics.
 from repro.serve.admission import POLICIES, AdmissionController
 from repro.serve.batcher import Batch, DynamicBatcher
 from repro.serve.engine import LAUNCHES_PER_BATCH, StepEngine
-from repro.serve.request import FAILED_STATUSES, RequestStatus, StepRequest
+from repro.serve.request import (
+    FAILED_STATUSES,
+    TERMINAL_STATUSES,
+    RequestStatus,
+    StepRequest,
+)
 from repro.serve.scheduler import DeviceScheduler, SubBatch, make_group
-from repro.serve.service import ServeConfig, ServiceStats, SimulationService
+from repro.serve.service import (
+    RetryPolicy,
+    ServeConfig,
+    ServiceStats,
+    SimulationService,
+)
 from repro.serve.sessions import (
     STATE_FLOATS_PER_AGENT,
     Session,
@@ -35,8 +45,10 @@ __all__ = [
     "LAUNCHES_PER_BATCH",
     "POLICIES",
     "RequestStatus",
+    "RetryPolicy",
     "STATE_FLOATS_PER_AGENT",
     "ServeConfig",
+    "TERMINAL_STATUSES",
     "ServiceStats",
     "Session",
     "SessionStore",

@@ -81,8 +81,17 @@ class AdmissionController:
 
         A full queue triggers the configured policy; the returned status
         is one of QUEUED, REJECTED, or BLOCKED (shedding evicts an *old*
-        request, so the new arrival still lands QUEUED).
+        request, so the new arrival still lands QUEUED).  A request
+        whose deadline has already passed is refused outright as
+        EXPIRED — queuing work that cannot meet its deadline only
+        steals a slot from work that can.
         """
+        if request.expired(now):
+            request.status = RequestStatus.EXPIRED
+            self._outcome(request, "expired", now)
+            obs.instant("serve.deadline-miss", request=request.request_id)
+            self._note_depth()
+            return request.status
         if len(self.queue) < self.capacity and not self.blocked:
             self._admit(request, now)
         elif self.policy == "reject":

@@ -97,6 +97,11 @@ class DynamicBatcher:
             return None
         if len(eligible) >= self.max_batch:
             return now
+        # A retried request already paid its window (and a fault) on an
+        # earlier attempt — it rides the next launch immediately rather
+        # than aging a second time.
+        if any(r.attempts for r in eligible):
+            return now
         return max(now, eligible[0].admit_s + self.window_s)
 
     def take(

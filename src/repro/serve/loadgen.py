@@ -35,7 +35,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
-from repro.serve.request import FAILED_STATUSES, RequestStatus, StepRequest
+from repro.fault import FaultConfig
+from repro.serve.request import (
+    FAILED_STATUSES,
+    TERMINAL_STATUSES,
+    RequestStatus,
+    StepRequest,
+)
 from repro.serve.service import ServeConfig, SimulationService
 
 
@@ -59,6 +65,15 @@ class LoadReport:
     batches: int
     launches: int
     max_queue_depth: int
+    #: Resilience outcomes (all zero / ``None`` on fault-free runs).
+    failed: int = 0
+    stranded: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    evictions: int = 0
+    failovers: int = 0
+    #: The injector's counters (``None`` when chaos was off).
+    faults: "dict | None" = None
     latencies_ms: "list[float]" = field(default_factory=list, repr=False)
     #: Alert log from an attached SLO monitor (empty when none ran).
     alerts: "list[dict]" = field(default_factory=list, repr=False)
@@ -94,6 +109,13 @@ class LoadReport:
             "launches": self.launches,
             "launches_per_request": self.launches_per_request,
             "max_queue_depth": self.max_queue_depth,
+            "failed": self.failed,
+            "stranded": self.stranded,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "evictions": self.evictions,
+            "failovers": self.failovers,
+            "faults": self.faults,
             "alerts_fired": len(self.alerts),
             "alerts": self.alerts,
         }
@@ -118,6 +140,20 @@ class LoadReport:
             f"({self.launches_per_request:.3f} per completed request)",
         ] + (
             [
+                f"chaos       {self.faults['injected']} faults injected "
+                f"over {self.faults['consults']} consults "
+                f"({', '.join(f'{k} {v}' for k, v in sorted(self.faults['by_kind'].items()) if v)})"
+                if self.faults["injected"]
+                else f"chaos       0 faults injected over "
+                f"{self.faults['consults']} consults",
+                f"recovery    {self.retries} retries, {self.timeouts} timeouts, "
+                f"{self.evictions} evictions, {self.failovers} failovers, "
+                f"{self.failed} failed, {self.stranded} stranded",
+            ]
+            if self.faults is not None
+            else []
+        ) + (
+            [
                 f"slo alerts  {len(self.alerts)} fired "
                 f"({', '.join(sorted({a['rule'] for a in self.alerts}))})"
             ]
@@ -137,6 +173,7 @@ def slo_monitor(
     p99_ms: "float | None" = None,
     miss_ratio: "float | None" = None,
     queue_depth: "float | None" = None,
+    fault_count: "float | None" = None,
     window_s: float = 0.05,
 ):
     """Build an :class:`~repro.obs.monitor.SloMonitor` from thresholds.
@@ -184,6 +221,17 @@ def slo_monitor(
                 "repro.queue.depth",
                 "max",
                 threshold=queue_depth,
+                window_s=window_s,
+                short_window_s=short_s,
+            )
+        )
+    if fault_count is not None:
+        rules.append(
+            SloRule(
+                "fault-count",
+                "repro.fault.events",
+                "count",
+                threshold=fault_count,
                 window_s=window_s,
                 short_window_s=short_s,
             )
@@ -238,6 +286,9 @@ def run_load(
         status: sum(1 for r in requests if r.status is status)
         for status in FAILED_STATUSES
     }
+    # Stranded = submitted but never driven to a terminal status; the
+    # resilience layer's contract is that this is always zero.
+    stranded = sum(1 for r in requests if r.status not in TERMINAL_STATUSES)
     stats = service.stats
     return LoadReport(
         batching=config.batching,
@@ -256,6 +307,13 @@ def run_load(
         batches=stats.batches,
         launches=stats.launches,
         max_queue_depth=max_depth,
+        failed=by_status[RequestStatus.FAILED],
+        stranded=stranded,
+        retries=stats.retries,
+        timeouts=stats.timeouts,
+        evictions=stats.evictions,
+        failovers=stats.failovers,
+        faults=service.fault_stats,
         latencies_ms=latencies_ms,
         alerts=(
             [alert.to_dict() for alert in monitor.log]
@@ -315,7 +373,22 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run batched AND unbatched on the same arrivals; print both",
     )
-    p.add_argument("--seed", type=int, default=0, help="arrival-stream seed")
+    p.add_argument(
+        "--seed", type=int, default=0, help="arrival-stream (and chaos) seed"
+    )
+    chaos = p.add_argument_group("chaos (deterministic fault injection)")
+    chaos.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject the standard fault mix (FaultConfig.chaos) seeded "
+        "from --seed; the run must leave zero stranded requests",
+    )
+    chaos.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.01,
+        help="total device-fault probability per consult (default 0.01)",
+    )
     p.add_argument(
         "--physics",
         action="store_true",
@@ -345,6 +418,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="alert when the admission queue exceeds this depth",
+    )
+    slo.add_argument(
+        "--slo-fault-count",
+        type=float,
+        default=None,
+        help="alert when injected faults in the window exceed this count",
     )
     slo.add_argument(
         "--slo-window-ms",
@@ -382,6 +461,11 @@ def _config(args: argparse.Namespace, batching: bool) -> ServeConfig:
         devices=args.devices,
         pool=not args.no_pool,
         physics=args.physics,
+        faults=(
+            FaultConfig.chaos(seed=args.seed, device_fault_rate=args.chaos_rate)
+            if args.chaos
+            else None
+        ),
     )
 
 
@@ -395,6 +479,7 @@ def main(argv: "list[str] | None" = None) -> int:
             p99_ms=args.slo_p99_ms,
             miss_ratio=args.slo_miss_ratio,
             queue_depth=args.slo_queue_depth,
+            fault_count=args.slo_fault_count,
             window_s=args.slo_window_ms * 1e-3,
         )
         if monitor is not None:

@@ -39,12 +39,23 @@ class RequestStatus(enum.Enum):
     IN_FLIGHT = "in-flight"
     #: Completed; ``finish_s`` and (optionally) ``result`` are set.
     DONE = "done"
+    #: Hit an injected/device fault and exhausted its retry budget.
+    FAILED = "failed"
 
 
 #: Statuses that mean the request will never produce a result.
 FAILED_STATUSES = frozenset(
-    {RequestStatus.REJECTED, RequestStatus.SHED, RequestStatus.EXPIRED}
+    {
+        RequestStatus.REJECTED,
+        RequestStatus.SHED,
+        RequestStatus.EXPIRED,
+        RequestStatus.FAILED,
+    }
 )
+
+#: Statuses a drained service must leave every request in — anything
+#: else is a stranded request, which the resilience layer forbids.
+TERMINAL_STATUSES = frozenset({RequestStatus.DONE}) | FAILED_STATUSES
 
 
 @dataclass
@@ -84,6 +95,10 @@ class StepRequest:
     device_index: "int | None" = None
     #: Batch the request rode in (service-wide monotone id).
     batch_id: "int | None" = None
+    #: Launch attempts consumed so far (faults send a request back
+    #: through admission with exponential backoff until the retry
+    #: policy's budget runs out).
+    attempts: int = 0
     #: Draw matrices for the stepped frame, when ``want_draw`` was set.
     result: "np.ndarray | None" = field(default=None, repr=False)
 

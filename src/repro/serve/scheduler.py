@@ -35,9 +35,10 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cuda.runtime import CudaMachine
-from repro.cupp.exceptions import CuppUsageError
+from repro.cupp.exceptions import CuppMemoryError, CuppUsageError
 from repro.cupp.multidevice import DeviceGroup
 from repro.cupp.vector import Vector
+from repro.fault import InjectedFault
 from repro.serve.batcher import Batch
 from repro.serve.engine import LAUNCHES_PER_BATCH, StepEngine
 from repro.serve.request import StepRequest
@@ -81,6 +82,18 @@ class SubBatch:
     #: Device buffer holding the fused draw-matrix results between
     #: :meth:`DeviceScheduler.launch` and :meth:`~DeviceScheduler.finish`.
     result_ptr: "object | None" = None
+    #: Watchdog deadline set at launch when fault injection is active;
+    #: the service times the sub-batch out (and evicts its device) if
+    #: the completion has not arrived by then.  ``None`` = no watchdog.
+    timeout_s: "float | None" = None
+    #: An injected hang wedged this sub-batch's device.
+    hung: bool = False
+    #: The result fetch came back with an uncorrectable ECC error; the
+    #: results must be discarded and the requests retried.
+    corrupt: bool = False
+    #: The sub-batch was timed out and abandoned; its (late) completion
+    #: event is reaped without touching sessions or results.
+    zombie: bool = False
 
 
 class DeviceScheduler:
@@ -102,13 +115,60 @@ class DeviceScheduler:
             tl.launch_overhead_s = calib.launch_overhead_s
         #: Device indices with a sub-batch currently in flight.
         self.busy: "set[int]" = set()
+        #: Device indices evicted by the health machinery; excluded
+        #: from placement until a probe readmits them.
+        self.unhealthy: "set[int]" = set()
+        #: Optional :class:`repro.fault.FaultInjector` (set by the
+        #: service when chaos is configured); consulted once per
+        #: sub-batch launch and once per result fetch.
+        self.injector = None
 
     # ------------------------------------------------------------------
     def free_devices(self) -> "list[int]":
-        """Indices with no in-flight sub-batch, least busy first."""
-        free = [i for i in range(len(self.group)) if i not in self.busy]
+        """Healthy indices with no in-flight sub-batch, least busy first."""
+        free = [
+            i
+            for i in range(len(self.group))
+            if i not in self.busy and i not in self.unhealthy
+        ]
         free.sort(key=lambda i: self.timelines[i].device_busy_until)
         return free
+
+    # ------------------------------------------------------------------
+    # device health (eviction / readmission)
+    # ------------------------------------------------------------------
+    def evict(self, device_index: int, reason: str) -> None:
+        """Remove a device from placement until a probe readmits it."""
+        self.busy.discard(device_index)
+        self.unhealthy.add(device_index)
+        obs.counter("fault.evictions").inc()
+        obs.instant(
+            "serve.device-evict", device=device_index, reason=reason
+        )
+        obs.record_transfer(
+            "device-evict", "none", 0, moved=False, label=reason
+        )
+
+    def probe(self, device_index: int, now: float) -> bool:
+        """Health-check an evicted device; readmit it once its timeline
+        has drained (the hang played out).  Returns True on readmission."""
+        if device_index not in self.unhealthy:
+            return False
+        if self.timelines[device_index].device_busy_until > now:
+            return False
+        self.unhealthy.discard(device_index)
+        obs.counter("fault.readmissions").inc()
+        obs.instant("serve.device-readmit", device=device_index)
+        return True
+
+    def abandon(self, sub: SubBatch) -> None:
+        """Release a timed-out sub-batch's device buffer and mark it a
+        zombie: its completion event is still owed by the timeline, but
+        nothing will be fetched from it."""
+        if sub.result_ptr is not None:
+            self.group.devices[sub.device_index].free(sub.result_ptr)
+            sub.result_ptr = None
+        sub.zombie = True
 
     @property
     def makespan_s(self) -> float:
@@ -178,49 +238,77 @@ class DeviceScheduler:
             self.host_dispatch_s + self.host_per_request_s * len(sub.requests)
         )
 
+        # Fault consult: one draw per sub-batch launch.  A transient
+        # launch failure aborts here, before any state moved, so the
+        # service can retry the requests cleanly; a hang proceeds like a
+        # normal launch but wedges the device for the configured latency
+        # (only the watchdog timeout will notice).
+        hang_s = 0.0
+        if self.injector is not None:
+            fault = self.injector.draw("launch", device_index=sub.device_index)
+            if fault == "launch-fail":
+                raise InjectedFault("launch-fail", sub.device_index)
+            if fault == "hang":
+                hang_s = self.injector.config.hang_latency_s
+                sub.hung = True
+
         # Fused upload of cold session state: one Vector.concat + one
         # modelled h2d memcpy instead of one per session.
         cold = [s for s in sub.sessions if s.resident_on != sub.device_index]
-        if cold:
-            for session in cold:
-                session.refresh_state_vector()
-                # Real device residency for the session state: drop the
-                # stale block on the old device (a migration), allocate
-                # on this one.  Warm sessions keep their block, so the
-                # steady state performs no allocations here at all.
-                if session.state_ptr is not None:
-                    self.group.devices[session.resident_on].free(
-                        session.state_ptr
-                    )
-                    session.state_ptr = None
-                session.state_ptr = device.alloc(session.state_bytes)
-            fused = Vector.concat([s.state for s in cold])
-            nbytes = len(fused) * fused.dtype.itemsize
-            # Transient staging buffer backing the fused upload.
-            staging = device.alloc(nbytes)
-            tl.memcpy(nbytes)
-            obs.record_transfer(
-                "batch-concat", "h2d", nbytes, label="serve.session-upload"
-            )
-            device.free(staging)
-            for session in cold:
-                session.resident_on = sub.device_index
-        else:
-            obs.instant(
-                "serve.lazy-hit",
-                device=device.name,
-                sessions=len(sub.sessions),
-            )
+        allocated: "list" = []
+        try:
+            if cold:
+                for session in cold:
+                    session.refresh_state_vector()
+                    # Real device residency for the session state: drop the
+                    # stale block on the old device (a migration), allocate
+                    # on this one.  Warm sessions keep their block, so the
+                    # steady state performs no allocations here at all.
+                    if session.state_ptr is not None:
+                        self.group.devices[session.resident_on].free(
+                            session.state_ptr
+                        )
+                        session.state_ptr = None
+                    session.state_ptr = device.alloc(session.state_bytes)
+                    allocated.append(session)
+                fused = Vector.concat([s.state for s in cold])
+                nbytes = len(fused) * fused.dtype.itemsize
+                # Transient staging buffer backing the fused upload.
+                staging = device.alloc(nbytes)
+                tl.memcpy(nbytes)
+                obs.record_transfer(
+                    "batch-concat", "h2d", nbytes, label="serve.session-upload"
+                )
+                device.free(staging)
+                for session in cold:
+                    session.resident_on = sub.device_index
+            else:
+                obs.instant(
+                    "serve.lazy-hit",
+                    device=device.name,
+                    sessions=len(sub.sessions),
+                )
 
-        # Device buffer the kernels write the fused draw matrices into;
-        # freed by finish() once the results are fetched.
-        sub.result_ptr = device.alloc(engine.result_bytes(sub.sessions))
+            # Device buffer the kernels write the fused draw matrices into;
+            # freed by finish() once the results are fetched.
+            sub.result_ptr = device.alloc(engine.result_bytes(sub.sessions))
+        except CuppMemoryError as exc:
+            # Allocation failed (a spurious OOM the pool's flush-and-retry
+            # could not absorb, or genuine exhaustion).  Unwind this
+            # launch's uploads so the touched sessions are simply cold
+            # again, then surface it as a transient launch fault.
+            for session in allocated:
+                if session.state_ptr is not None:
+                    device.free(session.state_ptr)
+                    session.state_ptr = None
+                session.resident_on = None
+            raise InjectedFault("oom", sub.device_index) from exc
 
         # The fused v5 kernels: asynchronous launches, additive cost.
         kernel_s = engine.batch_kernel_seconds(sub.sessions)
         for _ in range(LAUNCHES_PER_BATCH - 1):
             tl.launch_kernel(0.0)  # simulate/modify boundary: launch cost only
-        tl.launch_kernel(kernel_s)
+        tl.launch_kernel(kernel_s + hang_s)
         obs.counter("repro.serve.launches").inc(LAUNCHES_PER_BATCH)
 
         self.busy.add(sub.device_index)
@@ -240,6 +328,21 @@ class DeviceScheduler:
         obs.record_transfer(
             "batch-split", "d2h", nbytes, label="serve.draw-matrices"
         )
+        # Fault consult: one draw per result fetch.  A corrupt fetch
+        # still paid for the bytes (charged above), but the payload is
+        # garbage — discard it, release the device, and let the service
+        # roll the sessions back and retry the requests.
+        if self.injector is not None:
+            fault = self.injector.draw(
+                "transfer", device_index=sub.device_index, nbytes=nbytes
+            )
+            if fault == "transfer-corrupt":
+                if sub.result_ptr is not None:
+                    self.group.devices[sub.device_index].free(sub.result_ptr)
+                    sub.result_ptr = None
+                self.busy.discard(sub.device_index)
+                sub.corrupt = True
+                return tl.host_time
         if sub.result_ptr is not None:
             self.group.devices[sub.device_index].free(sub.result_ptr)
             sub.result_ptr = None

@@ -38,6 +38,7 @@ from repro import obs
 from repro.bench.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.cupp.exceptions import CuppUsageError
 from repro.cupp.vector import Vector
+from repro.fault import FaultConfig, FaultInjector, InjectedFault
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.engine import StepEngine
@@ -49,6 +50,43 @@ from repro.steer.params import BoidsParams, DEFAULT_PARAMS
 #: Tolerance when comparing virtual timestamps (they are sums of many
 #: small floats; exact equality would drop simultaneous events).
 _EPS = 1e-12
+
+
+@dataclass
+class RetryPolicy:
+    """How the service recovers from injected/device faults.
+
+    Requests whose launch (or result fetch) hits a fault are re-offered
+    to admission after an exponential backoff, up to ``max_attempts``
+    total launches; exhausting the budget fails the request
+    (:attr:`~repro.serve.request.RequestStatus.FAILED`).  Sub-batches
+    carry a watchdog deadline of their *predicted* kernel time plus
+    ``batch_timeout_s`` of slack: missing it (an injected hang
+    overshoots by ~``hang_latency_s``; healthy work never does) evicts
+    the device and fails its sessions over.  Evicted devices are
+    health-probed every ``probe_interval_s`` and readmitted once their
+    timeline drains.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.5e-3
+    backoff_multiplier: float = 2.0
+    batch_timeout_s: float = 2e-3
+    probe_interval_s: float = 5e-3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CuppUsageError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0 or self.batch_timeout_s <= 0:
+            raise CuppUsageError("backoff/timeout must be non-negative")
+
+    def backoff_for(self, attempts: int) -> float:
+        """Backoff before re-admitting a request on its Nth failure."""
+        return self.backoff_s * self.backoff_multiplier ** max(
+            0, attempts - 1
+        )
 
 
 @dataclass
@@ -82,6 +120,11 @@ class ServeConfig:
     params: BoidsParams = DEFAULT_PARAMS
     calib: Calibration = DEFAULT_CALIBRATION
     version: int = 5
+    #: Fault injection (chaos mode).  ``None`` keeps every fault path
+    #: inert — fault-free runs are byte-identical to pre-chaos builds.
+    faults: "FaultConfig | None" = None
+    #: Recovery behaviour when faults are enabled.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 @dataclass
@@ -94,6 +137,12 @@ class ServiceStats:
     launches: int = 0
     agents_stepped: int = 0
     batch_sizes: "list[int]" = field(default_factory=list)
+    #: Resilience counters (all zero on fault-free runs).
+    retries: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    evictions: int = 0
+    failovers: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -133,6 +182,24 @@ class SimulationService:
         self.monitor = None
         self._degrade_policy: "str | None" = None
         self._normal_policy: "str | None" = None
+        self._normal_window: "float | None" = None
+        #: Chaos wiring: one injector shared by the scheduler's consult
+        #: sites and every simulated device's runtime hooks.
+        self.injector: "FaultInjector | None" = None
+        if cfg.faults is not None and cfg.faults.any_enabled:
+            self.injector = FaultInjector(cfg.faults)
+            self.injector.listener = self._on_fault_injected
+            self.scheduler.injector = self.injector
+            for device in self.group.devices:
+                device.sim.fault_injector = self.injector
+        self.retry = cfg.retry
+        #: Requests parked for backoff: ``(wake_s, seq, request)``.
+        self._retry_parked: "list[tuple[float, int, StepRequest]]" = []
+        self._retry_seq = 0
+        #: Timed-out sub-batches whose (late) completion is still owed
+        #: by their device timeline; reaped without touching sessions.
+        self._zombies: "list[SubBatch]" = []
+        self._next_probe_s: "float | None" = None
 
     # ------------------------------------------------------------------
     # client API
@@ -203,12 +270,33 @@ class SimulationService:
         if self._degrade_policy is not None and self._normal_policy is None:
             self._normal_policy = self.admission.policy
             self.admission.policy = self._degrade_policy
+        # Under chaos, degradation also shrinks the batching window so
+        # the service trades batch efficiency for latency while the
+        # alert (e.g. a fault burst) is live.
+        if (
+            self.injector is not None
+            and self._degrade_policy is not None
+            and self._normal_window is None
+        ):
+            self._normal_window = self.batcher.window_s
+            self.batcher.window_s = self._normal_window * 0.25
 
     def _on_alert_clear(self, alert) -> None:
         obs.instant("serve.slo-clear", rule=alert.rule)
         if self._normal_policy is not None and not self.monitor.active:
             self.admission.policy = self._normal_policy
             self._normal_policy = None
+        if self._normal_window is not None and not self.monitor.active:
+            self.batcher.window_s = self._normal_window
+            self._normal_window = None
+
+    def _on_fault_injected(
+        self, kind: str, point: str, device_index: "int | None"
+    ) -> None:
+        """Injector listener: every fired fault feeds the SLO monitor's
+        fault series (rate rules alert on bursts)."""
+        if self.monitor is not None:
+            self.monitor.observe("repro.fault.events", self.now, 1.0)
 
     def _evaluate_monitor(self) -> None:
         if self.monitor is not None:
@@ -263,7 +351,17 @@ class SimulationService:
 
     def _next_event_time(self) -> "float | None":
         """Earliest pending event, or ``None`` when the service is idle."""
-        times = [sub.completion_s for sub in self._in_flight]
+        times = []
+        for sub in self._in_flight:
+            t = sub.completion_s
+            if sub.timeout_s is not None:
+                t = min(t, sub.timeout_s)
+            times.append(t)
+        times.extend(sub.completion_s for sub in self._zombies)
+        if self._retry_parked:
+            times.append(min(wake for wake, _, _ in self._retry_parked))
+        if self.scheduler.unhealthy and self._next_probe_s is not None:
+            times.append(self._next_probe_s)
         free = self.scheduler.free_devices()
         if free:
             ready = self.batcher.ready_time(
@@ -305,13 +403,160 @@ class SimulationService:
     def _run_event(self, t: float) -> None:
         """Advance to ``t``; complete finished work, then launch ready work."""
         self.now = max(self.now, t)
+        self._mature_retries()
+        self._probe_devices()
         for sub in [
             s for s in self._in_flight if s.completion_s <= self.now + _EPS
         ]:
             self._complete(sub)
+        # Watchdog: sub-batches whose completion has not arrived by
+        # their deadline (an injected hang) lose their device.
+        for sub in [
+            s
+            for s in self._in_flight
+            if s.timeout_s is not None and s.timeout_s <= self.now + _EPS
+        ]:
+            self._timeout_sub(sub)
+        for sub in [
+            s for s in self._zombies if s.completion_s <= self.now + _EPS
+        ]:
+            self._reap_zombie(sub)
         self.admission.drop_expired(self.now)
         self._launch_ready()
         self._evaluate_monitor()
+
+    # ------------------------------------------------------------------
+    # fault recovery (all no-ops on fault-free runs)
+    # ------------------------------------------------------------------
+    def _mature_retries(self) -> None:
+        """Re-admit parked retries whose backoff has elapsed."""
+        if not self._retry_parked:
+            return
+        due = sorted(
+            e for e in self._retry_parked if e[0] <= self.now + _EPS
+        )
+        if not due:
+            return
+        self._retry_parked = [
+            e for e in self._retry_parked if e[0] > self.now + _EPS
+        ]
+        for _, _, request in due:
+            self.admission.submit(request, self.now)
+            if self.monitor is not None:
+                self.monitor.observe(
+                    "repro.queue.depth", self.now, self.admission.depth
+                )
+
+    def _schedule_probe(self) -> None:
+        nxt = self.now + self.retry.probe_interval_s
+        if self._next_probe_s is None or nxt < self._next_probe_s:
+            self._next_probe_s = nxt
+
+    def _probe_devices(self) -> None:
+        """Health-probe evicted devices; readmit the drained ones."""
+        if self._next_probe_s is None or self._next_probe_s > self.now + _EPS:
+            return
+        for index in sorted(self.scheduler.unhealthy):
+            self.scheduler.probe(index, self.now)
+        self._next_probe_s = (
+            self.now + self.retry.probe_interval_s
+            if self.scheduler.unhealthy
+            else None
+        )
+
+    def _restore_session(self, session: Session, reason: str) -> None:
+        """Fail one session over to the host: roll its state back to the
+        last checkpoint and drop its device residency, so its next
+        launch re-uploads last-known-good state to a healthy device."""
+        if session.state_ptr is not None and session.resident_on is not None:
+            self.group.devices[session.resident_on].free(session.state_ptr)
+        session.state_ptr = None
+        session.resident_on = None
+        session.restore_checkpoint()
+        self.stats.failovers += 1
+        obs.counter("fault.failovers").inc()
+        obs.instant(
+            "serve.failover", session=session.session_id, reason=reason
+        )
+        obs.record_transfer(
+            "failover-restore",
+            "none",
+            session.state_bytes,
+            moved=False,
+            label=reason,
+        )
+
+    def _fault_requeue(self, requests: "list[StepRequest]", reason: str) -> None:
+        """Route faulted requests: park for retry, or fail them out."""
+        for request in requests:
+            request.attempts += 1
+            request.launch_s = None
+            request.device_index = None
+            request.batch_id = None
+            if request.attempts >= self.retry.max_attempts:
+                request.status = RequestStatus.FAILED
+                self.stats.failed += 1
+                obs.counter("repro.serve.requests", outcome="failed").inc()
+                obs.request_outcome_counter("serve", "failed").inc()
+                obs.instant(
+                    "serve.request-failed",
+                    request=request.request_id,
+                    reason=reason,
+                    attempts=request.attempts,
+                )
+                if self.monitor is not None:
+                    self.monitor.observe(
+                        "repro.request.outcome", self.now, 1.0
+                    )
+            else:
+                request.status = RequestStatus.PENDING
+                wake = self.now + self.retry.backoff_for(request.attempts)
+                self._retry_parked.append((wake, self._retry_seq, request))
+                self._retry_seq += 1
+                self.stats.retries += 1
+                obs.counter("fault.retries").inc()
+                obs.record_transfer(
+                    "retry", "none", 0, moved=False, label=reason
+                )
+
+    def _timeout_sub(self, sub: SubBatch) -> None:
+        """Watchdog expiry: abandon the sub-batch, evict its device, and
+        fail every session resident there over to the host."""
+        self.stats.timeouts += 1
+        self.stats.evictions += 1
+        obs.counter("fault.timeouts").inc()
+        obs.instant(
+            "serve.batch-timeout",
+            device=sub.device_index,
+            hung=sub.hung,
+            requests=len(sub.requests),
+        )
+        self._in_flight.remove(sub)
+        self.scheduler.abandon(sub)
+        self.scheduler.evict(sub.device_index, reason="batch-timeout")
+        for request, session in zip(sub.requests, sub.sessions):
+            session.in_flight = False
+            self._busy_sessions.discard(session.session_id)
+        # Every session resident on the dead device — in this sub or
+        # idle — fails over (warm sessions pin to their device, so none
+        # can be in flight elsewhere).
+        for session in self.store:
+            if session.resident_on == sub.device_index:
+                self._restore_session(session, "batch-timeout")
+        self._fault_requeue(sub.requests, "batch-timeout")
+        self._zombies.append(sub)
+        self._schedule_probe()
+        self.admission.on_slots_freed(self.now)
+
+    def _reap_zombie(self, sub: SubBatch) -> None:
+        """A timed-out sub-batch's late completion: the device already
+        played the work out on its timeline; nothing is fetched."""
+        self._zombies.remove(sub)
+        obs.instant(
+            "serve.zombie-complete",
+            device=sub.device_index,
+            requests=len(sub.requests),
+        )
 
     def _launch_ready(self) -> None:
         """Form and launch batches as long as the rule and devices allow."""
@@ -343,11 +588,40 @@ class SimulationService:
                         request.device_index = sub.device_index
                         session.in_flight = True
                         self._busy_sessions.add(session.session_id)
-                    self.scheduler.launch(sub, self.engine, self.now)
+                    try:
+                        self.scheduler.launch(sub, self.engine, self.now)
+                    except InjectedFault as fault:
+                        # Transient launch failure / unabsorbed OOM: the
+                        # scheduler unwound the device state; release the
+                        # sessions and send the requests to retry.
+                        self.now = self.scheduler.timelines[
+                            sub.device_index
+                        ].host_time
+                        for request, session in zip(
+                            sub.requests, sub.sessions
+                        ):
+                            session.in_flight = False
+                            self._busy_sessions.discard(session.session_id)
+                        obs.instant(
+                            "serve.launch-fault",
+                            device=sub.device_index,
+                            kind=fault.kind,
+                        )
+                        self._fault_requeue(sub.requests, fault.kind)
+                        continue
                     # The single host thread serializes dispatch work.
                     self.now = self.scheduler.timelines[
                         sub.device_index
                     ].host_time
+                    if self.injector is not None:
+                        # Watchdog: predicted kernel time plus slack —
+                        # a hang overshoots this; nothing healthy does.
+                        predicted = self.engine.batch_kernel_seconds(
+                            sub.sessions
+                        )
+                        sub.timeout_s = (
+                            self.now + predicted + self.retry.batch_timeout_s
+                        )
                     self.stats.launches += 2
                     self._in_flight.append(sub)
 
@@ -357,9 +631,30 @@ class SimulationService:
             sub, self.engine, max(self.now, sub.completion_s)
         )
         self.now = max(self.now, finish_host)
+        if sub.corrupt:
+            # The fetch came back with an uncorrectable ECC error: the
+            # step is void.  Roll every touched session back to its
+            # checkpoint (the device copy is suspect too) and retry.
+            self._in_flight.remove(sub)
+            obs.counter("fault.corruptions").inc()
+            obs.instant(
+                "serve.result-corrupt",
+                device=sub.device_index,
+                requests=len(sub.requests),
+            )
+            for request, session in zip(sub.requests, sub.sessions):
+                session.in_flight = False
+                self._busy_sessions.discard(session.session_id)
+                self._restore_session(session, "result-corrupt")
+            self._fault_requeue(sub.requests, "result-corrupt")
+            self.admission.on_slots_freed(self.now)
+            return
         for session in sub.sessions:
             self.engine.advance(session)
             self.stats.agents_stepped += session.n
+            if self.injector is not None:
+                # Last-known-good snapshot for the failover path.
+                session.checkpoint()
         self._demux_results(sub)
         for request, session in zip(sub.requests, sub.sessions):
             session.in_flight = False
@@ -403,3 +698,10 @@ class SimulationService:
     def in_flight_batches(self) -> int:
         """Sub-batches currently executing on devices."""
         return len(self._in_flight)
+
+    @property
+    def fault_stats(self) -> "dict | None":
+        """The injector's counters (``None`` on fault-free services)."""
+        if self.injector is None:
+            return None
+        return self.injector.stats.to_dict()

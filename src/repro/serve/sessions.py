@@ -59,6 +59,12 @@ class Session:
         #: the batcher must not co-schedule a second step.
         self.in_flight = False
         self.steps_done = 0
+        #: Host-side last-known-good snapshot (see :meth:`checkpoint`);
+        #: the failover path restores from it when a device dies.
+        self._ckpt: "tuple | None" = None
+        self.checkpoints_taken = 0
+        self.restores_done = 0
+        self.checkpoint()
 
     # ------------------------------------------------------------------
     @property
@@ -97,6 +103,48 @@ class Session:
         if self.physics:
             self.sim.update()
         self.steps_done += 1
+
+    # -- checkpoint / restore (the serve failover path) -----------------
+    def checkpoint(self) -> None:
+        """Snapshot the host-side state as last-known-good.
+
+        The service takes one after every *completed* step (and one is
+        taken at construction), so a restore always rolls back to the
+        last step whose results actually reached the client.  Only the
+        arrays the device mutates are copied; with physics off the
+        state is frozen and the snapshot is just the step counter.
+        """
+        arrays = (
+            (
+                self.sim.positions.copy(),
+                self.sim.forwards.copy(),
+                self.sim.speeds.copy(),
+            )
+            if self.physics
+            else None
+        )
+        self._ckpt = (self.steps_done, arrays)
+        self.checkpoints_taken += 1
+
+    def restore_checkpoint(self) -> None:
+        """Roll the host state back to the last checkpoint.
+
+        Used when a device dies (or a result fetch arrives corrupt)
+        with this session's step unaccounted for: whatever the device
+        did is discarded and the session resumes from its last
+        completed step.  Residency bookkeeping (``resident_on``,
+        ``state_ptr``) is the caller's to clean up — the session only
+        owns its host truth.
+        """
+        steps_done, arrays = self._ckpt
+        self.steps_done = steps_done
+        if arrays is not None:
+            positions, forwards, speeds = arrays
+            self.sim.positions[:] = positions
+            self.sim.forwards[:] = forwards
+            self.sim.speeds[:] = speeds
+        self.refresh_state_vector()
+        self.restores_done += 1
 
     def draw_matrices(self) -> np.ndarray:
         """The frame's ``(n, 4, 4)`` draw matrices (§6.2.3 payload)."""

@@ -81,6 +81,10 @@ class SimDevice:
         self.constant = ConstantMemory(arch.constant_mem_bytes)
         self.timeline = DeviceTimeline(pcie or PcieModel())
         self.launches: list[LaunchResult] = []
+        #: Optional :class:`repro.fault.FaultInjector` consulted by the
+        #: CUDA runtime's alloc/launch/memcpy entry points.  ``None``
+        #: (the default) keeps every fault path completely inert.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     def validate_launch(self, grid_dim: Dim3, block_dim: Dim3) -> None:

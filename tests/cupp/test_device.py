@@ -91,6 +91,48 @@ class TestMemoryApi:
         with pytest.raises(CuppMemoryError):
             dev.free(ptr)
 
+    def test_raw_double_free_raises_invalid_free(self, machine):
+        # Pool-less path: the driver's invalid-pointer code must surface
+        # as the richer CuppInvalidFree, naming pointer and device.
+        from repro.cupp import CuppInvalidFree
+
+        dev = Device(index=0, machine=machine)
+        assert dev.pool is None
+        ptr = dev.alloc(64)
+        dev.free(ptr)
+        with pytest.raises(CuppInvalidFree) as exc:
+            dev.free(ptr)
+        assert exc.value.addr == ptr.addr
+        assert exc.value.device_index == 0
+
+    def test_raw_foreign_pointer_raises_invalid_free(self, machine):
+        from repro.cupp import CuppInvalidFree
+        from repro.simgpu.memory import DevicePtr
+
+        dev = Device(index=0, machine=machine)
+        dev.alloc(64)
+        with pytest.raises(CuppInvalidFree, match="double free or foreign"):
+            dev.free(DevicePtr(0xDEAD000))
+
+
+class TestDisablePool:
+    def test_disable_with_live_allocation_refuses(self, machine):
+        dev = Device(index=0, machine=machine)
+        dev.enable_pool()
+        ptr = dev.alloc(4096)
+        with pytest.raises(CuppUsageError, match="live"):
+            dev.disable_pool()
+        # The refusal left the pool attached and the pointer valid.
+        assert dev.pool is not None
+        dev.free(ptr)
+        dev.disable_pool()
+        assert dev.pool is None
+
+    def test_disable_without_pool_is_a_no_op(self, machine):
+        dev = Device(index=0, machine=machine)
+        dev.disable_pool()
+        assert dev.pool is None
+
 
 class TestLifetime:
     def test_close_frees_all_memory(self, machine):

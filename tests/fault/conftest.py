@@ -1,0 +1,14 @@
+"""Isolation for fault tests: fresh global obs state around each."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()

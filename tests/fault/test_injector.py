@@ -1,0 +1,165 @@
+"""The deterministic fault injector: draws, scripts, attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.fault import (
+    FAULT_KINDS,
+    FAULT_POINTS,
+    FaultConfig,
+    FaultInjector,
+    InjectedFault,
+)
+
+
+class TestFaultConfig:
+    def test_default_config_injects_nothing(self):
+        assert not FaultConfig().any_enabled
+
+    def test_chaos_mix_splits_the_total_rate(self):
+        cfg = FaultConfig.chaos(seed=3, device_fault_rate=0.1)
+        assert cfg.launch_fail_rate == pytest.approx(0.04)
+        assert cfg.hang_rate == pytest.approx(0.02)
+        assert cfg.transfer_corrupt_rate == pytest.approx(0.02)
+        assert cfg.spurious_oom_rate == pytest.approx(0.02)
+        assert cfg.any_enabled
+
+    def test_rates_summing_past_one_rejected(self):
+        with pytest.raises(ValueError, match="exceeds 1"):
+            FaultConfig(launch_fail_rate=0.7, hang_rate=0.4)
+
+    def test_unknown_script_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultConfig(script={"teleport": ["hang"]})
+
+    def test_script_alone_enables_injection(self):
+        assert FaultConfig(script={"launch": ["hang"]}).any_enabled
+
+
+class TestDraw:
+    def test_zero_rates_never_fire_but_count_consults(self):
+        inj = FaultInjector(FaultConfig())
+        assert all(inj.draw("launch") is None for _ in range(100))
+        assert inj.stats.consults == 100
+        assert inj.injected == 0
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown consult point"):
+            FaultInjector().draw("warp")
+
+    def test_same_seed_same_fault_sequence(self):
+        cfg = FaultConfig(seed=11, launch_fail_rate=0.3, hang_rate=0.2)
+        one = FaultInjector(cfg)
+        two = FaultInjector(cfg)
+        assert [one.draw("launch") for _ in range(200)] == [
+            two.draw("launch") for _ in range(200)
+        ]
+
+    def test_one_uniform_per_consult_regardless_of_rates(self):
+        # Same seed, different rates: consult N sees the same uniform,
+        # so raising a rate can only add faults at the same positions.
+        low = FaultInjector(FaultConfig(seed=5, launch_fail_rate=0.05))
+        high = FaultInjector(
+            FaultConfig(seed=5, launch_fail_rate=0.05, hang_rate=0.4)
+        )
+        lows = [low.draw("launch") for _ in range(300)]
+        highs = [high.draw("launch") for _ in range(300)]
+        for a, b in zip(lows, highs):
+            if a == "launch-fail":
+                assert b == "launch-fail"
+
+    def test_rates_roughly_respected(self):
+        inj = FaultInjector(
+            FaultConfig(seed=0, launch_fail_rate=0.2, hang_rate=0.1)
+        )
+        kinds = [inj.draw("launch") for _ in range(4000)]
+        fails = kinds.count("launch-fail") / len(kinds)
+        hangs = kinds.count("hang") / len(kinds)
+        assert 0.15 < fails < 0.25
+        assert 0.07 < hangs < 0.13
+
+    def test_points_only_produce_their_own_kinds(self):
+        inj = FaultInjector(
+            FaultConfig.chaos(seed=2, device_fault_rate=0.8)
+        )
+        for point, kinds in FAULT_POINTS.items():
+            for _ in range(200):
+                got = inj.draw(point)
+                assert got is None or got in kinds
+
+
+class TestScript:
+    def test_script_fires_exactly_as_written(self):
+        inj = FaultInjector(
+            FaultConfig(script={"launch": [None, "hang", "launch-fail"]})
+        )
+        assert inj.draw("launch") is None
+        assert inj.draw("launch") == "hang"
+        assert inj.draw("launch") == "launch-fail"
+        assert inj.draw("launch") is None  # script exhausted
+        assert inj.injected == 2
+
+    def test_script_wrong_point_rejected(self):
+        inj = FaultInjector(FaultConfig(script={"alloc": ["hang"]}))
+        with pytest.raises(ValueError, match="cannot fire"):
+            inj.draw("alloc")
+
+    def test_scripted_point_consumes_no_randomness(self):
+        # An unscripted injector and one with a scripted launch point
+        # must agree on every *transfer* draw: the script bypasses the
+        # RNG entirely.
+        plain = FaultInjector(FaultConfig(seed=9, transfer_corrupt_rate=0.3))
+        scripted = FaultInjector(
+            FaultConfig(
+                seed=9,
+                transfer_corrupt_rate=0.3,
+                script={"launch": ["hang"] * 50},
+            )
+        )
+        out_plain, out_scripted = [], []
+        for _ in range(50):
+            scripted.draw("launch")
+            out_plain.append(plain.draw("transfer"))
+            out_scripted.append(scripted.draw("transfer"))
+        assert out_plain == out_scripted
+
+
+class TestAttribution:
+    def test_fired_fault_lands_in_counters_and_ledger(self):
+        inj = FaultInjector(FaultConfig(script={"transfer": ["transfer-corrupt"]}))
+        inj.draw("transfer", device_index=1, nbytes=4096)
+        assert obs.counter("fault.injected", kind="transfer-corrupt").value == 1
+        led = obs.get_ledger().snapshot()
+        assert led["count_by_cause"]["fault-inject"] == 1
+        assert led["bytes_by_cause"]["fault-inject"] == 4096
+        # Injection attribution never claims bus bytes moved.
+        assert led["moved_bytes_by_direction"]["none"] == 0
+
+    def test_listener_sees_kind_point_device(self):
+        seen = []
+        inj = FaultInjector(FaultConfig(script={"launch": ["hang"]}))
+        inj.listener = lambda kind, point, dev: seen.append((kind, point, dev))
+        inj.draw("launch", device_index=3)
+        assert seen == [("hang", "launch", 3)]
+
+    def test_stats_to_dict_round_trip(self):
+        inj = FaultInjector(
+            FaultConfig(script={"launch": ["hang", "launch-fail", "hang"]})
+        )
+        for _ in range(3):
+            inj.draw("launch")
+        d = inj.stats.to_dict()
+        assert d["consults"] == 3
+        assert d["injected"] == 3
+        assert d["by_kind"]["hang"] == 2
+        assert set(d["by_kind"]) == set(FAULT_KINDS)
+
+
+class TestInjectedFault:
+    def test_carries_kind_and_device(self):
+        exc = InjectedFault("oom", 2)
+        assert exc.kind == "oom"
+        assert exc.device_index == 2
+        assert "oom" in str(exc)

@@ -1,0 +1,136 @@
+"""Injected faults at the ``cuda.runtime`` consult points.
+
+Scripted :class:`~repro.fault.FaultConfig` entries drive each hook
+deterministically: ``cudaMalloc`` (spurious OOM), ``cudaMemcpy``
+(uncorrectable ECC), and ``cudaLaunch`` (transient failure / hang).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cuda import (
+    CudaMachine,
+    CudaRuntime,
+    cudaError,
+    cudaMemcpyKind,
+    global_,
+)
+from repro.cupp.exceptions import CuppMemoryError, check
+from repro.fault import FaultConfig, FaultInjector
+from repro.simgpu import OpClass, scaled_arch
+from repro.simgpu.isa import ld, op, st
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+
+
+@pytest.fixture
+def rt() -> CudaRuntime:
+    return CudaRuntime(CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 22)]))
+
+
+def inject(rt: CudaRuntime, **script) -> FaultInjector:
+    injector = FaultInjector(FaultConfig(script=script))
+    rt.device.fault_injector = injector
+    return injector
+
+
+@global_
+def double_kernel(ctx, arr):
+    i = ctx.global_thread_id
+    v = yield ld(arr, i)
+    yield op(OpClass.FMUL)
+    yield st(arr, i, v * 2.0)
+
+
+class TestAllocPoint:
+    def test_spurious_oom_returns_allocation_error(self, rt):
+        inject(rt, alloc=["spurious-oom", None])
+        err, ptr = rt.cudaMalloc(256)
+        assert err is cudaError.cudaErrorMemoryAllocation
+        assert ptr is None
+        # The very next call succeeds: the OOM was transient, memory
+        # was never actually exhausted.
+        err, ptr = rt.cudaMalloc(256)
+        assert err.ok and ptr is not None
+
+    def test_no_injector_means_no_consults(self, rt):
+        err, ptr = rt.cudaMalloc(256)
+        assert err.ok
+        assert rt.device.fault_injector is None
+
+
+class TestTransferPoint:
+    def test_corrupt_copy_reports_ecc_and_moves_nothing(self, rt):
+        err, ptr = rt.cudaMalloc(64)
+        data = np.arange(16, dtype=np.float32)
+        assert rt.cudaMemcpy(ptr, data, data.nbytes, H2D).ok
+
+        inject(rt, transfer=["transfer-corrupt"])
+        poisoned = np.full(16, 7.0, dtype=np.float32)
+        err = rt.cudaMemcpy(ptr, poisoned, poisoned.nbytes, H2D)
+        assert err is cudaError.cudaErrorECCUncorrectable
+        # Device contents are unchanged: the poisoned payload was
+        # discarded even though the bus time was charged.
+        back = np.zeros_like(data)
+        assert rt.cudaMemcpy(back, ptr, data.nbytes, D2H).ok
+        np.testing.assert_array_equal(back, data)
+
+    def test_corrupt_copy_still_charges_bus_time(self, rt):
+        err, ptr = rt.cudaMalloc(1 << 16)
+        inject(rt, transfer=["transfer-corrupt"])
+        before = rt.device.timeline.host_time
+        rt.cudaMemcpy(ptr, np.zeros(1 << 14, np.float32), 1 << 16, H2D)
+        assert rt.device.timeline.host_time > before
+
+    def test_ecc_error_maps_to_memory_error(self):
+        with pytest.raises(CuppMemoryError, match="ECC"):
+            check(cudaError.cudaErrorECCUncorrectable, "fetch")
+
+    def test_host_to_host_copies_are_not_consulted(self, rt):
+        injector = inject(rt, transfer=["transfer-corrupt"])
+        src = np.arange(8, dtype=np.float32)
+        dst = np.zeros_like(src)
+        assert rt.cudaMemcpy(dst, src, src.nbytes,
+                             cudaMemcpyKind.cudaMemcpyHostToHost).ok
+        np.testing.assert_array_equal(dst, src)
+        assert injector.stats.consults == 0
+
+
+class TestLaunchPoint:
+    def _configured(self, rt, n=32):
+        from repro.simgpu.memory import DeviceArrayView
+
+        _, ptr = rt.cudaMalloc(4 * n)
+        arr = DeviceArrayView(rt.device.memory, ptr, np.dtype(np.float32), n)
+        rt.cudaMemcpy(arr.ptr, np.ones(n, np.float32), 4 * n, H2D)
+        rt.cudaConfigureCall(1, n)
+        rt.cudaSetupArgument(arr, 0, size=8)
+        return arr
+
+    def test_launch_fail_is_synchronous_and_transient(self, rt):
+        arr = self._configured(rt)
+        inject(rt, launch=["launch-fail"])
+        assert rt.cudaLaunch(double_kernel) is cudaError.cudaErrorLaunchFailure
+        # Nothing ran: the data is untouched and a clean retry works.
+        rt.cudaConfigureCall(1, 32)
+        rt.cudaSetupArgument(arr, 0, size=8)
+        assert rt.cudaLaunch(double_kernel).ok
+        back = np.zeros(32, np.float32)
+        rt.cudaMemcpy(back, arr.ptr, 4 * 32, D2H)
+        np.testing.assert_array_equal(back, np.full(32, 2.0, np.float32))
+
+    def test_hang_wedges_the_device_timeline(self, rt):
+        self._configured(rt)
+        injector = inject(rt, launch=["hang"])
+        busy_before = rt.device.timeline.device_busy_until
+        assert rt.cudaLaunch(double_kernel) is cudaError.cudaErrorLaunchFailure
+        wedged = rt.device.timeline.device_busy_until - busy_before
+        assert wedged >= injector.config.hang_latency_s
+
+    def test_unscripted_launch_unaffected(self, rt):
+        self._configured(rt)
+        inject(rt, launch=[None])
+        assert rt.cudaLaunch(double_kernel).ok

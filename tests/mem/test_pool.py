@@ -208,6 +208,39 @@ def test_oom_raises_with_fragmentation_report():
     pool.check_invariants()
 
 
+def test_successful_oom_retry_records_ok_outcome():
+    device = make_device(1 * MIB)
+    pool = device.enable_pool(PoolConfig(trim_enabled=False))
+    ptrs = [device.alloc(100_000) for _ in range(7)]
+    for p in ptrs:
+        device.free(p)
+    device.alloc(400_000)
+    stats = pool.stats()
+    assert stats.oom_retries_ok == 1
+    assert stats.oom_retries_failed == 0
+    assert (
+        obs.counter("mem.pool.oom_retries", device=0, outcome="ok").value == 1
+    )
+
+
+def test_failed_oom_retry_still_records_its_outcome():
+    # The post-flush retry verdict must land in the stats, the counter,
+    # and the fragmentation report even when the retry also fails.
+    device = make_device(1 * MIB)
+    pool = device.enable_pool()
+    device.alloc(200_000)
+    with pytest.raises(OutOfMemory) as excinfo:
+        device.alloc(1 * MIB)
+    assert excinfo.value.report["retry_outcome"] == "failed"
+    stats = pool.stats()
+    assert stats.oom_retries_failed == 1
+    assert stats.oom_retries_ok == 0
+    assert (
+        obs.counter("mem.pool.oom_retries", device=0, outcome="failed").value
+        == 1
+    )
+
+
 def test_out_of_memory_is_a_cupp_memory_error():
     from repro.cupp.exceptions import CuppMemoryError
 

@@ -120,6 +120,42 @@ class TestRecordTransferFunnel:
         assert obs.get_metrics().snapshot()["counters"] == {}
 
 
+class TestRegistryReentrancy:
+    def test_finalizer_can_reenter_the_registry(self):
+        # A GC pass can run Device.__del__ — which publishes pool gauges
+        # — while the registry lock is already held by this thread (the
+        # collector fires inside instrument construction).  Reproduce
+        # that reentrancy deterministically: the factory drops the last
+        # reference to an object whose finalizer hits the registry.
+        import threading
+
+        from repro.obs.metrics import Histogram, MetricsRegistry
+
+        reg = MetricsRegistry()
+        state = {}
+
+        class NoisyFinalizer:
+            def __del__(self):
+                reg.gauge("reentrant.gauge").set(1.0)
+
+        state["holder"] = NoisyFinalizer()
+
+        def factory():
+            del state["holder"]  # __del__ runs here, lock already held
+            return Histogram()
+
+        # Run in a worker so a regression deadlocks the thread, not the
+        # whole test session.
+        worker = threading.Thread(
+            target=lambda: reg._get(reg._histograms, factory, "h", {}),
+            daemon=True,
+        )
+        worker.start()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive(), "registry deadlocked on reentry"
+        assert reg.gauge("reentrant.gauge").value == 1.0
+
+
 class TestHistogramPercentile:
     def test_empty_returns_zero(self):
         from repro.obs.metrics import Histogram
@@ -145,6 +181,19 @@ class TestHistogramPercentile:
         h.observe(5)
         for q in (0, 50, 99, 100):
             assert h.percentile(q) == 5.0
+
+    def test_single_occupied_bucket_extreme_quantiles(self):
+        # q=0 and q=100 must clamp to the observed extremes, not the
+        # bucket's power-of-two bounds, when one bucket holds everything.
+        from repro.obs.metrics import Histogram
+
+        h = Histogram()
+        for v in (33, 35, 38):  # all land in the (32, 64] bucket
+            h.observe(v)
+        assert sum(1 for n in h.buckets if n) == 1
+        assert h.percentile(0) == 33
+        assert h.percentile(100) == 38
+        assert 33 <= h.percentile(50) <= 38
 
     def test_percentiles_are_monotone_and_clamped(self):
         from repro.obs.metrics import Histogram

@@ -89,6 +89,18 @@ class TestBlockPolicy:
 
 
 class TestDeadlines:
+    def test_already_past_deadline_refused_at_submit(self):
+        # A request that arrives with its deadline already behind it
+        # must never occupy a queue slot.
+        ac = AdmissionController(4)
+        stale = req("stale", deadline=1.0)
+        status = ac.submit(stale, 2.0)
+        assert status is RequestStatus.EXPIRED
+        assert ac.depth == 0
+        # The slot it did not take still serves a live request.
+        ac.submit(req("fresh"), 2.0)
+        assert ac.depth == 1
+
     def test_drop_expired_removes_only_late_requests(self):
         ac = AdmissionController(4)
         late = req("late", deadline=1.0)

@@ -1,0 +1,302 @@
+"""End-to-end chaos: scripted faults through the full serving pipeline.
+
+Each scenario scripts the :class:`~repro.fault.FaultInjector` so exactly
+one known fault fires at a known consult point, then asserts the
+service's recovery machinery — retry with backoff, watchdog timeout,
+device eviction and failover, checkpoint rollback, probe readmission —
+leaves every request terminal and every session's physics equal to a
+clean reference run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.fault import FaultConfig
+from repro.serve.request import RequestStatus, TERMINAL_STATUSES
+from repro.serve.service import ServeConfig, SimulationService
+from repro.steer.params import DEFAULT_PARAMS
+from repro.steer.simulation import Simulation
+
+
+def chaos_service(script, **overrides) -> SimulationService:
+    defaults = dict(
+        agents_per_session=16,
+        devices=1,
+        physics=True,
+        faults=FaultConfig(script=script),
+    )
+    defaults.update(overrides)
+    return SimulationService(ServeConfig(**defaults))
+
+
+def reference_positions(n: int, seed: int, steps: int) -> np.ndarray:
+    ref = Simulation(n, DEFAULT_PARAMS, seed=seed)
+    for _ in range(steps):
+        ref.update()
+    return ref.positions
+
+
+class TestLaunchFail:
+    def test_transient_failure_retries_to_done(self):
+        service = chaos_service({"launch": ["launch-fail"]})
+        service.create_session("a", n=16, seed=1)
+        r = service.submit("a")
+        service.drain()
+
+        assert r.status is RequestStatus.DONE
+        assert r.attempts == 1
+        assert service.stats.retries == 1
+        assert service.stats.completed == 1
+        led = obs.get_ledger().snapshot()
+        assert led["count_by_cause"]["fault-inject"] == 1
+        assert led["count_by_cause"]["retry"] == 1
+        # The step that finally ran is the step the client sees.
+        session = service.store.get("a")
+        np.testing.assert_allclose(
+            session.sim.positions, reference_positions(16, 1, 1)
+        )
+
+    def test_retry_applies_exponential_backoff(self):
+        service = chaos_service({"launch": ["launch-fail", "launch-fail"]})
+        service.create_session("a", n=16, seed=1)
+        r = service.submit("a")
+        service.drain()
+
+        assert r.status is RequestStatus.DONE
+        assert r.attempts == 2
+        # Two backoffs were paid: base and base*multiplier.
+        retry = service.retry
+        floor = retry.backoff_for(1) + retry.backoff_for(2)
+        assert r.latency_s > floor
+
+    def test_exhausted_attempts_fail_the_request(self):
+        service = chaos_service({"launch": ["launch-fail"] * 3})
+        service.create_session("a", n=16, seed=2)
+        r = service.submit("a")
+        service.drain()
+
+        assert r.status is RequestStatus.FAILED
+        assert r.status in TERMINAL_STATUSES
+        assert r.attempts == service.retry.max_attempts
+        assert service.stats.failed == 1
+        assert service.stats.retries == 2
+        assert service.stats.completed == 0
+        # The flock never stepped: no launch ever got through.
+        session = service.store.get("a")
+        assert session.steps_done == 0
+        np.testing.assert_allclose(
+            session.sim.positions, reference_positions(16, 2, 0)
+        )
+
+
+class TestHangTimeoutFailover:
+    """An injected hang wedges a device; the watchdog takes it from there.
+
+    This is also the sub-batch-completes-after-timeout regression: the
+    hung batch's (late) completion event must be reaped as a zombie
+    without re-touching sessions that already failed over and re-ran.
+    """
+
+    def _run_hang(self):
+        service = chaos_service({"launch": ["hang"]}, devices=2)
+        service.create_session("a", n=16, seed=3)
+        r = service.submit("a")
+        service.drain()
+        return service, r
+
+    def test_watchdog_evicts_and_request_fails_over(self):
+        service, r = self._run_hang()
+        assert r.status is RequestStatus.DONE
+        assert r.attempts == 1
+        # The retry ran on the surviving device.
+        assert r.device_index == 1
+        assert service.stats.timeouts == 1
+        assert service.stats.evictions == 1
+        assert service.stats.failovers == 1
+        led = obs.get_ledger().snapshot()
+        assert led["count_by_cause"]["device-evict"] == 1
+        assert led["count_by_cause"]["failover-restore"] == 1
+
+    def test_session_rolls_back_then_replays_cleanly(self):
+        service, _ = self._run_hang()
+        session = service.store.get("a")
+        assert session.restores_done == 1
+        assert session.steps_done == 1
+        assert session.resident_on == 1
+        np.testing.assert_allclose(
+            session.sim.positions, reference_positions(16, 3, 1)
+        )
+
+    def test_probe_readmits_the_drained_device(self):
+        service, _ = self._run_hang()
+        # drain() outlives the hang (~hang_latency_s), so by the end a
+        # probe has found the timeline idle and readmitted the device.
+        assert not service.scheduler.unhealthy
+        assert obs.counter("fault.readmissions").value == 1
+
+    def test_late_completion_is_reaped_as_zombie(self):
+        service, _ = self._run_hang()
+        # The hung sub-batch's completion event arrived long after its
+        # timeout; it was reaped without a second engine.advance.
+        assert not service._zombies
+        assert service.stats.completed == 1
+        assert service.store.get("a").steps_done == 1
+
+
+class TestTransferCorrupt:
+    def test_corrupt_fetch_rolls_back_and_retries(self):
+        service = chaos_service({"transfer": ["transfer-corrupt"]})
+        service.create_session("a", n=16, seed=5)
+        r = service.submit("a")
+        service.drain()
+
+        assert r.status is RequestStatus.DONE
+        assert r.attempts == 1
+        assert obs.counter("fault.corruptions").value == 1
+        session = service.store.get("a")
+        # The poisoned step was discarded; only the clean one counts.
+        assert session.restores_done == 1
+        assert session.steps_done == 1
+        np.testing.assert_allclose(
+            session.sim.positions, reference_positions(16, 5, 1)
+        )
+
+    def test_rollback_is_attributed_as_failover_restore(self):
+        service = chaos_service({"transfer": ["transfer-corrupt"]})
+        service.create_session("a", n=16, seed=5)
+        service.submit("a")
+        service.drain()
+        led = obs.get_ledger().snapshot()
+        assert led["count_by_cause"]["failover-restore"] == 1
+        assert (
+            led["bytes_by_cause"]["failover-restore"]
+            == service.store.get("a").state_bytes
+        )
+
+
+class TestSpuriousOom:
+    def test_unabsorbed_oom_is_a_transient_launch_fault(self):
+        # Without a pool there is no flush-and-retry: the injected OOM
+        # surfaces from the raw driver path and the launch is retried.
+        service = chaos_service({"alloc": ["spurious-oom"]}, pool=False)
+        service.create_session("a", n=16, seed=7)
+        r = service.submit("a")
+        service.drain()
+
+        assert r.status is RequestStatus.DONE
+        assert r.attempts == 1
+        assert service.stats.retries == 1
+        session = service.store.get("a")
+        assert session.resident_on == 0
+        np.testing.assert_allclose(
+            session.sim.positions, reference_positions(16, 7, 1)
+        )
+
+    def test_pool_flush_and_retry_absorbs_the_oom(self):
+        # With the pool in the path the spurious OOM is swallowed by its
+        # flush-and-retry: the request never notices.
+        service = chaos_service({"alloc": ["spurious-oom"]}, pool=True)
+        service.create_session("a", n=16, seed=7)
+        r = service.submit("a")
+        service.drain()
+
+        assert r.status is RequestStatus.DONE
+        assert r.attempts == 0
+        assert service.stats.retries == 0
+        pool = service.group.devices[0].pool
+        assert pool.stats().oom_retries_ok == 1
+
+
+class TestChaosDeterminism:
+    def _run(self):
+        cfg = ServeConfig(
+            agents_per_session=32,
+            devices=2,
+            physics=False,
+            faults=FaultConfig.chaos(seed=11, device_fault_rate=0.2),
+        )
+        service = SimulationService(cfg)
+        for i in range(6):
+            service.create_session(f"s{i}", n=32)
+        requests = []
+        for _ in range(5):
+            for i in range(6):
+                requests.append(service.submit(f"s{i}"))
+            service.advance(service.now + 1e-3)
+        service.drain()
+        outcomes = [(r.status.name, r.attempts, r.finish_s) for r in requests]
+        return outcomes, service.fault_stats, requests
+
+    def test_same_seed_same_outcome_trajectory(self):
+        one, stats_one, _ = self._run()
+        obs.reset()
+        two, stats_two, _ = self._run()
+        assert stats_one["injected"] > 0
+        assert one == two
+        assert stats_one == stats_two
+
+    def test_no_request_is_ever_stranded(self):
+        _, _, requests = self._run()
+        assert all(r.status in TERMINAL_STATUSES for r in requests)
+
+
+class TestSloDegradation:
+    def test_fault_alert_shrinks_window_then_restores(self):
+        from repro.obs.monitor import SloMonitor, SloRule
+
+        service = chaos_service({"launch": ["launch-fail"]})
+        monitor = SloMonitor(
+            [
+                SloRule(
+                    name="fault-count",
+                    series="repro.fault.events",
+                    stat="count",
+                    threshold=0.0,
+                    window_s=0.01,
+                )
+            ]
+        )
+        service.attach_monitor(monitor, degrade_policy="shed-oldest")
+        normal = service.batcher.window_s
+        service.create_session("a", n=16, seed=1)
+        service.submit("a")
+        service.drain()
+
+        # The scripted fault fired the rule: degraded while it burns.
+        assert monitor.active
+        assert service.batcher.window_s == pytest.approx(normal * 0.25)
+        assert service.admission.policy == "shed-oldest"
+
+        # Slide the clock past the rule window; the next evaluation
+        # clears the alert and restores the batcher's normal window.
+        service.advance(service.now + 0.1)
+        service.submit("a")
+        service.drain()
+        assert not monitor.active
+        assert service.batcher.window_s == pytest.approx(normal)
+        assert service.admission.policy == "reject"
+
+
+class TestFaultFreeInertness:
+    def test_no_faults_config_leaves_every_counter_zero(self):
+        service = SimulationService(
+            ServeConfig(agents_per_session=16, devices=2, physics=False)
+        )
+        assert service.injector is None
+        assert service.fault_stats is None
+        service.create_session("a")
+        for _ in range(4):
+            service.submit("a")
+        service.drain()
+        s = service.stats
+        assert (s.retries, s.failed, s.timeouts, s.evictions, s.failovers) == (
+            0,
+            0,
+            0,
+            0,
+            0,
+        )
+        assert not service._retry_parked and not service._zombies

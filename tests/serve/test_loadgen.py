@@ -2,6 +2,7 @@
 
 import json
 
+from repro.fault import FaultConfig
 from repro.serve.loadgen import LoadReport, main, run_load
 from repro.serve.service import ServeConfig
 
@@ -74,6 +75,41 @@ class TestBatchingContrast:
         assert off.rejected > 0  # the unbatched queue actually overflowed
 
 
+class TestChaosMode:
+    def _chaos_run(self, seed=7, fault_rate=0.2) -> LoadReport:
+        cfg = small_config(
+            devices=2,
+            faults=FaultConfig.chaos(seed=seed, device_fault_rate=fault_rate),
+        )
+        return run_load(
+            clients=8, duration_s=0.05, rate_rps=8000.0, seed=seed, config=cfg
+        )
+
+    def test_chaos_run_strands_nothing(self):
+        report = self._chaos_run()
+        assert report.faults is not None
+        assert report.faults["injected"] > 0
+        assert report.stranded == 0
+        assert report.completed + report.failed > 0
+
+    def test_chaos_report_is_deterministic(self):
+        assert self._chaos_run().to_dict() == self._chaos_run().to_dict()
+
+    def test_recovery_counters_reach_the_report(self):
+        report = self._chaos_run()
+        assert report.retries > 0
+        d = report.to_dict()
+        for key in ("failed", "stranded", "retries", "timeouts",
+                    "evictions", "failovers", "faults"):
+            assert key in d
+        assert "chaos" in "\n".join(report.lines())
+
+    def test_fault_free_report_omits_the_chaos_block(self):
+        report = small_run()
+        assert report.faults is None
+        assert "chaos" not in "\n".join(report.lines())
+
+
 class TestCli:
     def test_main_prints_report_and_writes_json(self, tmp_path, capsys):
         out = tmp_path / "report.json"
@@ -119,3 +155,19 @@ class TestCli:
         counters = metrics["metrics"]["counters"]
         assert counters["repro.serve.launches"] > 0
         assert metrics["transfer_ledger"]["bytes_by_cause"]["batch-concat"] > 0
+
+    def test_cli_chaos_flag_runs_clean(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        code = main(
+            [
+                "--clients", "4", "--duration", "0.02", "--rate", "4000",
+                "--agents", "32", "--devices", "2", "--seed", "7",
+                "--chaos", "--chaos-rate", "0.2", "--json", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "chaos" in text
+        data = json.loads(out.read_text())
+        assert data["stranded"] == 0
+        assert data["faults"]["injected"] > 0

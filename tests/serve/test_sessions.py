@@ -53,6 +53,49 @@ class TestSession:
             assert mats.shape == (8, 4, 4)
 
 
+class TestCheckpoint:
+    def test_constructed_session_holds_one_checkpoint(self):
+        s = Session("a", 8, seed=1)
+        assert s.checkpoints_taken == 1
+        assert s.restores_done == 0
+
+    def test_restore_rolls_physics_back_to_snapshot(self):
+        s = Session("a", 8, seed=1)
+        s.step()
+        s.checkpoint()
+        good = (
+            s.sim.positions.copy(),
+            s.sim.forwards.copy(),
+            s.sim.speeds.copy(),
+        )
+        s.step()
+        s.step()
+        assert s.steps_done == 3
+        s.restore_checkpoint()
+        assert s.steps_done == 1
+        assert s.restores_done == 1
+        np.testing.assert_array_equal(s.sim.positions, good[0])
+        np.testing.assert_array_equal(s.sim.forwards, good[1])
+        np.testing.assert_array_equal(s.sim.speeds, good[2])
+
+    def test_restore_refreshes_the_state_vector(self):
+        s = Session("a", 8, seed=1)
+        s.checkpoint()
+        before = s.state.to_numpy().copy()
+        s.step()
+        s.restore_checkpoint()
+        np.testing.assert_array_equal(s.state.to_numpy(), before)
+
+    def test_synthetic_checkpoint_is_just_the_counter(self):
+        s = Session("a", 8, seed=1, physics=False)
+        s.step()
+        s.checkpoint()
+        s.step()
+        s.restore_checkpoint()
+        assert s.steps_done == 1
+        assert s.checkpoints_taken == 2
+
+
 class TestSessionStore:
     def test_create_get_remove(self):
         store = SessionStore()
