@@ -35,6 +35,18 @@ workload runs.
 from __future__ import annotations
 
 from repro.obs.export import chrome_trace, write_chrome_trace, write_json
+from repro.obs.flight import (
+    DeviceEvent,
+    FlightRecorder,
+    FlightSpan,
+    SpanLink,
+    TraceContext,
+    TraceRecord,
+    device_chrome_trace,
+    device_utilization,
+    load_flight,
+    render_gantt,
+)
 from repro.obs.ledger import (
     CAUSES,
     DIRECTIONS,
@@ -62,7 +74,10 @@ __all__ = [
     "DIRECTIONS",
     "Capture",
     "Counter",
+    "DeviceEvent",
     "FAULT_CAUSES",
+    "FlightRecorder",
+    "FlightSpan",
     "Gauge",
     "Histogram",
     "InMemoryRecorder",
@@ -73,11 +88,18 @@ __all__ = [
     "NullSpan",
     "Recorder",
     "Span",
+    "SpanLink",
+    "TraceContext",
     "TraceEvent",
+    "TraceRecord",
     "Tracer",
     "TransferLedger",
     "TransferRecord",
     "Window",
+    "device_chrome_trace",
+    "device_utilization",
+    "load_flight",
+    "render_gantt",
     "batch_size_histogram",
     "capture",
     "chrome_trace",

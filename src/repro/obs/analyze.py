@@ -259,7 +259,15 @@ def analyze(events: "list[TraceEvent]") -> Analysis:
     memory_names = {f"transfer:{c}": c for c in MEMORY_CAUSES}
     for event in events:
         if event.kind == "instant":
-            out.instants[event.name] = out.instants.get(event.name, 0) + 1
+            # Instants carrying a ``where=`` label split into one row
+            # per emission point (e.g. serve.deadline-miss[where=submit]
+            # vs [where=dequeue]) so distinct failure modes stay
+            # distinguishable in the rollup.
+            name = event.name
+            where = event.args.get("where")
+            if where is not None:
+                name = f"{name}[where={where}]"
+            out.instants[name] = out.instants.get(name, 0) + 1
             cause = memory_names.get(event.name)
             if cause is not None:
                 row = out.memory.setdefault(cause, {"count": 0, "bytes": 0})

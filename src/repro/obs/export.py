@@ -33,7 +33,9 @@ def _jsonable(value: object) -> object:
 
 
 def chrome_trace(
-    events: "Iterable[TraceEvent]", process_name: str = "repro"
+    events: "Iterable[TraceEvent]",
+    process_name: str = "repro",
+    thread_names: "dict[int, str] | None" = None,
 ) -> dict:
     """Render events as a Chrome-trace JSON object (not yet serialized).
 
@@ -41,6 +43,16 @@ def chrome_trace(
     naming the process and threads, then one entry per span/instant) and
     ``displayTimeUnit``; ``json.dump`` it, or pass it straight to a test
     assertion.
+
+    ``thread_names`` maps a tid to a display name for its track
+    (``M``/``thread_name`` metadata) — the device profiler uses it to
+    label per-device rows ``device-N``; unmapped tids keep the generic
+    positional ``thread-i`` name.
+
+    An event carrying ``args["request"] == -1`` is rejected: ``-1`` is
+    the sentinel a :class:`~repro.serve.request.StepRequest` holds
+    before admission assigns its id, and exporting it would silently
+    attribute work to a request that does not exist.
     """
     events = list(events)
     origin = min((e.ts for e in events), default=0.0)
@@ -55,16 +67,24 @@ def chrome_trace(
         }
     ]
     for i, tid in enumerate(tids):
+        name = f"thread-{i}"
+        if thread_names is not None and tid in thread_names:
+            name = thread_names[tid]
         trace_events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
                 "pid": TRACE_PID,
                 "tid": tid,
-                "args": {"name": f"thread-{i}"},
+                "args": {"name": name},
             }
         )
     for e in events:
+        if e.args.get("request") == -1:
+            raise ValueError(
+                f"event {e.name!r} at ts={e.ts} carries the unassigned "
+                "request id sentinel -1; guard emission at the source"
+            )
         ts_us = (e.ts - origin) * 1e6
         entry: dict = {
             "name": e.name,
@@ -85,10 +105,13 @@ def chrome_trace(
 
 
 def write_chrome_trace(
-    path: str, events: "Iterable[TraceEvent]", process_name: str = "repro"
+    path: str,
+    events: "Iterable[TraceEvent]",
+    process_name: str = "repro",
+    thread_names: "dict[int, str] | None" = None,
 ) -> dict:
     """Serialize :func:`chrome_trace` to ``path``; returns the object."""
-    doc = chrome_trace(events, process_name)
+    doc = chrome_trace(events, process_name, thread_names)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1)
     return doc

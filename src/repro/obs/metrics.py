@@ -69,10 +69,13 @@ class Histogram:
     microseconds — without per-series configuration.
     """
 
-    __slots__ = ("count", "total", "min", "max", "buckets")
+    __slots__ = ("count", "total", "min", "max", "buckets", "exemplars")
 
     #: Number of power-of-two buckets (the last one is unbounded).
     BUCKETS = 40
+
+    #: Exemplar reservoir depth per bucket.
+    EXEMPLARS_PER_BUCKET = 4
 
     def __init__(self) -> None:
         self.count = 0
@@ -80,9 +83,13 @@ class Histogram:
         self.min: "float | None" = None
         self.max: "float | None" = None
         self.buckets = [0] * self.BUCKETS
+        # Lazy: bucket index -> [(value, trace_id), ...]; allocated only
+        # when a caller actually passes trace ids, so plain histograms
+        # stay four-slot cheap.
+        self.exemplars: "dict[int, list] | None" = None
 
-    def observe(self, value: float) -> None:
-        """Record one sample."""
+    def observe(self, value: float, trace_id: "str | None" = None) -> None:
+        """Record one sample, optionally tagged with a trace exemplar."""
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -95,6 +102,18 @@ class Histogram:
             bound *= 2.0
             b += 1
         self.buckets[b] += 1
+        if trace_id is not None:
+            if self.exemplars is None:
+                self.exemplars = {}
+            slots = self.exemplars.setdefault(b, [])
+            entry = (value, trace_id)
+            if len(slots) < self.EXEMPLARS_PER_BUCKET:
+                slots.append(entry)
+            else:
+                # Deterministic rotating overwrite (no RNG: runs must be
+                # bit-identical per seed) — keeps the reservoir fresh so
+                # late spikes displace stale exemplars.
+                slots[(self.buckets[b] - 1) % self.EXEMPLARS_PER_BUCKET] = entry
 
     @property
     def mean(self) -> float:
@@ -127,9 +146,41 @@ class Histogram:
             seen += n
         return float(self.max)
 
+    def percentile_bucket(self, q: float) -> "int | None":
+        """Index of the bucket holding the ``q``-th percentile rank.
+
+        ``None`` when the histogram is empty.  This is the bucket whose
+        exemplars explain a percentile spike (see :meth:`exemplars_for`).
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return None
+        rank = q / 100.0 * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            if n and seen + n >= rank:
+                return i
+            seen += n
+        return self.BUCKETS - 1
+
+    def exemplars_for(self, q: float) -> "list[tuple[float, str]]":
+        """Exemplars from the bucket that contains the ``q``-th percentile.
+
+        The resolution path for "p99 spiked — which requests?": find the
+        percentile's bucket, return its retained ``(value, trace_id)``
+        samples (empty when no exemplars were ever recorded there).
+        """
+        if self.exemplars is None:
+            return []
+        bucket = self.percentile_bucket(q)
+        if bucket is None:
+            return []
+        return list(self.exemplars.get(bucket, []))
+
     def summary(self) -> dict:
         """Plain-dict rendering (non-empty buckets only)."""
-        return {
+        out = {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
@@ -139,6 +190,15 @@ class Histogram:
                 f"le_{2 ** i}": n for i, n in enumerate(self.buckets) if n
             },
         }
+        if self.exemplars:
+            out["exemplars"] = {
+                f"le_{2 ** i}": [
+                    {"value": v, "trace_id": t} for v, t in slots
+                ]
+                for i, slots in sorted(self.exemplars.items())
+                if slots
+            }
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram(count={self.count}, sum={self.total})"
@@ -167,12 +227,15 @@ class Window:
         if horizon_s <= 0:
             raise ValueError(f"window horizon must be positive, got {horizon_s}")
         self.horizon_s = horizon_s
-        self._samples: "deque[tuple[float, float]]" = deque()
+        self._samples: "deque[tuple[float, float, object]]" = deque()
         self._now = 0.0
 
-    def observe(self, ts: float, value: float) -> None:
-        """Record one sample at time ``ts`` (non-decreasing)."""
-        self._samples.append((ts, float(value)))
+    def observe(
+        self, ts: float, value: float, trace_id: "str | None" = None
+    ) -> None:
+        """Record one sample at time ``ts`` (non-decreasing), optionally
+        tagged with the trace that produced it."""
+        self._samples.append((ts, float(value), trace_id))
         self._prune(ts)
 
     def _prune(self, now: float) -> None:
@@ -186,7 +249,19 @@ class Window:
         """Samples currently inside the window, oldest first."""
         if now is not None:
             self._prune(now)
-        return [v for _, v in self._samples]
+        return [v for _, v, _ in self._samples]
+
+    def exemplars(
+        self, k: int = 4, now: "float | None" = None
+    ) -> "list[tuple[float, str]]":
+        """The ``k`` largest tagged in-window samples as
+        ``(value, trace_id)``, worst first — the traces to pull when a
+        window-based SLO rule fires."""
+        if now is not None:
+            self._prune(now)
+        tagged = [(v, t) for _, v, t in self._samples if t is not None]
+        tagged.sort(key=lambda e: -e[0])
+        return tagged[:k]
 
     def count(self, now: "float | None" = None) -> int:
         """Number of in-window samples."""

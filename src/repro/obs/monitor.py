@@ -90,6 +90,9 @@ class Alert:
     value: float
     threshold: float
     cleared_at: "float | None" = None
+    #: Worst in-window ``(value, trace_id)`` samples captured when the
+    #: alert fired — the traces to pull to explain the breach.
+    exemplars: "list[tuple[float, str]]" = field(default_factory=list)
 
     @property
     def active(self) -> bool:
@@ -104,6 +107,9 @@ class Alert:
             "value": self.value,
             "threshold": self.threshold,
             "cleared_at_s": self.cleared_at,
+            "exemplars": [
+                {"value": v, "trace_id": t} for v, t in self.exemplars
+            ],
         }
 
 
@@ -158,15 +164,22 @@ class SloMonitor:
         self._clear_listeners.append(listener)
 
     # ------------------------------------------------------------------
-    def observe(self, series: str, ts: float, value: float) -> None:
-        """Feed one sample to every rule watching ``series``."""
+    def observe(
+        self, series: str, ts: float, value: float,
+        trace_id: "str | None" = None,
+    ) -> None:
+        """Feed one sample to every rule watching ``series``.
+
+        An optional ``trace_id`` tags the sample so that, should the
+        rule fire, the alert carries the offending traces as exemplars.
+        """
         for rule in self.rules:
             if rule.series != series:
                 continue
-            self._windows[rule.name].observe(ts, value)
+            self._windows[rule.name].observe(ts, value, trace_id)
             short = self._short.get(rule.name)
             if short is not None:
-                short.observe(ts, value)
+                short.observe(ts, value, trace_id)
 
     def _breaching(self, rule: SloRule, now: float) -> "float | None":
         """The rule's current long-window value when breaching, else None."""
@@ -198,6 +211,7 @@ class SloMonitor:
                     fired_at=now,
                     value=value,
                     threshold=rule.threshold,
+                    exemplars=self._windows[rule.name].exemplars(now=now),
                 )
                 self._active[rule.name] = alert
                 self.log.append(alert)

@@ -64,10 +64,21 @@ class AdmissionController:
         if self.outcome_listener is not None:
             self.outcome_listener(request, name, now)
 
-    def _note_depth(self) -> None:
+    @staticmethod
+    def _request_args(request: StepRequest, **extra: object) -> dict:
+        """Instant args for ``request`` — the ``request=`` id is attached
+        only once admission has assigned one, so the ``-1`` placeholder
+        never leaks into exported traces (the exporter asserts this)."""
+        if request.request_id >= 0:
+            extra["request"] = request.request_id
+        return extra
+
+    def _note_depth(self, trace_id: "str | None" = None) -> None:
         depth = len(self.queue)
         self._depth.set(depth)
-        self._depth_samples.observe(depth)
+        # The arriving request's trace tags the sample, so a queue-depth
+        # spike in the histogram resolves to a trace that saw it.
+        self._depth_samples.observe(depth, trace_id)
 
     def _admit(self, request: StepRequest, now: float) -> None:
         request.status = RequestStatus.QUEUED
@@ -86,18 +97,22 @@ class AdmissionController:
         EXPIRED — queuing work that cannot meet its deadline only
         steals a slot from work that can.
         """
+        trace_id = getattr(request.ctx, "trace_id", None)
         if request.expired(now):
             request.status = RequestStatus.EXPIRED
             self._outcome(request, "expired", now)
-            obs.instant("serve.deadline-miss", request=request.request_id)
-            self._note_depth()
+            obs.instant(
+                "serve.deadline-miss",
+                **self._request_args(request, where="submit"),
+            )
+            self._note_depth(trace_id)
             return request.status
         if len(self.queue) < self.capacity and not self.blocked:
             self._admit(request, now)
         elif self.policy == "reject":
             request.status = RequestStatus.REJECTED
             self._outcome(request, "rejected", now)
-            obs.instant("serve.reject", request=request.request_id)
+            obs.instant("serve.reject", **self._request_args(request))
         elif self.policy == "shed-oldest":
             if len(self.queue) >= self.capacity:
                 victim = self.queue.popleft()
@@ -105,15 +120,16 @@ class AdmissionController:
                 self._outcome(victim, "shed", now)
                 obs.instant(
                     "serve.shed",
-                    request=victim.request_id,
-                    waited_s=now - (victim.admit_s or now),
+                    **self._request_args(
+                        victim, waited_s=now - (victim.admit_s or now)
+                    ),
                 )
             self._admit(request, now)
         else:  # block
             request.status = RequestStatus.BLOCKED
             self.blocked.append(request)
             self._outcome(request, "blocked", now)
-        self._note_depth()
+        self._note_depth(trace_id)
         return request.status
 
     def on_slots_freed(self, now: float) -> int:
@@ -143,7 +159,10 @@ class AdmissionController:
             for request in expired:
                 request.status = RequestStatus.EXPIRED
                 self._outcome(request, "expired", now)
-                obs.instant("serve.deadline-miss", request=request.request_id)
+                obs.instant(
+                    "serve.deadline-miss",
+                    **self._request_args(request, where="dequeue"),
+                )
             survivors = [r for r in self.queue if not r.expired(now)]
             self.queue.clear()
             self.queue.extend(survivors)

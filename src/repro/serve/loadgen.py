@@ -77,6 +77,10 @@ class LoadReport:
     latencies_ms: "list[float]" = field(default_factory=list, repr=False)
     #: Alert log from an attached SLO monitor (empty when none ran).
     alerts: "list[dict]" = field(default_factory=list, repr=False)
+    #: Flight-recorder summary (``None`` when flight tracing was off —
+    #: the key is always present so reports with and without tracing
+    #: stay structurally identical).
+    flight: "dict | None" = None
 
     @property
     def throughput_rps(self) -> float:
@@ -118,6 +122,7 @@ class LoadReport:
             "faults": self.faults,
             "alerts_fired": len(self.alerts),
             "alerts": self.alerts,
+            "flight": self.flight,
         }
 
     def lines(self) -> "list[str]":
@@ -158,6 +163,16 @@ class LoadReport:
                 f"({', '.join(sorted({a['rule'] for a in self.alerts}))})"
             ]
             if self.alerts
+            else []
+        ) + (
+            [
+                f"flight      {self.flight['retained']} traces retained "
+                f"(cap {self.flight['cap']}; "
+                f"{self.flight['retained_interesting']} interesting, "
+                f"{self.flight['retained_head']} head-sampled, "
+                f"{self.flight['dropped']} dropped)"
+            ]
+            if self.flight is not None
             else []
         )
 
@@ -248,6 +263,7 @@ def run_load(
     deadline_s: "float | None" = None,
     monitor=None,
     degrade_policy: "str | None" = None,
+    flight=None,
 ) -> LoadReport:
     """Drive one service instance with Poisson arrivals; summarize.
 
@@ -255,11 +271,19 @@ def run_load(
     unbatched runs in a comparison see the *identical* request stream),
     assigned uniformly to ``clients`` sessions, then replayed through
     :meth:`SimulationService.submit`/:meth:`~SimulationService.advance`.
+
+    ``flight`` optionally attaches an
+    :class:`~repro.obs.flight.FlightRecorder`; its tail-sampled summary
+    (retention counts, failed-over request ids, and whether the p99
+    latency bucket's exemplars resolve to retained traces) lands in
+    :attr:`LoadReport.flight`.
     """
     config = config or ServeConfig(physics=False, default_deadline_s=deadline_s)
     service = SimulationService(config)
     if monitor is not None:
         service.attach_monitor(monitor, degrade_policy=degrade_policy)
+    if flight is not None:
+        service.attach_flight(flight)
     for i in range(clients):
         service.create_session(f"client-{i}", seed=seed + i)
 
@@ -290,6 +314,24 @@ def run_load(
     # resilience layer's contract is that this is always zero.
     stranded = sum(1 for r in requests if r.status not in TERMINAL_STATUSES)
     stats = service.stats
+    flight_summary = None
+    if flight is not None:
+        hist = obs.request_latency_histogram("serve")
+        flight_summary = {
+            **flight.stats(),
+            "failover_request_ids": flight.request_ids("failover"),
+            "failed_request_ids": flight.request_ids("failed"),
+            # The exemplar resolution path: the run's p99 latency bucket
+            # -> (value, trace) samples -> were those traces retained?
+            "p99_exemplars": [
+                {
+                    "value_us": value,
+                    "trace_id": trace_id,
+                    "retained": flight.trace(trace_id) is not None,
+                }
+                for value, trace_id in hist.exemplars_for(99)
+            ],
+        }
     return LoadReport(
         batching=config.batching,
         offered=len(requests),
@@ -320,6 +362,7 @@ def run_load(
             if monitor is not None
             else []
         ),
+        flight=flight_summary,
     )
 
 
@@ -400,6 +443,35 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", default=None, metavar="PATH", help="write the report as JSON"
     )
+    flight = p.add_argument_group(
+        "flight tracing (per-request causal traces, tail-sampled)"
+    )
+    flight.add_argument(
+        "--flight",
+        default=None,
+        metavar="PATH",
+        help="record per-request flight traces and write them here "
+        "(feed the file to python -m repro.serve.explain)",
+    )
+    flight.add_argument(
+        "--flight-slow-ms",
+        type=float,
+        default=2.0,
+        help="retain any trace slower than this end-to-end (ms)",
+    )
+    flight.add_argument(
+        "--flight-cap",
+        type=int,
+        default=256,
+        help="retained-trace cap (head samples evict first)",
+    )
+    flight.add_argument(
+        "--flight-head",
+        type=int,
+        default=64,
+        help="deterministic head sampling: keep 1 in N normal traces "
+        "(0 disables)",
+    )
     slo = p.add_argument_group("SLO monitoring (virtual-time, in-service)")
     slo.add_argument(
         "--slo-p99-ms",
@@ -473,8 +545,17 @@ def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     monitors: "list" = []
+    flight_recorder = (
+        obs.FlightRecorder(
+            head_sample_every=args.flight_head,
+            slow_threshold_s=args.flight_slow_ms * 1e-3,
+            max_retained=args.flight_cap,
+        )
+        if args.flight
+        else None
+    )
 
-    def one(batching: bool) -> LoadReport:
+    def one(batching: bool, flight=None) -> LoadReport:
         monitor = slo_monitor(
             p99_ms=args.slo_p99_ms,
             miss_ratio=args.slo_miss_ratio,
@@ -492,16 +573,17 @@ def main(argv: "list[str] | None" = None) -> int:
             config=_config(args, batching),
             monitor=monitor,
             degrade_policy=args.slo_degrade,
+            flight=flight,
         )
 
     reports: "list[LoadReport]" = []
     if args.trace:
         with obs.capture("serve-loadgen") as cap:
-            reports.append(one(not args.no_batching))
+            reports.append(one(not args.no_batching, flight_recorder))
         paths = cap.write(args.trace, stem="serve-loadgen")
         trace_note = f"trace/metrics written: {', '.join(paths)}"
     else:
-        reports.append(one(not args.no_batching))
+        reports.append(one(not args.no_batching, flight_recorder))
         trace_note = None
 
     if args.compare:
@@ -524,6 +606,9 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"p99         {on.p99_ms:.3f} ms vs {off.p99_ms:.3f} ms")
     if trace_note:
         print(trace_note)
+    if flight_recorder is not None:
+        flight_recorder.write(args.flight)
+        print(f"flight traces written: {args.flight}")
     alerts_path = args.alerts
     if alerts_path is None and args.trace and monitors:
         import os

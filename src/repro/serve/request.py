@@ -101,6 +101,10 @@ class StepRequest:
     attempts: int = 0
     #: Draw matrices for the stepped frame, when ``want_draw`` was set.
     result: "np.ndarray | None" = field(default=None, repr=False)
+    #: Flight-trace context (:class:`repro.obs.flight.TraceContext`)
+    #: riding on the request through admission, batching, scheduling,
+    #: and retry/failover; None whenever flight recording is off.
+    ctx: "object | None" = field(default=None, repr=False, compare=False)
 
     @property
     def latency_s(self) -> "float | None":

@@ -94,6 +94,10 @@ class SubBatch:
     #: The sub-batch was timed out and abandoned; its (late) completion
     #: event is reaped without touching sessions or results.
     zombie: bool = False
+    #: Flight-trace ``fused-launch`` span for this sub-batch
+    #: (:class:`repro.obs.flight.FlightSpan`); None when flight
+    #: recording is off.
+    flight_span: "object | None" = None
 
 
 class DeviceScheduler:
@@ -122,6 +126,10 @@ class DeviceScheduler:
         #: service when chaos is configured); consulted once per
         #: sub-batch launch and once per result fetch.
         self.injector = None
+        #: Optional :class:`repro.obs.flight.FlightRecorder` (set by the
+        #: service); when present, launch/finish record busy/transfer/
+        #: wedged intervals onto per-device utilization tracks.
+        self.flight = None
 
     # ------------------------------------------------------------------
     def free_devices(self) -> "list[int]":
@@ -279,6 +287,15 @@ class DeviceScheduler:
                 obs.record_transfer(
                     "batch-concat", "h2d", nbytes, label="serve.session-upload"
                 )
+                if self.flight is not None:
+                    # Only the bus-active portion of the memcpy (the
+                    # implicit synchronize wait is device-busy time,
+                    # already painted by the kernel track).
+                    self.flight.device_event(
+                        sub.device_index, "transfer",
+                        tl.host_time - tl.pcie.transfer_time(nbytes),
+                        tl.host_time, label="h2d",
+                    )
                 device.free(staging)
                 for session in cold:
                     session.resident_on = sub.device_index
@@ -313,6 +330,20 @@ class DeviceScheduler:
 
         self.busy.add(sub.device_index)
         sub.completion_s = tl.device_busy_until
+        if self.flight is not None:
+            # The kernel occupies [start, start+kernel_s]; an injected
+            # hang extends the device occupancy but is *wedged* time,
+            # painted separately so the gantt shows the stall.
+            start = sub.completion_s - kernel_s - hang_s
+            self.flight.device_event(
+                sub.device_index, "busy", start, start + kernel_s,
+                label="step-kernels",
+            )
+            if hang_s > 0.0:
+                self.flight.device_event(
+                    sub.device_index, "wedged", start + kernel_s,
+                    sub.completion_s, label="injected-hang",
+                )
         return sub.completion_s
 
     def finish(self, sub: SubBatch, engine: StepEngine, now: float) -> float:
@@ -328,6 +359,12 @@ class DeviceScheduler:
         obs.record_transfer(
             "batch-split", "d2h", nbytes, label="serve.draw-matrices"
         )
+        if self.flight is not None:
+            self.flight.device_event(
+                sub.device_index, "transfer",
+                tl.host_time - tl.pcie.transfer_time(nbytes),
+                tl.host_time, label="d2h",
+            )
         # Fault consult: one draw per result fetch.  A corrupt fetch
         # still paid for the bytes (charged above), but the payload is
         # garbage — discard it, release the device, and let the service

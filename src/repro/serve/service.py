@@ -180,6 +180,10 @@ class SimulationService:
         self._latency_us = obs.request_latency_histogram("serve")
         #: Optional live SLO monitor (see :meth:`attach_monitor`).
         self.monitor = None
+        #: Optional flight recorder (see :meth:`attach_flight`).  None
+        #: by default: every flight hook below is guarded, so recording
+        #: off costs nothing and perturbs nothing.
+        self.flight = None
         self._degrade_policy: "str | None" = None
         self._normal_policy: "str | None" = None
         self._normal_window: "float | None" = None
@@ -253,12 +257,57 @@ class SimulationService:
         monitor.on_fire(self._on_alert_fire)
         monitor.on_clear(self._on_alert_clear)
 
+    # ------------------------------------------------------------------
+    # flight tracing
+    # ------------------------------------------------------------------
+    def attach_flight(self, recorder) -> None:
+        """Record per-request causal flight traces into ``recorder``
+        (an :class:`repro.obs.flight.FlightRecorder`).
+
+        Every subsequent :meth:`submit` mints a
+        :class:`~repro.obs.flight.TraceContext` that rides on the
+        request through admission, batching, scheduling, and every
+        retry/failover hop; the scheduler additionally feeds the
+        recorder's per-device utilization tracks.  The recorder's
+        tail-sampling policy decides which finished traces survive.
+        """
+        self.flight = recorder
+        self.scheduler.flight = recorder
+        self.admission.outcome_listener = self._on_admission_outcome
+
     def _on_admission_outcome(
         self, request: StepRequest, outcome: str, now: float
     ) -> None:
-        """Admission callback: terminal failures feed the outcome series."""
+        """Admission callback: terminal failures feed the outcome
+        series, and the flight trace gains its admission-side spans."""
         if self.monitor is not None and outcome in ("rejected", "shed", "expired"):
             self.monitor.observe("repro.request.outcome", now, 1.0)
+        fl = self.flight
+        ctx = request.ctx
+        if fl is None or ctx is None:
+            return
+        # drain() sweeps stragglers with drop_expired(inf); clamp so the
+        # trace carries the service clock, not a literal infinity.
+        t = self.now if now == float("inf") else now
+        if outcome == "admitted":
+            if ctx.queue is not None and ctx.queue.end_s is None:
+                # A blocked (or shed-path) request finally got a slot:
+                # the open queue span absorbs the blocked wait.
+                ctx.queue.attrs["admitted_s"] = t
+            else:
+                fl.end(fl.start(ctx, "admit", t, parent=ctx.root), t)
+                ctx.queue = fl.start(ctx, "queue", t, parent=ctx.root)
+        elif outcome == "blocked":
+            ctx.queue = fl.start(ctx, "queue", t, parent=ctx.root, blocked=True)
+        elif outcome in ("rejected", "shed", "expired"):
+            where = "submit" if request.admit_s is None else "dequeue"
+            if ctx.queue is not None and ctx.queue.end_s is None:
+                fl.end(ctx.queue, t, outcome=outcome)
+            if outcome == "expired":
+                ctx.flags.add("deadline-miss")
+            if ctx.root is not None and ctx.root.end_s is None:
+                fl.end(ctx.root, t, outcome=outcome, where=where)
+            fl.finish(ctx, t)
 
     def _on_alert_fire(self, alert) -> None:
         obs.instant(
@@ -328,10 +377,23 @@ class SimulationService:
         request.request_id = self._next_request_id
         self._next_request_id += 1
         self.stats.submitted += 1
+        if self.flight is not None:
+            ctx = self.flight.mint()
+            request.ctx = ctx
+            ctx.root = self.flight.start(
+                ctx,
+                "request",
+                self.now,
+                request=request.request_id,
+                session=session_id,
+            )
         self.admission.submit(request, self.now)
         if self.monitor is not None:
             self.monitor.observe(
-                "repro.queue.depth", self.now, self.admission.depth
+                "repro.queue.depth",
+                self.now,
+                self.admission.depth,
+                getattr(request.ctx, "trace_id", None),
             )
             self._evaluate_monitor()
         return request
@@ -488,6 +550,10 @@ class SimulationService:
 
     def _fault_requeue(self, requests: "list[StepRequest]", reason: str) -> None:
         """Route faulted requests: park for retry, or fail them out."""
+        # Timeouts and corrupt fetches roll sessions back and drop
+        # residency (_restore_session): the next attempt is a failover
+        # hop.  Launch-stage faults never moved state: a plain retry.
+        failover = reason in ("batch-timeout", "result-corrupt")
         for request in requests:
             request.attempts += 1
             request.launch_s = None
@@ -518,6 +584,26 @@ class SimulationService:
                 obs.record_transfer(
                     "retry", "none", 0, moved=False, label=reason
                 )
+            fl = self.flight
+            ctx = request.ctx
+            if fl is not None and ctx is not None:
+                if ctx.attempt is not None and ctx.attempt.end_s is None:
+                    fl.end(ctx.attempt, self.now, outcome=reason)
+                if ctx.attempt is not None:
+                    ctx.prev_attempt = (
+                        ctx.attempt.span_id,
+                        "failover-of" if failover else "retry-of",
+                    )
+                ctx.flags.add("fault")
+                if failover:
+                    ctx.flags.add("failover")
+                if request.status is RequestStatus.FAILED:
+                    ctx.flags.add("failed")
+                    if ctx.root is not None and ctx.root.end_s is None:
+                        fl.end(
+                            ctx.root, self.now, outcome="failed", reason=reason
+                        )
+                    fl.finish(ctx, self.now)
 
     def _timeout_sub(self, sub: SubBatch) -> None:
         """Watchdog expiry: abandon the sub-batch, evict its device, and
@@ -532,6 +618,8 @@ class SimulationService:
             requests=len(sub.requests),
         )
         self._in_flight.remove(sub)
+        if self.flight is not None and sub.flight_span is not None:
+            self.flight.end(sub.flight_span, self.now, outcome="batch-timeout")
         self.scheduler.abandon(sub)
         self.scheduler.evict(sub.device_index, reason="batch-timeout")
         for request, session in zip(sub.requests, sub.sessions):
@@ -581,6 +669,14 @@ class SimulationService:
                 "serve.batch", batch=batch.batch_id, size=len(batch)
             ):
                 for sub in self.scheduler.place(batch, self.store, free):
+                    fl = self.flight
+                    if fl is not None:
+                        sub.flight_span = fl.start_batch(
+                            self.now,
+                            batch=batch.batch_id,
+                            device=sub.device_index,
+                            size=len(sub.requests),
+                        )
                     for request, session in zip(sub.requests, sub.sessions):
                         request.status = RequestStatus.IN_FLIGHT
                         request.launch_s = self.now
@@ -588,6 +684,37 @@ class SimulationService:
                         request.device_index = sub.device_index
                         session.in_flight = True
                         self._busy_sessions.add(session.session_id)
+                        ctx = request.ctx
+                        if fl is not None and ctx is not None:
+                            if ctx.queue is not None and ctx.queue.end_s is None:
+                                fl.end(ctx.queue, self.now, outcome="launched")
+                            attempt = fl.start(
+                                ctx,
+                                f"attempt-{request.attempts + 1}",
+                                self.now,
+                                parent=ctx.root,
+                                device=sub.device_index,
+                                batch=batch.batch_id,
+                            )
+                            if ctx.prev_attempt is not None:
+                                prev_id, kind = ctx.prev_attempt
+                                fl.link(attempt, ctx.trace_id, prev_id, kind)
+                            # The cross-trace stitch: the fused launch
+                            # knows every rider, every rider knows its
+                            # fused launch.
+                            fl.link(
+                                attempt,
+                                sub.flight_span.trace_id,
+                                sub.flight_span.span_id,
+                                "fused-launch",
+                            )
+                            fl.link(
+                                sub.flight_span,
+                                ctx.trace_id,
+                                attempt.span_id,
+                                "coalesced",
+                            )
+                            ctx.attempt = attempt
                     try:
                         self.scheduler.launch(sub, self.engine, self.now)
                     except InjectedFault as fault:
@@ -607,6 +734,10 @@ class SimulationService:
                             device=sub.device_index,
                             kind=fault.kind,
                         )
+                        if fl is not None and sub.flight_span is not None:
+                            fl.end(
+                                sub.flight_span, self.now, outcome=fault.kind
+                            )
                         self._fault_requeue(sub.requests, fault.kind)
                         continue
                     # The single host thread serializes dispatch work.
@@ -642,6 +773,10 @@ class SimulationService:
                 device=sub.device_index,
                 requests=len(sub.requests),
             )
+            if self.flight is not None and sub.flight_span is not None:
+                self.flight.end(
+                    sub.flight_span, self.now, outcome="result-corrupt"
+                )
             for request, session in zip(sub.requests, sub.sessions):
                 session.in_flight = False
                 self._busy_sessions.discard(session.session_id)
@@ -656,6 +791,9 @@ class SimulationService:
                 # Last-known-good snapshot for the failover path.
                 session.checkpoint()
         self._demux_results(sub)
+        fl = self.flight
+        if fl is not None and sub.flight_span is not None:
+            fl.end(sub.flight_span, self.now, outcome="done")
         for request, session in zip(sub.requests, sub.sessions):
             session.in_flight = False
             self._busy_sessions.discard(session.session_id)
@@ -663,11 +801,23 @@ class SimulationService:
             request.finish_s = self.now
             self.stats.completed += 1
             latency_us = max(1, int(request.latency_s * 1e6))
-            self._latency_us.observe(latency_us)
+            trace_id = None
+            ctx = request.ctx
+            if fl is not None and ctx is not None:
+                trace_id = ctx.trace_id
+                if ctx.attempt is not None and ctx.attempt.end_s is None:
+                    fl.end(ctx.attempt, self.now, outcome="done")
+                if ctx.root is not None and ctx.root.end_s is None:
+                    fl.end(
+                        ctx.root, self.now,
+                        outcome="done", latency_us=latency_us,
+                    )
+                fl.finish(ctx, self.now)
+            self._latency_us.observe(latency_us, trace_id)
             obs.request_outcome_counter("serve", "done").inc()
             if self.monitor is not None:
                 self.monitor.observe(
-                    "repro.request.latency", self.now, latency_us
+                    "repro.request.latency", self.now, latency_us, trace_id
                 )
                 self.monitor.observe("repro.request.outcome", self.now, 0.0)
         self._in_flight.remove(sub)

@@ -243,6 +243,93 @@ class TestChaosDeterminism:
         assert all(r.status in TERMINAL_STATUSES for r in requests)
 
 
+class TestConnectedTrace:
+    """Satellite of the flight recorder: one request that is launch-failed,
+    retried, hung, evicted, and failed over must leave a single causally
+    connected trace — link edges at every hop."""
+
+    def _run(self):
+        from repro.obs.flight import FlightRecorder
+
+        service = chaos_service(
+            {"launch": ["launch-fail", "hang", None]}, devices=2
+        )
+        service.attach_flight(FlightRecorder(head_sample_every=1))
+        service.create_session("a", n=16, seed=3)
+        r = service.submit("a")
+        service.drain()
+        assert r.status is RequestStatus.DONE
+        return service, r
+
+    def test_every_hop_carries_a_link_edge(self):
+        service, r = self._run()
+        record = service.flight.trace_for_request(r.request_id)
+        assert record is not None
+        assert {"fault", "failover"} <= record.flags
+
+        attempts = [
+            s for s in record.spans if s.name.startswith("attempt-")
+        ]
+        assert [s.name for s in attempts] == [
+            "attempt-1", "attempt-2", "attempt-3",
+        ]
+        # Attempt 1 failed at launch; attempt 2 retried it, then hung
+        # and timed out; attempt 3 failed over to the healthy device.
+        kinds = [
+            [link.kind for link in s.links] for s in attempts
+        ]
+        assert kinds[0] == ["fused-launch"]
+        assert sorted(kinds[1]) == ["fused-launch", "retry-of"]
+        assert sorted(kinds[2]) == ["failover-of", "fused-launch"]
+
+        # Each recovery edge points at the span of the prior attempt,
+        # within the same trace: the chain has no gaps.
+        by_id = {s.span_id: s for s in record.spans}
+        for span, kind in ((attempts[1], "retry-of"),
+                           (attempts[2], "failover-of")):
+            (edge,) = [l for l in span.links if l.kind == kind]
+            assert edge.trace_id == record.trace_id
+            assert by_id[edge.span_id].name.startswith("attempt-")
+
+    def test_fused_spans_link_back_to_every_rider(self):
+        service, r = self._run()
+        record = service.flight.trace_for_request(r.request_id)
+        for span in record.spans:
+            if not span.name.startswith("attempt-"):
+                continue
+            (fused_link,) = [
+                l for l in span.links if l.kind == "fused-launch"
+            ]
+            fused = service.flight.batch_span(fused_link.span_id)
+            assert fused is not None
+            # The coalesced back-edge names this request's trace.
+            assert any(
+                l.kind == "coalesced" and l.trace_id == record.trace_id
+                for l in fused.links
+            )
+
+    def test_explain_sees_one_connected_waterfall(self):
+        from repro.serve.explain import waterfall
+
+        service, r = self._run()
+        w = waterfall(service.flight, r.request_id)
+        assert w["connected"]
+        assert w["attempts"] == 3
+        recovery = [h["kind"] for h in w["hops"] if h["kind"]]
+        assert recovery == ["retry-of", "failover-of"]
+        # The final attempt rode the surviving device.
+        assert w["hops"][-1]["fused"]["device"] == r.device_index
+
+    def test_device_timeline_recorded_the_wedge(self):
+        service, _ = self._run()
+        kinds_by_device: dict = {}
+        for e in service.flight.device_events:
+            kinds_by_device.setdefault(e.device, set()).add(e.kind)
+        # Device 0 hung (wedged track); the failover ran elsewhere.
+        assert "wedged" in kinds_by_device[0]
+        assert "busy" in kinds_by_device[1]
+
+
 class TestSloDegradation:
     def test_fault_alert_shrinks_window_then_restores(self):
         from repro.obs.monitor import SloMonitor, SloRule
