@@ -1,0 +1,24 @@
+"""repro.backend — execution backends behind the CuPP device API.
+
+The package keeps its ``__init__`` light on purpose: ``simgpu.device``
+imports :mod:`repro.backend.base` to subclass :class:`ExecutionBackend`,
+so eagerly importing the native backend here (which imports
+``simgpu.device`` back for its SIMT fallback path) would create a cycle.
+Import :class:`~repro.backend.native.NativeDevice` from its module.
+"""
+
+from repro.backend.base import (
+    BACKEND_KINDS,
+    MIXED,
+    ExecutionBackend,
+    normalize_backends,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKEND_KINDS",
+    "MIXED",
+    "ExecutionBackend",
+    "normalize_backends",
+    "resolve_backend",
+]

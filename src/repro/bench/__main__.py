@@ -33,6 +33,7 @@ from repro.bench.harness import (
     run_fig_6_2,
     run_fig_6_3,
     run_fig_6_4,
+    run_backend_compare,
     run_sec_7_traits,
     run_serve_slo,
 )
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "serve-slo": run_serve_slo,
     "alloc-churn": run_alloc_churn,
     "fault-recovery": run_fault_recovery,
+    "backend-compare": run_backend_compare,
 }
 
 

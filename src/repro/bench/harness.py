@@ -665,3 +665,116 @@ def run_fault_recovery(
         f"checkpointed session failover leave zero requests stranded.",
     )
     return exp
+
+
+# ----------------------------------------------------------------------
+# Backend compare — the cycle simulator vs the native numpy backend
+# ----------------------------------------------------------------------
+@observed
+def run_backend_compare(
+    agents: int = 512,
+    steps: int = 5,
+    conformance_agents: int = 32,
+    conformance_steps: int = 2,
+    seed: int = 11,
+) -> Experiment:
+    """The same kernels on two substrates: virtual time vs wall clock.
+
+    Two measurements:
+
+    * **throughput** — the v5 pipeline at ``agents`` boids, native
+      backend wall-clock seconds per step against the sim backend's
+      *modelled* virtual seconds per step (the analytic perf model the
+      simulator's clock is built from — running the emulator at this
+      scale would measure Python, not the G80);
+    * **conformance** — every pipeline version (1-5) run on both
+      backends from the same seed at a population the emulator handles
+      quickly, reporting exactness / max abs difference.
+
+    Wall-clock numbers vary by machine, so the whole experiment is
+    excluded from the perf-regression gate (like sec-7).
+    """
+    import time as _time
+
+    from repro.backend.conformance import run_suite
+    from repro.cupp.device import Device
+    from repro.gpusteer.emulated import EmulatedBoids
+    from repro.gpusteer.versions import update_time
+    from repro.steer.params import DEFAULT_PARAMS
+
+    boids = EmulatedBoids(
+        agents, 5, seed=seed, device=Device(backend="native"),
+        threads_per_block=32,
+    )
+    boids.step()  # warm the kernel registry + pools before timing
+    start = _time.perf_counter()
+    for _ in range(steps):
+        boids.step()
+    native_s = (_time.perf_counter() - start) / steps
+    modelled = update_time(5, agents, DEFAULT_PARAMS)
+    sim_s = modelled.total_s
+
+    suite = [r.to_dict() for r in run_suite(
+        agents=conformance_agents, steps=conformance_steps, seed=seed
+    )]
+    all_ok = all(r["ok"] for r in suite)
+    all_exact = all(r["exact"] for r in suite)
+    max_diff = max(r["max_abs_diff"] for r in suite)
+
+    # Head-to-head wall clock at a population the emulator can stomach:
+    # the same v5 steps, instruction-level emulation vs vectorized numpy.
+    small = {}
+    for kind in ("sim", "native"):
+        b = EmulatedBoids(
+            conformance_agents, 5, seed=seed, device=Device(backend=kind),
+            threads_per_block=16,
+        )
+        start = _time.perf_counter()
+        for _ in range(conformance_steps):
+            b.step()
+        small[kind] = (_time.perf_counter() - start) / conformance_steps
+    emu_speedup = small["sim"] / max(small["native"], 1e-12)
+
+    rows = [
+        (
+            "sim (modelled)",
+            f"{sim_s * 1e3:.3f}",
+            f"{agents / sim_s:,.0f}",
+            "perf model",
+        ),
+        (
+            "native (measured)",
+            f"{native_s * 1e3:.3f}",
+            f"{agents / native_s:,.0f}",
+            "wall clock",
+        ),
+    ]
+    exp = Experiment("backend-compare", rows)
+    exp.data = {
+        "agents": agents,
+        "steps": steps,
+        "sim_modelled_s_per_step": sim_s,
+        "native_wall_s_per_step": native_s,
+        "native_agent_steps_per_s": agents / native_s,
+        "emulator_wall_s_per_step_small": small["sim"],
+        "native_wall_s_per_step_small": small["native"],
+        "native_speedup_vs_emulator": emu_speedup,
+        "conformance": {
+            "versions": suite,
+            "ok": all_ok,
+            "exact": all_exact,
+            "max_abs_diff": max_diff,
+        },
+    }
+    exp.report = format_table(
+        f"backend compare — v5 pipeline, {agents} agents, {steps} steps",
+        ["backend", "ms/step", "agent-steps/s", "clock"],
+        rows,
+        note=f"Conformance (v1-v5, {conformance_agents} agents, "
+        f"{conformance_steps} steps): "
+        + ("bit-exact" if all_exact else f"max |diff| {max_diff:.2e}")
+        + f" across backends; at {conformance_agents} agents the native "
+        f"backend executes the same kernels {emu_speedup:,.0f}x faster "
+        f"than instruction-level emulation.",
+    )
+    return exp

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 FORMAT = 1
 
 #: Experiments excluded from the gate (wall-clock measurements).
-EXCLUDED_EXPERIMENTS = ("sec-7",)
+EXCLUDED_EXPERIMENTS = ("sec-7", "backend-compare")
 
 #: Metric-name fragments that mean "smaller is better".
 _LOWER_TOKENS = (

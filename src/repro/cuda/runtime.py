@@ -31,6 +31,7 @@ from repro.common.errors import ConfigurationError
 from repro.cuda.errors import CudaQualifierError, cudaError
 from repro.cuda.qualifiers import is_global, kernel_guard
 from repro.cuda.types import cudaDeviceProp, cudaMemcpyKind, dim3
+from repro.backend.base import ExecutionBackend, normalize_backends
 from repro.simgpu.arch import ArchSpec, G80_8800GTS
 from repro.simgpu.device import LaunchResult, SimDevice
 from repro.simgpu.dims import as_dim3
@@ -41,17 +42,39 @@ from repro.simgpu.memory import (
     InvalidFree,
     OutOfDeviceMemory,
 )
-from repro.simgpu.perfmodel import time_from_profile
 from repro.simgpu.warp import KernelFault
 
 
+def _make_backend_device(kind: str, arch: ArchSpec) -> ExecutionBackend:
+    if kind == "native":
+        from repro.backend.native import NativeDevice
+
+        return NativeDevice(arch)
+    return SimDevice(arch)
+
+
 class CudaMachine:
-    """A host machine with one or more simulated CUDA devices."""
+    """A host machine with one or more CUDA devices.
 
-    def __init__(self, archs: "list[ArchSpec] | None" = None) -> None:
-        self.devices = [SimDevice(a) for a in (archs or [G80_8800GTS])]
+    ``backend`` selects the execution substrate per device: ``"sim"``
+    (the default cycle simulator), ``"native"`` (vectorized numpy at
+    wall-clock speed), ``"mixed"`` (alternating), or an explicit
+    per-device list of kinds.
+    """
 
-    def device(self, index: int) -> SimDevice:
+    def __init__(
+        self,
+        archs: "list[ArchSpec] | None" = None,
+        backend: "str | list[str]" = "sim",
+    ) -> None:
+        archs = archs or [G80_8800GTS]
+        kinds = normalize_backends(backend, len(archs))
+        self.devices = [
+            _make_backend_device(kind, arch)
+            for kind, arch in zip(kinds, archs)
+        ]
+
+    def device(self, index: int) -> ExecutionBackend:
         return self.devices[index]
 
 
@@ -151,8 +174,8 @@ class CudaRuntime(GlInteropMixin):
         return self._device_index
 
     @property
-    def device(self) -> SimDevice:
-        """The bound simulated device (binding lazily if needed)."""
+    def device(self) -> ExecutionBackend:
+        """The bound device backend (binding lazily if needed)."""
         return self.machine.devices[self._bind_default()]
 
     # ------------------------------------------------------------------
@@ -402,21 +425,20 @@ class CudaRuntime(GlInteropMixin):
             self.launch_count += 1
             obs.counter("cuda.launches").inc()
             # Asynchronous semantics: the host is only charged the launch
-            # overhead; the device timeline advances by the modelled duration.
-            duration = time_from_profile(
-                result.profile,
-                result.blocks,
-                result.block_dim.volume,
-                shared_bytes_per_block=result.shared_bytes_per_block,
-                registers_per_thread=registers_per_thread,
-                arch=self.device.arch,
-                costs=self.device.costs,
-            ).total_s
+            # overhead; the device timeline advances by the backend's
+            # duration — the analytic model on the simulator, measured
+            # wall-clock time on the native backend.
+            duration = self.device.duration_s(
+                result, registers_per_thread=registers_per_thread
+            )
             self.device.timeline.launch_kernel(duration)
             # The emulator's instruction profile rides on the launch span
-            # so a trace alone can answer "what did this launch do?".
+            # so a trace alone can answer "what did this launch do?"
+            # (vectorized native launches have no instruction stream).
+            profile = getattr(result, "profile", None)
             span.set(
-                profile=result.profile.summary(),
+                profile=profile.summary() if profile is not None else None,
+                backend=self.device.backend_kind,
                 modelled_duration_s=duration,
                 occupancy=getattr(result.occupancy, "occupancy", None),
             )

@@ -13,16 +13,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro.backend.base import ExecutionBackend
 from repro.cuda.errors import cudaError
 from repro.cuda.runtime import CudaMachine, CudaRuntime
 from repro.cuda.types import cudaDeviceProp, cudaMemcpyKind
 from repro.cupp.exceptions import CuppUsageError, check, invalid_free
-from repro.simgpu.device import SimDevice
 from repro.simgpu.memory import DevicePtr
 
 
 class Device:
-    """A handle to one simulated CUDA device.
+    """A handle to one CUDA device (simulated or native).
 
     Parameters
     ----------
@@ -35,6 +35,10 @@ class Device:
         The :class:`CudaMachine` to pick a device from.  Defaults to a
         fresh single-8800GTS machine, so ``Device()`` "creates a default
         device" exactly as in listing 4.1.
+    backend:
+        Execution backend kind for a fresh single-device machine
+        (``"sim"`` or ``"native"``); mutually exclusive with ``machine``
+        (a machine already fixes its devices' backends).
     """
 
     def __init__(
@@ -42,11 +46,19 @@ class Device:
         properties: cudaDeviceProp | None = None,
         index: int | None = None,
         machine: CudaMachine | None = None,
+        backend: str | None = None,
     ) -> None:
         if properties is not None and index is not None:
             raise CuppUsageError(
                 "pass either a property request or an explicit index, not both"
             )
+        if backend is not None:
+            if machine is not None:
+                raise CuppUsageError(
+                    "pass either a machine or a backend kind, not both "
+                    "(a machine already fixes its devices' backends)"
+                )
+            machine = CudaMachine(backend=backend)
         self.runtime = CudaRuntime(machine)
         if properties is not None:
             err, index = self.runtime.cudaChooseDevice(properties)
@@ -66,8 +78,22 @@ class Device:
             raise CuppUsageError("device handle has been destroyed")
 
     @property
-    def sim(self) -> SimDevice:
-        """The underlying simulated device."""
+    def backend(self) -> ExecutionBackend:
+        """The underlying execution backend (sim or native device)."""
+        self._ensure_open()
+        return self.runtime.device
+
+    @property
+    def backend_kind(self) -> str:
+        """``"sim"`` or ``"native"``."""
+        self._ensure_open()
+        return self.runtime.device.backend_kind
+
+    @property
+    def sim(self) -> ExecutionBackend:
+        """Historical alias for :attr:`backend` (the first backend was
+        the simulator; serve/bench code reaches the timeline through
+        ``device.sim.timeline`` regardless of kind)."""
         self._ensure_open()
         return self.runtime.device
 

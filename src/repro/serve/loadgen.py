@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.backend.base import normalize_backends
+from repro.common.errors import ConfigurationError
 from repro.fault import FaultConfig
 from repro.serve.request import (
     FAILED_STATUSES,
@@ -81,6 +83,9 @@ class LoadReport:
     #: the key is always present so reports with and without tracing
     #: stay structurally identical).
     flight: "dict | None" = None
+    #: Execution backend(s) the run used (``sim``/``native``/``mixed``).
+    #: Kept a string so the perf gate's numeric flattening ignores it.
+    backend: str = "sim"
 
     @property
     def throughput_rps(self) -> float:
@@ -97,6 +102,7 @@ class LoadReport:
         """JSON-friendly form (sans the raw latency samples)."""
         return {
             "batching": self.batching,
+            "backend": self.backend,
             "offered": self.offered,
             "offered_rate_rps": self.offered_rate,
             "duration_s": self.duration_s,
@@ -129,7 +135,7 @@ class LoadReport:
         """The human-readable report block."""
         mode = "batching on" if self.batching else "batching OFF"
         return [
-            f"--- serve loadgen ({mode}) ---",
+            f"--- serve loadgen ({mode}, backend {self.backend}) ---",
             f"offered     {self.offered} requests "
             f"({self.offered_rate:.0f} req/s over {self.duration_s:g} s)",
             f"completed   {self.completed}  "
@@ -334,6 +340,11 @@ def run_load(
         }
     return LoadReport(
         batching=config.batching,
+        backend=(
+            config.backend
+            if isinstance(config.backend, str)
+            else ",".join(config.backend)
+        ),
         offered=len(requests),
         offered_rate=rate_rps,
         duration_s=duration_s,
@@ -394,7 +405,16 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("reject", "shed-oldest", "block"),
         help="backpressure policy when the queue is full",
     )
-    p.add_argument("--devices", type=int, default=2, help="simulated GPUs")
+    p.add_argument("--devices", type=int, default=2, help="GPUs in the group")
+    p.add_argument(
+        "--backend",
+        default="sim",
+        help=(
+            "execution backend: sim (cycle simulator, virtual time), "
+            "native (vectorized numpy, wall-clock cost model), or mixed "
+            "(alternating — heterogeneous group with cost-aware placement)"
+        ),
+    )
     p.add_argument(
         "--no-pool",
         action="store_true",
@@ -531,6 +551,7 @@ def _config(args: argparse.Namespace, batching: bool) -> ServeConfig:
             None if args.deadline_ms is None else args.deadline_ms * 1e-3
         ),
         devices=args.devices,
+        backend=args.backend,
         pool=not args.no_pool,
         physics=args.physics,
         faults=(
@@ -543,7 +564,14 @@ def _config(args: argparse.Namespace, batching: bool) -> ServeConfig:
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        # Validate up front for a clear CLI error naming the valid kinds
+        # (instead of a KeyError deep inside device construction).
+        normalize_backends(args.backend, args.devices)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
     monitors: "list" = []
     flight_recorder = (
         obs.FlightRecorder(

@@ -47,13 +47,20 @@ from repro.simgpu.arch import scaled_arch
 
 
 def make_group(
-    devices: int = 2, multiprocessors: int = 12, pool: bool = True
+    devices: int = 2,
+    multiprocessors: int = 12,
+    pool: bool = True,
+    backend: "str | list[str]" = "sim",
 ) -> DeviceGroup:
-    """A serving device group: ``devices`` G80-class simulated GPUs.
+    """A serving device group: ``devices`` G80-class GPUs.
 
     ``pool`` (default on) routes each device's allocations through a
     :class:`repro.mem.MemoryPool`, so the per-batch buffer churn the
     scheduler generates is served from cache instead of the driver.
+
+    ``backend`` selects the execution substrate per device — ``"sim"``,
+    ``"native"``, ``"mixed"`` (alternating), or an explicit per-device
+    list — making heterogeneous groups possible.
     """
     if devices <= 0:
         raise CuppUsageError(f"need at least one device, got {devices}")
@@ -61,7 +68,8 @@ def make_group(
         [
             scaled_arch(f"serve-gpu{i}", multiprocessors, memory_bytes=1 << 26)
             for i in range(devices)
-        ]
+        ],
+        backend=backend,
     )
     group = DeviceGroup(machine)
     if pool:
@@ -117,6 +125,18 @@ class DeviceScheduler:
         self.timelines = [d.sim.timeline for d in group.devices]
         for tl in self.timelines:
             tl.launch_overhead_s = calib.launch_overhead_s
+        #: Execution-backend kind per device (``"sim"``/``"native"``).
+        self.backend_kinds = [d.backend_kind for d in group.devices]
+        #: Heterogeneous groups get cost-aware placement; homogeneous
+        #: groups keep the original even split, byte-for-byte.
+        self.heterogeneous = len(set(self.backend_kinds)) > 1
+        #: Online cost model per *native* device: EWMA of the ratio
+        #: measured/modelled kernel seconds (sim devices use the perf
+        #: model directly — it *is* their clock).
+        self._native_cost: "dict[int, object]" = {}
+        #: Requests placed per device, by the cost-aware (or even) split;
+        #: lets callers verify work actually routed to each backend kind.
+        self.placed_requests = [0] * len(group)
         #: Device indices with a sub-batch currently in flight.
         self.busy: "set[int]" = set()
         #: Device indices evicted by the health machinery; excluded
@@ -184,14 +204,88 @@ class DeviceScheduler:
         return self.group.makespan_s
 
     # ------------------------------------------------------------------
+    # cost model: perf model for sim devices, EWMA-corrected for native
+    # ------------------------------------------------------------------
+    def _ewma(self, device_index: int):
+        model = self._native_cost.get(device_index)
+        if model is None:
+            from repro.backend.native import EwmaCost
+
+            model = self._native_cost[device_index] = EwmaCost()
+        return model
+
+    def predict_kernel_s(
+        self, device_index: int, sessions: "list[Session]", engine: StepEngine
+    ) -> float:
+        """Predicted kernel seconds for a sub-batch on one device.
+
+        Sim devices answer with the analytic perf model — which is
+        exactly their virtual clock, so the prediction is the truth.
+        Native devices scale the model by an online EWMA of the ratio
+        measured/modelled wall-clock kernel time, seeded at 1.0 (pure
+        perf model) until the first measurement arrives.
+        """
+        modelled = engine.batch_kernel_seconds(sessions)
+        if self.backend_kinds[device_index] != "native":
+            return modelled
+        return self._ewma(device_index).predict(modelled)
+
+    def observe_native_cost(
+        self, device_index: int, modelled_s: float, measured_s: float
+    ) -> None:
+        """Feed one measured native kernel time into the EWMA."""
+        if self.backend_kinds[device_index] == "native":
+            self._ewma(device_index).observe(modelled_s, measured_s)
+
+    def _cost_scale(self, device_index: int) -> float:
+        """Predicted seconds per modelled second for one device."""
+        if self.backend_kinds[device_index] != "native":
+            return 1.0
+        return max(self._ewma(device_index).ratio, 1e-12)
+
+    def _cold_bounds(
+        self, free: "list[int]", total: int, engine: "StepEngine | None"
+    ) -> "list[tuple[int, int]]":
+        """Contiguous split of ``total`` cold requests over ``free``.
+
+        Homogeneous groups keep the near-even ``chunk_bounds`` split —
+        the exact historical behaviour.  Heterogeneous groups weight
+        each device by predicted speed (1 / cost scale), rounding by
+        largest remainder so every request lands somewhere.
+        """
+        if not self.heterogeneous or engine is None:
+            return DeviceGroup.chunk_bounds(_BoundsProxy(len(free)), total)
+        weights = [1.0 / self._cost_scale(i) for i in free]
+        wsum = sum(weights)
+        raw = [total * w / wsum for w in weights]
+        counts = [int(r) for r in raw]
+        leftover = total - sum(counts)
+        by_remainder = sorted(
+            range(len(free)), key=lambda k: raw[k] - counts[k], reverse=True
+        )
+        for k in by_remainder[:leftover]:
+            counts[k] += 1
+        bounds, start = [], 0
+        for c in counts:
+            bounds.append((start, start + c))
+            start += c
+        return bounds
+
+    # ------------------------------------------------------------------
     def place(
-        self, batch: Batch, store, free: "list[int]"
+        self,
+        batch: Batch,
+        store,
+        free: "list[int]",
+        engine: "StepEngine | None" = None,
     ) -> "list[SubBatch]":
         """Split a batch into per-device sub-batches.
 
         Warm sessions pin their requests to their resident device when
-        it is free; everything else is spread over the free devices with
-        ``chunk_bounds``.  ``free`` must be non-empty.
+        it is free; everything else is spread over the free devices —
+        near-evenly on homogeneous groups, cost-aware (weighted by each
+        backend's predicted speed) on heterogeneous ones.  ``free`` must
+        be non-empty.
         """
         if not free:
             raise CuppUsageError("place() needs at least one free device")
@@ -215,15 +309,16 @@ class DeviceScheduler:
 
         if cold:
             # The MultiKernel scatter split, applied to requests: a
-            # contiguous near-even partition over the free devices.
-            bounds = DeviceGroup.chunk_bounds(
-                _BoundsProxy(len(free)), len(cold)
-            )
+            # contiguous partition over the free devices (near-even, or
+            # speed-weighted when the group mixes backend kinds).
+            bounds = self._cold_bounds(free, len(cold), engine)
             for device_index, (start, stop) in zip(free, bounds):
                 for request, session in cold[start:stop]:
                     entry = sub(device_index)
                     entry.requests.append(request)
                     entry.sessions.append(session)
+        for entry in per_device.values():
+            self.placed_requests[entry.device_index] += len(entry.requests)
         return list(per_device.values())
 
     # ------------------------------------------------------------------
@@ -322,7 +417,9 @@ class DeviceScheduler:
             raise InjectedFault("oom", sub.device_index) from exc
 
         # The fused v5 kernels: asynchronous launches, additive cost.
-        kernel_s = engine.batch_kernel_seconds(sub.sessions)
+        # Sim devices advance their virtual clock by the perf model;
+        # native devices by the EWMA-corrected wall-clock prediction.
+        kernel_s = self.predict_kernel_s(sub.device_index, sub.sessions, engine)
         for _ in range(LAUNCHES_PER_BATCH - 1):
             tl.launch_kernel(0.0)  # simulate/modify boundary: launch cost only
         tl.launch_kernel(kernel_s + hang_s)

@@ -30,6 +30,7 @@ uploads its state **once** and every later step is a modelled lazy hit.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -107,6 +108,9 @@ class ServeConfig:
     default_deadline_s: "float | None" = None
     #: Devices in the serving group.
     devices: int = 2
+    #: Execution backend per device: ``"sim"``, ``"native"``, ``"mixed"``
+    #: (alternating), or an explicit per-device list of kinds.
+    backend: "str | list[str]" = "sim"
     #: Route device allocations through the :mod:`repro.mem` caching
     #: pool (the serving layer's default; ``--no-pool`` in the loadgen).
     pool: bool = True
@@ -164,7 +168,7 @@ class SimulationService:
             cfg.max_batch, cfg.window_s, enabled=cfg.batching
         )
         self.engine = StepEngine(cfg.params, cfg.calib, cfg.version)
-        self.group = make_group(cfg.devices, pool=cfg.pool)
+        self.group = make_group(cfg.devices, pool=cfg.pool, backend=cfg.backend)
         self.scheduler = DeviceScheduler(
             self.group,
             calib=cfg.calib,
@@ -668,7 +672,9 @@ class SimulationService:
             with obs.span(
                 "serve.batch", batch=batch.batch_id, size=len(batch)
             ):
-                for sub in self.scheduler.place(batch, self.store, free):
+                for sub in self.scheduler.place(
+                    batch, self.store, free, engine=self.engine
+                ):
                     fl = self.flight
                     if fl is not None:
                         sub.flight_span = fl.start_batch(
@@ -747,8 +753,9 @@ class SimulationService:
                     if self.injector is not None:
                         # Watchdog: predicted kernel time plus slack —
                         # a hang overshoots this; nothing healthy does.
-                        predicted = self.engine.batch_kernel_seconds(
-                            sub.sessions
+                        # (Perf model on sim devices, EWMA on native.)
+                        predicted = self.scheduler.predict_kernel_s(
+                            sub.device_index, sub.sessions, self.engine
                         )
                         sub.timeout_s = (
                             self.now + predicted + self.retry.batch_timeout_s
@@ -784,12 +791,27 @@ class SimulationService:
             self._fault_requeue(sub.requests, "result-corrupt")
             self.admission.on_slots_freed(self.now)
             return
+        # On a native device with real physics the step *is* the kernel:
+        # wall-clock it and feed the scheduler's online cost model.
+        # (Without physics there is nothing to measure — native devices
+        # then keep the perf-model-seeded estimate.)
+        measure = (
+            self.config.physics
+            and self.scheduler.backend_kinds[sub.device_index] == "native"
+        )
+        started = _time.perf_counter() if measure else 0.0
         for session in sub.sessions:
             self.engine.advance(session)
             self.stats.agents_stepped += session.n
             if self.injector is not None:
                 # Last-known-good snapshot for the failover path.
                 session.checkpoint()
+        if measure:
+            self.scheduler.observe_native_cost(
+                sub.device_index,
+                self.engine.batch_kernel_seconds(sub.sessions),
+                _time.perf_counter() - started,
+            )
         self._demux_results(sub)
         fl = self.flight
         if fl is not None and sub.flight_span is not None:

@@ -1,34 +1,35 @@
 """The simulated device: memory, launch validation, block scheduling.
 
-:class:`SimDevice` ties the pieces together: it owns the global
-:class:`~repro.simgpu.memory.DeviceMemory`, validates launch configurations
-against the CUDA 1.0 limits, executes grids block-by-block on the warp
-emulator, and keeps the asynchronous-execution bookkeeping (kernel launches
-do not block the host; accessing device memory does — §2.2) through its
+:class:`SimDevice` is the cycle-accounting implementation of
+:class:`~repro.backend.base.ExecutionBackend`: it owns the global
+:class:`~repro.simgpu.memory.DeviceMemory` (via the backend base),
+validates launch configurations against the CUDA 1.0 limits, executes
+grids block-by-block on the warp emulator, and keeps the
+asynchronous-execution bookkeeping (kernel launches do not block the
+host; accessing device memory does — §2.2) through its
 :class:`~repro.simgpu.transfer.DeviceTimeline`.
 
 Blocks of a grid cannot synchronize with each other and multiple kernels
 never run in parallel (§2.2), so executing blocks sequentially is
 observationally equivalent to the hardware schedule; the *time* a launch
-takes is computed by the analytic model from the measured instruction
-profile and the occupancy.
+takes — this backend's :meth:`~SimDevice.duration_s` — is computed by
+the analytic model from the measured instruction profile and the
+occupancy, entirely in virtual time.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.common.errors import ConfigurationError
+from repro.backend.base import ExecutionBackend
 from repro.simgpu.arch import ArchSpec, G80_8800GTS
 from repro.simgpu.block import ThreadBlock
 from repro.simgpu.costs import CostTable, G80_COSTS
 from repro.simgpu.dims import Dim3, as_dim3
-from repro.simgpu.memory import DeviceMemory
 from repro.simgpu.multiprocessor import Occupancy, compute_occupancy
 from repro.simgpu.profile import InstructionProfile
-from repro.simgpu.transfer import DeviceTimeline, PcieModel
+from repro.simgpu.transfer import PcieModel
 
 
 @dataclass
@@ -50,10 +51,7 @@ class LaunchResult:
         return self.grid_dim.volume * self.block_dim.volume
 
 
-_device_ids = itertools.count(0)
-
-
-class SimDevice:
+class SimDevice(ExecutionBackend):
     """A simulated G80-class device.
 
     Parameters
@@ -66,48 +64,16 @@ class SimDevice:
         Host<->device interconnect model used for transfer timing.
     """
 
+    backend_kind = "sim"
+
     def __init__(
         self,
         arch: ArchSpec = G80_8800GTS,
         costs: CostTable = G80_COSTS,
         pcie: PcieModel | None = None,
     ) -> None:
-        from repro.simgpu.caches import ConstantMemory
-
-        self.device_id = next(_device_ids)
-        self.arch = arch
+        self._init_backend(arch, pcie)
         self.costs = costs
-        self.memory = DeviceMemory(arch.device_memory_bytes)
-        self.constant = ConstantMemory(arch.constant_mem_bytes)
-        self.timeline = DeviceTimeline(pcie or PcieModel())
-        self.launches: list[LaunchResult] = []
-        #: Optional :class:`repro.fault.FaultInjector` consulted by the
-        #: CUDA runtime's alloc/launch/memcpy entry points.  ``None``
-        #: (the default) keeps every fault path completely inert.
-        self.fault_injector = None
-
-    # ------------------------------------------------------------------
-    def validate_launch(self, grid_dim: Dim3, block_dim: Dim3) -> None:
-        """Apply the CUDA 1.0 configuration limits (§2.2)."""
-        if block_dim.volume == 0 or grid_dim.volume == 0:
-            raise ConfigurationError("grid and block dimensions must be non-zero")
-        if block_dim.volume > self.arch.max_threads_per_block:
-            raise ConfigurationError(
-                f"block of {block_dim.volume} threads exceeds the limit of "
-                f"{self.arch.max_threads_per_block}"
-            )
-        if grid_dim.z != 1:
-            raise ConfigurationError("grids are at most 2-dimensional (§2.2)")
-        mx, my = self.arch.max_grid_dim
-        if grid_dim.x > mx or grid_dim.y > my:
-            raise ConfigurationError(
-                f"grid {tuple(grid_dim)} exceeds the limit {(mx, my)}"
-            )
-        bx, by, bz = self.arch.max_block_dim
-        if block_dim.x > bx or block_dim.y > by or block_dim.z > bz:
-            raise ConfigurationError(
-                f"block {tuple(block_dim)} exceeds the limit {(bx, by, bz)}"
-            )
 
     # ------------------------------------------------------------------
     def launch(
@@ -168,18 +134,17 @@ class SimDevice:
         return result
 
     # ------------------------------------------------------------------
-    def properties(self) -> dict[str, object]:
-        """Device properties in ``cudaDeviceProp`` spirit (§3.2.1)."""
-        return {
-            "name": self.arch.name,
-            "totalGlobalMem": self.arch.device_memory_bytes,
-            "sharedMemPerBlock": self.arch.shared_mem_per_mp,
-            "regsPerBlock": self.arch.registers_per_mp,
-            "warpSize": self.arch.warp_size,
-            "maxThreadsPerBlock": self.arch.max_threads_per_block,
-            "multiProcessorCount": self.arch.multiprocessors,
-            "clockRate": int(self.arch.shader_clock_hz / 1000),  # kHz
-            "major": self.arch.compute_capability[0],
-            "minor": self.arch.compute_capability[1],
-            "supportsAtomics": self.arch.supports_atomics,
-        }
+    def duration_s(self, result: LaunchResult, registers_per_thread: int = 10) -> float:
+        """Virtual seconds the launch occupies the device: the analytic
+        perf model (§5) applied to the measured instruction profile."""
+        from repro.simgpu.perfmodel import time_from_profile
+
+        return time_from_profile(
+            result.profile,
+            result.blocks,
+            result.block_dim.volume,
+            shared_bytes_per_block=result.shared_bytes_per_block,
+            registers_per_thread=registers_per_thread,
+            arch=self.arch,
+            costs=self.costs,
+        ).total_s

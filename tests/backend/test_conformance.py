@@ -1,0 +1,63 @@
+"""Cross-backend differential conformance: sim vs native, every version.
+
+The conformance contract (DESIGN.md §6): integer outputs (neighbor
+indexes) must be bit-identical; float outputs (agent state, draw
+matrices) must be bit-identical in practice because the native twins
+mirror the emulator's float64-between-float32-stores numerics, with a
+1e-6 absolute tolerance as the documented bound should a platform's
+libm disagree.
+"""
+
+import pytest
+
+from repro.backend.conformance import (
+    FLOAT_TOLERANCE,
+    run_differential,
+    run_suite,
+)
+
+
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+class TestDifferential:
+    def test_version_is_conformant(self, version):
+        report = run_differential(version, agents=32, steps=2, seed=7)
+        assert report.ok, report.to_dict()
+
+    def test_integer_results_bit_identical(self, version):
+        report = run_differential(version, agents=32, steps=2, seed=7)
+        for arr in report.arrays:
+            if arr.dtype.startswith("int"):
+                assert arr.exact, f"{arr.name}: int path must be exact"
+
+    def test_float_paths_within_tolerance(self, version):
+        report = run_differential(version, agents=32, steps=2, seed=7)
+        assert report.max_abs_diff <= FLOAT_TOLERANCE
+
+
+class TestSuite:
+    def test_full_suite_runs_every_pipeline_version(self):
+        reports = run_suite(agents=32, steps=2, seed=11)
+        assert [r.version for r in reports] == [1, 2, 3, 4, 5]
+        assert all(r.ok for r in reports)
+
+    def test_reports_serialize(self):
+        (report,) = run_suite(versions=(5,), agents=16, steps=1, seed=3)
+        d = report.to_dict()
+        assert d["version"] == 5
+        assert d["ok"] is True
+        assert "matrices" in d["arrays"]
+        for entry in d["arrays"].values():
+            assert {"dtype", "exact", "max_abs_diff"} <= set(entry)
+
+    def test_v5_compares_draw_matrices(self):
+        report = run_differential(5, agents=16, steps=1, seed=3)
+        names = {a.name for a in report.arrays}
+        assert "matrices" in names
+
+    def test_observed_exactness_holds(self):
+        # Stronger than the contract: on any one machine the float64
+        # mirroring makes every array bit-exact.  If this ever fails
+        # while the tolerance tests pass, the twins drifted from the
+        # emulator's operation order — fix the twin, don't widen this.
+        reports = run_suite(agents=32, steps=2, seed=7)
+        assert all(r.exact for r in reports)

@@ -1,0 +1,137 @@
+"""Heterogeneous serving: mixed sim/native device groups end to end."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.serve.loadgen import main as loadgen_main, run_load
+from repro.serve.scheduler import DeviceScheduler, make_group
+from repro.serve.service import ServeConfig, SimulationService
+
+
+class _StubEngine:
+    """Fixed-cost stand-in for StepEngine.batch_kernel_seconds."""
+
+    def __init__(self, seconds: float = 1e-3) -> None:
+        self.seconds = seconds
+
+    def batch_kernel_seconds(self, sessions) -> float:
+        return self.seconds
+
+
+class TestMixedGroups:
+    def test_make_group_mixed_alternates_kinds(self):
+        group = make_group(4, backend="mixed")
+        kinds = [d.backend_kind for d in group.devices]
+        assert kinds == ["sim", "native", "sim", "native"]
+
+    def test_make_group_explicit_list(self):
+        group = make_group(2, backend=["native", "sim"])
+        assert [d.backend_kind for d in group.devices] == ["native", "sim"]
+
+    def test_homogeneous_scheduler_is_not_heterogeneous(self):
+        sched = DeviceScheduler(make_group(2, backend="sim"))
+        assert not sched.heterogeneous
+        assert sched.backend_kinds == ["sim", "sim"]
+
+    def test_mixed_scheduler_flags_heterogeneous(self):
+        sched = DeviceScheduler(make_group(2, backend="mixed"))
+        assert sched.heterogeneous
+        assert sched.backend_kinds == ["sim", "native"]
+
+
+class TestCostModel:
+    def test_sim_prediction_is_the_perf_model(self):
+        sched = DeviceScheduler(make_group(2, backend="mixed"))
+        engine = _StubEngine(2.5e-3)
+        assert sched.predict_kernel_s(0, [], engine) == engine.batch_kernel_seconds([])
+
+    def test_native_prediction_starts_at_the_perf_model(self):
+        sched = DeviceScheduler(make_group(2, backend="mixed"))
+        engine = _StubEngine(2.5e-3)
+        # Cold EWMA: ratio seeded at 1.0, so prediction == model.
+        assert sched.predict_kernel_s(1, [], engine) == pytest.approx(2.5e-3)
+
+    def test_native_prediction_learns_from_measurements(self):
+        sched = DeviceScheduler(make_group(2, backend="mixed"))
+        engine = _StubEngine(1e-3)
+        sched.observe_native_cost(1, modelled_s=1e-3, measured_s=5e-3)
+        assert sched.predict_kernel_s(1, [], engine) == pytest.approx(5e-3)
+        # Sim devices never learn a ratio — their model is their clock.
+        sched.observe_native_cost(0, modelled_s=1e-3, measured_s=5e-3)
+        assert sched.predict_kernel_s(0, [], engine) == pytest.approx(1e-3)
+
+    def test_cold_split_weights_by_learned_speed(self):
+        sched = DeviceScheduler(make_group(2, backend="mixed"))
+        engine = _StubEngine()
+        # Native device measured 3x slower than modelled: weights 1 : 1/3
+        # over 8 requests round to 6 on the sim device, 2 on the native.
+        sched.observe_native_cost(1, modelled_s=1e-3, measured_s=3e-3)
+        assert sched._cold_bounds([0, 1], 8, engine) == [(0, 6), (6, 8)]
+
+    def test_homogeneous_split_stays_even(self):
+        sched = DeviceScheduler(make_group(2, backend="sim"))
+        assert sched._cold_bounds([0, 1], 9, _StubEngine()) == [(0, 5), (5, 9)]
+
+
+class TestMixedServing:
+    def test_mixed_run_routes_work_to_both_backend_kinds(self):
+        service = SimulationService(
+            ServeConfig(
+                agents_per_session=16, devices=2, backend="mixed",
+                physics=False,
+            )
+        )
+        for i in range(8):
+            service.create_session(f"s{i}", seed=i)
+        for _ in range(3):
+            for i in range(8):
+                service.submit(f"s{i}")
+            service.drain()
+        placed = service.scheduler.placed_requests
+        kinds = service.scheduler.backend_kinds
+        assert kinds == ["sim", "native"]
+        assert all(p > 0 for p in placed), placed
+        assert service.stats.completed == 24
+
+    def test_mixed_physics_matches_sim_only(self):
+        def run(backend):
+            service = SimulationService(
+                ServeConfig(
+                    agents_per_session=16, devices=2, backend=backend,
+                    physics=True,
+                )
+            )
+            service.create_session("a", n=16, seed=7)
+            service.create_session("b", n=16, seed=8)
+            for _ in range(2):
+                service.submit("a")
+                service.submit("b")
+            service.drain()
+            return service.store.get("a").sim.positions.copy()
+
+        np.testing.assert_array_equal(run("sim"), run("mixed"))
+
+    def test_bogus_backend_rejected_at_service_construction(self):
+        with pytest.raises(ConfigurationError, match="sim, native"):
+            SimulationService(ServeConfig(backend="bogus"))
+
+
+class TestLoadgenBackend:
+    def test_report_carries_backend(self):
+        config = ServeConfig(
+            agents_per_session=8, devices=2, backend="mixed", physics=False
+        )
+        report = run_load(
+            clients=4, duration_s=0.02, rate_rps=400.0, config=config
+        )
+        assert report.backend == "mixed"
+        assert report.to_dict()["backend"] == "mixed"
+        assert any("backend mixed" in line for line in report.lines())
+
+    def test_cli_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            loadgen_main(["--backend", "bogus", "--duration", "0.01"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "sim" in err and "native" in err
