@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.backend.base import ExecutionBackend
+from repro.prof import hook as prof_hook
 from repro.simgpu.arch import ArchSpec, G80_8800GTS
 from repro.simgpu.block import ThreadBlock
 from repro.simgpu.dims import Dim3, as_dim3
@@ -47,8 +48,10 @@ class NativeLaunchResult:
     elapsed_s: float
     vectorized: bool
     kernel_name: str
-    #: ``None`` for vectorized runs — there is no instruction stream to
-    #: profile; populated when the SIMT fallback executed the kernel.
+    #: ``None`` for plain vectorized runs — there is no instruction
+    #: stream to profile; populated when the SIMT fallback executed the
+    #: kernel, or when a :class:`repro.prof.session.ProfSession` was
+    #: active and the device derived counters by SIMT replay.
     profile: "InstructionProfile | None" = None
     occupancy: object = None
     shared_bytes_per_block: int = 0
@@ -165,8 +168,22 @@ class NativeDevice(ExecutionBackend):
 
         name = getattr(kernel_fn, "__name__", "kernel")
         impl = _NATIVE_IMPLS.get(kernel_fn)
-        start = time.perf_counter()
         if impl is not None:
+            profile = shared_bytes = None
+            if prof_hook.active() is not None:
+                # Counter replay (Nsight style): run the launch once
+                # through the SIMT emulator to collect the instruction
+                # profile, restore memory to its pre-launch contents,
+                # then do the real timed vectorized pass.  Both backends
+                # are bit-identical, so the replay sees exactly the
+                # memory the sim backend would — derived native counters
+                # equal sim counters by construction.
+                snapshot = self.memory.snapshot_contents()
+                profile, shared_bytes = self._run_simt(
+                    kernel_fn, grid_dim, block_dim, args, strict_sync
+                )
+                self.memory.restore_contents(snapshot)
+            start = time.perf_counter()
             impl(self, grid_dim, block_dim, args)
             result = NativeLaunchResult(
                 grid_dim=grid_dim,
@@ -174,30 +191,17 @@ class NativeDevice(ExecutionBackend):
                 elapsed_s=time.perf_counter() - start,
                 vectorized=True,
                 kernel_name=name,
+                profile=profile,
+                shared_bytes_per_block=shared_bytes or 0,
             )
         else:
             # SIMT fallback: thread-by-thread execution for correctness.
             # The profile is kept for introspection but carries no cost
             # meaning here — duration_s reports wall-clock either way.
-            profile = InstructionProfile()
-            shared_bytes = 0
-            for by in range(grid_dim.y):
-                for bx in range(grid_dim.x):
-                    block = ThreadBlock(
-                        kernel_fn,
-                        args,
-                        Dim3(bx, by, 1),
-                        block_dim,
-                        grid_dim,
-                        self.arch,
-                        strict_sync=strict_sync,
-                        device_memory=self.memory,
-                    )
-                    try:
-                        block.run(profile)
-                    finally:
-                        block.release_local_memory()
-                    shared_bytes = max(shared_bytes, block.shared_bytes_used)
+            start = time.perf_counter()
+            profile, shared_bytes = self._run_simt(
+                kernel_fn, grid_dim, block_dim, args, strict_sync
+            )
             result = NativeLaunchResult(
                 grid_dim=grid_dim,
                 block_dim=block_dim,
@@ -209,6 +213,38 @@ class NativeDevice(ExecutionBackend):
             )
         self.launches.append(result)
         return result
+
+    def _run_simt(
+        self,
+        kernel_fn: Callable,
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        args: tuple,
+        strict_sync: bool,
+    ) -> "tuple[InstructionProfile, int]":
+        """One SIMT pass over the grid: the merged profile and the peak
+        per-block shared footprint (the fallback execution path, also
+        used as the profiler's counter-replay pass)."""
+        profile = InstructionProfile()
+        shared_bytes = 0
+        for by in range(grid_dim.y):
+            for bx in range(grid_dim.x):
+                block = ThreadBlock(
+                    kernel_fn,
+                    args,
+                    Dim3(bx, by, 1),
+                    block_dim,
+                    grid_dim,
+                    self.arch,
+                    strict_sync=strict_sync,
+                    device_memory=self.memory,
+                )
+                try:
+                    block.run(profile)
+                finally:
+                    block.release_local_memory()
+                shared_bytes = max(shared_bytes, block.shared_bytes_used)
+        return profile, shared_bytes
 
     # ------------------------------------------------------------------
     def duration_s(

@@ -34,6 +34,7 @@ from repro.bench.harness import (
     run_fig_6_3,
     run_fig_6_4,
     run_backend_compare,
+    run_kernel_prof,
     run_sec_7_traits,
     run_serve_slo,
 )
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "alloc-churn": run_alloc_churn,
     "fault-recovery": run_fault_recovery,
     "backend-compare": run_backend_compare,
+    "kernel-prof": run_kernel_prof,
 }
 
 

@@ -778,3 +778,132 @@ def run_backend_compare(
         f"than instruction-level emulation.",
     )
     return exp
+
+
+# ----------------------------------------------------------------------
+# kernel-prof — the profiler's v1-vs-v5 story, counter-attributed
+# ----------------------------------------------------------------------
+@observed
+def run_kernel_prof(
+    agents: int = 128,
+    steps: int = 1,
+    threads_per_block: int = 32,
+    multiprocessors: int = 2,
+    seed: int = 7,
+) -> Experiment:
+    """Profile v1 and v5 and attribute the speedup to counters.
+
+    Runs ``repro.prof`` over both ends of the Table 6.1 ladder on the
+    simulator, diffs the counter movement, and *validates* the advisor:
+    the block-size suggestion its low-occupancy rule makes for the v1
+    neighbor kernel is re-run at the suggested configuration and the
+    measured (virtual-clock) improvement is reported next to the
+    estimate.  Everything here is deterministic — emulated counters plus
+    the analytic perf model — so the experiment sits inside the
+    perf-regression gate.
+    """
+    from repro.prof.__main__ import profile_pipeline
+    from repro.prof.advisor import advise
+    from repro.prof.report import diff_reports, session_report
+
+    def profile(version: int, tpb: int):
+        return profile_pipeline(
+            version,
+            agents=agents,
+            steps=steps,
+            threads_per_block=tpb,
+            multiprocessors=multiprocessors,
+            seed=seed,
+        )
+
+    v1 = profile(1, threads_per_block)
+    v5 = profile(5, threads_per_block)
+    report_v1 = session_report(v1, label="v1")
+    report_v5 = session_report(v5, label="v5")
+    prof_diff = diff_reports(report_v1, report_v5)
+
+    findings_v1 = advise(v1)
+    findings_v5 = advise(v5)
+    rules_v1 = {f"{f.rule}:{f.kernel}" for f in findings_v1}
+    rules_v5 = {f"{f.rule}:{f.kernel}" for f in findings_v5}
+
+    # Validate the advisor's block-size suggestion against the machine
+    # model it advises about: re-run v1 at the suggested configuration
+    # and compare virtual-clock kernel time.
+    validation: dict = {"validated": False}
+    suggestion = next(
+        (
+            f
+            for f in findings_v1
+            if f.rule == "low-occupancy" and f.suggestion is not None
+        ),
+        None,
+    )
+    if suggestion is not None:
+        suggested_tpb = int(suggestion.suggestion["threads_per_block"])
+        base_s = v1.kernels[suggestion.kernel].modelled_s
+        retuned = profile(1, suggested_tpb)
+        tuned_s = retuned.kernels[suggestion.kernel].modelled_s
+        measured_speedup = base_s / tuned_s if tuned_s > 0 else 0.0
+        validation = {
+            "kernel": suggestion.kernel,
+            "suggested_threads_per_block": suggested_tpb,
+            "estimated_speedup": suggestion.estimated_speedup,
+            "base_modelled_s": base_s,
+            "tuned_modelled_s": tuned_s,
+            "measured_speedup": measured_speedup,
+            "validated": measured_speedup > 1.0,
+        }
+
+    rows = []
+    for label, report in (("v1", report_v1), ("v5", report_v5)):
+        for name, kc in sorted(report["kernels"].items()):
+            rows.append(
+                (
+                    label,
+                    name,
+                    kc["instructions"],
+                    kc["uncoalesced_read_transactions"],
+                    f"{kc['bytes_moved']:,}",
+                    f"{kc['modelled_s'] * 1e3:.4f}",
+                )
+            )
+
+    speedup = prof_diff["totals"]["speedup"]
+    exp = Experiment("kernel-prof", rows)
+    exp.data = {
+        "agents": agents,
+        "steps": steps,
+        "threads_per_block": threads_per_block,
+        "multiprocessors": multiprocessors,
+        "v1": report_v1,
+        "v5": report_v5,
+        "diff": prof_diff,
+        "v1_to_v5_speedup": speedup,
+        "v1_uncoalesced_load_finding": "uncoalesced-loads:find_neighbors_v1"
+        in rules_v1,
+        "v5_uncoalesced_load_findings": sum(
+            1 for r in rules_v5 if r.startswith("uncoalesced-loads:")
+        ),
+        "block_size_validation": validation,
+    }
+    note = (
+        f"v1 -> v5: {speedup:.2f}x modelled; "
+        f"advisor block-size suggestion "
+        + (
+            f"({validation.get('kernel')} @ "
+            f"{validation.get('suggested_threads_per_block')} tpb): "
+            f"estimated {validation.get('estimated_speedup', 0.0):.2f}x, "
+            f"measured {validation.get('measured_speedup', 0.0):.2f}x"
+            if validation["validated"]
+            else "not validated"
+        )
+    )
+    exp.report = format_table(
+        f"kernel profiler — v1 vs v5, {agents} agents, "
+        f"{multiprocessors} MPs",
+        ["version", "kernel", "instr", "uncoal.ld.tx", "bytes", "modelled ms"],
+        rows,
+        note=note,
+    )
+    return exp

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import obs
 from repro.common.errors import ConfigurationError
+from repro.prof import hook as prof_hook
 from repro.cuda.errors import CudaQualifierError, cudaError
 from repro.cuda.qualifiers import is_global, kernel_guard
 from repro.cuda.types import cudaDeviceProp, cudaMemcpyKind, dim3
@@ -442,6 +443,18 @@ class CudaRuntime(GlInteropMixin):
                 modelled_duration_s=duration,
                 occupancy=getattr(result.occupancy, "occupancy", None),
             )
+            # Kernel profiler capture: one module-global read when no
+            # session is attached, so profiling-off stays inert.
+            prof = prof_hook.active()
+            if prof is not None:
+                prof.record_launch(
+                    name=name,
+                    backend=self.device.backend_kind,
+                    result=result,
+                    duration_s=duration,
+                    arch=self.device.arch,
+                    registers_per_thread=registers_per_thread,
+                )
         return cudaError.cudaSuccess
 
     def cudaThreadSynchronize(self) -> cudaError:  # noqa: N802

@@ -18,6 +18,11 @@ Perfetto for:
 * **Which bytes moved, and why, and when?**  :func:`ledger_rollup`
   attributes transfer-ledger entries per cause per *phase*, where a
   phase is the enclosing root span at the entry's timestamp.
+* **What did the kernels do?**  The ``kernels`` section rolls up the
+  instruction profiles riding on ``cuda.launch:*`` spans per kernel
+  name — launches, modelled seconds, and every hardware counter — and
+  :func:`diff` gives each kernel a regression/improvement verdict, like
+  the memory rollup does for allocator causes.
 * **Did it get worse?**  :func:`diff` compares two analyses per span
   name and flags regressions/improvements beyond a tolerance.
 
@@ -205,6 +210,11 @@ class Analysis:
     #: Allocator behaviour: ``{cause: {"count", "bytes"}}`` for the
     #: :data:`repro.obs.ledger.MEMORY_CAUSES` found in the trace.
     memory: "dict[str, dict]" = field(default_factory=dict)
+    #: Per-kernel counter rollup from the instruction profiles riding on
+    #: ``cuda.launch:*`` spans: ``{kernel: {"launches", "modelled_s",
+    #: <every profile counter summed>}}``.  Launches without a profile
+    #: (plain vectorized native runs) still count launches and time.
+    kernels: "dict[str, dict]" = field(default_factory=dict)
     wall_s: float = 0.0
 
     def to_dict(self) -> dict:
@@ -220,6 +230,7 @@ class Analysis:
             ],
             "instants": dict(sorted(self.instants.items())),
             "memory": {c: dict(v) for c, v in sorted(self.memory.items())},
+            "kernels": {k: dict(v) for k, v in sorted(self.kernels.items())},
         }
 
 
@@ -242,6 +253,25 @@ def critical_path(
     return chain
 
 
+#: Prefix of the spans the kernel rollup consumes.
+_LAUNCH_SPAN_PREFIX = "cuda.launch:"
+
+
+def _kernel_rollup(out: Analysis, event: TraceEvent) -> None:
+    """Fold one launch span's profile counters into the kernel rollup."""
+    kernel = event.name[len(_LAUNCH_SPAN_PREFIX):]
+    row = out.kernels.setdefault(kernel, {"launches": 0, "modelled_s": 0.0})
+    row["launches"] += 1
+    modelled = event.args.get("modelled_duration_s")
+    if isinstance(modelled, (int, float)):
+        row["modelled_s"] += float(modelled)
+    profile = event.args.get("profile")
+    if isinstance(profile, dict):
+        for counter, value in profile.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                row[counter] = row.get(counter, 0) + value
+
+
 def analyze(events: "list[TraceEvent]") -> Analysis:
     """Digest one run's events into an :class:`Analysis`."""
     roots = build_forest(events)
@@ -254,6 +284,8 @@ def analyze(events: "list[TraceEvent]") -> Analysis:
         stats.total_s += node.dur
         stats.self_s += node.self_s
         stats.durations.append(node.dur)
+        if node.name.startswith(_LAUNCH_SPAN_PREFIX):
+            _kernel_rollup(out, node.event)
     from repro.obs.ledger import MEMORY_CAUSES
 
     memory_names = {f"transfer:{c}": c for c in MEMORY_CAUSES}
@@ -404,12 +436,47 @@ def diff(a: Analysis, b: Analysis, tolerance_pct: float = 10.0) -> dict:
                 "bytes_b": mb["bytes"],
             }
         )
+    kernel_rows = []
+    for kernel in sorted(set(a.kernels) | set(b.kernels)):
+        ka, kb = a.kernels.get(kernel), b.kernels.get(kernel)
+        if ka is None or kb is None:
+            kernel_rows.append(
+                {
+                    "kernel": kernel,
+                    "verdict": "added" if ka is None else "removed",
+                    "modelled_a_s": (ka or {}).get("modelled_s", 0.0),
+                    "modelled_b_s": (kb or {}).get("modelled_s", 0.0),
+                }
+            )
+            continue
+        ma_s, mb_s = ka.get("modelled_s", 0.0), kb.get("modelled_s", 0.0)
+        change = (mb_s - ma_s) / ma_s * 100.0 if ma_s > 0 else 0.0
+        verdict = "unchanged"
+        if change > tolerance_pct:
+            verdict, regressions = "regression", regressions + 1
+        elif change < -tolerance_pct:
+            verdict, improvements = "improvement", improvements + 1
+        counters = {
+            counter: {"a": ka.get(counter, 0), "b": kb.get(counter, 0)}
+            for counter in sorted((set(ka) | set(kb)) - {"modelled_s"})
+        }
+        kernel_rows.append(
+            {
+                "kernel": kernel,
+                "verdict": verdict,
+                "modelled_a_s": ma_s,
+                "modelled_b_s": mb_s,
+                "modelled_change_pct": change,
+                "counters": counters,
+            }
+        )
     return {
         "tolerance_pct": tolerance_pct,
         "regressions": regressions,
         "improvements": improvements,
         "spans": rows,
         "memory": memory_rows,
+        "kernels": kernel_rows,
         "critical_path_a": [
             {"name": n, "total_s": d, "self_s": s}
             for n, d, s in a.critical_path
@@ -487,6 +554,25 @@ def render_analysis(analysis: Analysis) -> str:
                 ],
             )
         )
+    if analysis.kernels:
+        blocks.append(
+            format_table(
+                "kernels (launch-span profile rollup)",
+                ["kernel", "launches", "instr", "uncoal.ld.tx", "bytes",
+                 "modelled ms"],
+                [
+                    (
+                        kernel,
+                        row["launches"],
+                        row.get("instructions", 0),
+                        row.get("uncoalesced_read_transactions", 0),
+                        f"{row.get('bytes_read', 0) + row.get('bytes_written', 0):,}",
+                        _ms(row.get("modelled_s", 0.0)),
+                    )
+                    for kernel, row in sorted(analysis.kernels.items())
+                ],
+            )
+        )
     return "\n\n".join(blocks)
 
 
@@ -533,6 +619,26 @@ def render_diff(result: dict) -> str:
                         f"{row['bytes_b']:,}",
                     )
                     for row in result["memory"]
+                ],
+            )
+        )
+    if result.get("kernels"):
+        blocks.append(
+            format_table(
+                "kernels (launch-span rollup, A vs B)",
+                ["kernel", "verdict", "modelled A ms", "modelled B ms",
+                 "change"],
+                [
+                    (
+                        row["kernel"],
+                        row["verdict"],
+                        _ms(row.get("modelled_a_s", 0.0)),
+                        _ms(row.get("modelled_b_s", 0.0)),
+                        f"{row['modelled_change_pct']:+.1f}%"
+                        if "modelled_change_pct" in row
+                        else "-",
+                    )
+                    for row in result["kernels"]
                 ],
             )
         )

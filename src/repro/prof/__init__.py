@@ -1,0 +1,54 @@
+"""``repro.prof`` — Nsight-Compute-style kernel profiling.
+
+Counter capture (:class:`ProfSession` + the global hook), roofline
+analysis, a guided performance advisor, and the ``python -m repro.prof``
+CLI.  The package ``__init__`` stays import-light: the CUDA runtime
+imports :mod:`repro.prof.hook` on its hot path, and that must not drag
+the rest of the profiler (perf model, bench reporting) into every
+process that merely *could* be profiled.
+"""
+
+from __future__ import annotations
+
+from repro.prof import hook
+
+__all__ = [
+    "Finding",
+    "KernelCounters",
+    "ProfSession",
+    "RooflinePoint",
+    "advise",
+    "diff_reports",
+    "hook",
+    "render_diff",
+    "render_report",
+    "roofline",
+    "roofline_point",
+    "session_report",
+]
+
+_LAZY = {
+    "Finding": ("repro.prof.advisor", "Finding"),
+    "advise": ("repro.prof.advisor", "advise"),
+    "KernelCounters": ("repro.prof.counters", "KernelCounters"),
+    "ProfSession": ("repro.prof.session", "ProfSession"),
+    "RooflinePoint": ("repro.prof.roofline", "RooflinePoint"),
+    "roofline": ("repro.prof.roofline", "roofline"),
+    "roofline_point": ("repro.prof.roofline", "roofline_point"),
+    "session_report": ("repro.prof.report", "session_report"),
+    "render_report": ("repro.prof.report", "render_report"),
+    "diff_reports": ("repro.prof.report", "diff_reports"),
+    "render_diff": ("repro.prof.report", "render_diff"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.prof' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,359 @@
+"""Per-kernel hardware counters, Nsight Compute style.
+
+:class:`KernelCounters` is the profiler's unit of record: everything one
+kernel did on the device, either measured by the SIMT emulator (an
+:class:`~repro.simgpu.profile.InstructionProfile` plus launch geometry)
+or modelled by the closed-form serve cost oracle
+(:class:`~repro.simgpu.perfmodel.KernelCostInputs`).  Records aggregate
+per kernel name across the launches of a session, exactly like a
+counter-collection pass over a real workload.
+
+Both builders run the counters through the same analytic performance
+model that is the sim backend's clock, so ``modelled_s`` means the same
+thing everywhere; ``measured_s`` is the backend clock — identical to the
+model on the simulator, wall-clock on the native backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simgpu.arch import ArchSpec
+from repro.simgpu.costs import CostTable, G80_COSTS
+from repro.simgpu.perfmodel import (
+    KernelCostInputs,
+    KernelTimeBreakdown,
+    kernel_time,
+)
+from repro.simgpu.profile import InstructionProfile
+
+
+@dataclass
+class KernelCounters:
+    """Aggregated counters for one kernel name on one backend."""
+
+    name: str
+    backend: str
+    launches: int = 0
+    #: Grid geometry, summed over launches (threads_per_block is the
+    #: launch configuration and must agree across launches of a name).
+    blocks: int = 0
+    threads: int = 0
+    threads_per_block: int = 0
+    shared_bytes_per_block: int = 0
+    registers_per_thread: int = 10
+    warp_size: int = 32
+    #: Issue slots by op class (warp instruction issues, Table 2.2).
+    op_issues: "dict[str, int]" = field(default_factory=dict)
+    issue_cycles: int = 0
+    instructions: int = 0
+    #: Warp-level FLOP issues (FMAD counts twice); thread-level FLOPs
+    #: are ``flops * warp_size`` — an overestimate under divergence,
+    #: where inactive lanes still occupy the issue slot.
+    flops: int = 0
+    global_reads: int = 0
+    global_writes: int = 0
+    read_transactions: int = 0
+    write_transactions: int = 0
+    coalesced_transactions: int = 0
+    uncoalesced_transactions: int = 0
+    uncoalesced_groups: int = 0
+    uncoalesced_bytes: int = 0
+    uncoalesced_read_transactions: int = 0
+    uncoalesced_read_groups: int = 0
+    uncoalesced_read_bytes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    bytes_moved: int = 0
+    shared_accesses: int = 0
+    shared_bank_conflicts: int = 0
+    divergent_rounds: int = 0
+    serialized_groups: int = 0
+    syncs: int = 0
+    warps: int = 0
+    constant_hits: int = 0
+    constant_misses: int = 0
+    texture_hits: int = 0
+    texture_misses: int = 0
+    #: Occupancy of the launch configuration (achieved == occupancy on
+    #: this hardware model: blocks are resident for the whole launch).
+    occupancy_warps_per_mp: int = 0
+    occupancy_limited_by: str = ""
+    achieved_occupancy: float = 0.0
+    mps_used: int = 0
+    bound_by: str = ""
+    #: Analytic perf-model seconds, summed over launches.
+    modelled_s: float = 0.0
+    #: Backend-clock seconds (== modelled on sim, wall-clock on native).
+    measured_s: float = 0.0
+    #: True when the record came from the closed-form cost model (serve
+    #: plane) — no instruction stream, so per-op and coalescing counters
+    #: are absent rather than zero-by-measurement.
+    modelled_only: bool = False
+    #: Device roofline constants captured at record time.
+    peak_gflops: float = 0.0
+    memory_bandwidth_bytes_per_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def thread_flops(self) -> int:
+        return self.flops * self.warp_size
+
+    @property
+    def total_transactions(self) -> int:
+        return self.read_transactions + self.write_transactions
+
+    @property
+    def coalesced_fraction(self) -> float:
+        """Fraction of coalescer-analysed transactions that coalesced."""
+        analysed = self.coalesced_transactions + self.uncoalesced_transactions
+        if analysed == 0:
+            return 1.0
+        return self.coalesced_transactions / analysed
+
+    @property
+    def constant_hit_rate(self) -> "float | None":
+        total = self.constant_hits + self.constant_misses
+        return None if total == 0 else self.constant_hits / total
+
+    @property
+    def texture_hit_rate(self) -> "float | None":
+        total = self.texture_hits + self.texture_misses
+        return None if total == 0 else self.texture_hits / total
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "KernelCounters") -> None:
+        """Accumulate another record of the same kernel name."""
+        self.launches += other.launches
+        self.blocks += other.blocks
+        self.threads += other.threads
+        self.threads_per_block = other.threads_per_block or self.threads_per_block
+        self.shared_bytes_per_block = max(
+            self.shared_bytes_per_block, other.shared_bytes_per_block
+        )
+        self.registers_per_thread = other.registers_per_thread
+        for op, n in other.op_issues.items():
+            self.op_issues[op] = self.op_issues.get(op, 0) + n
+        for f in (
+            "issue_cycles", "instructions", "flops",
+            "global_reads", "global_writes",
+            "read_transactions", "write_transactions",
+            "coalesced_transactions", "uncoalesced_transactions",
+            "uncoalesced_groups", "uncoalesced_bytes",
+            "uncoalesced_read_transactions", "uncoalesced_read_groups",
+            "uncoalesced_read_bytes",
+            "bytes_read", "bytes_written", "bytes_moved",
+            "shared_accesses", "shared_bank_conflicts",
+            "divergent_rounds", "serialized_groups",
+            "syncs", "warps",
+            "constant_hits", "constant_misses",
+            "texture_hits", "texture_misses",
+        ):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        self.modelled_s += other.modelled_s
+        self.measured_s += other.measured_s
+        # Config-level facts track the latest launch (same-name launches
+        # share a configuration in every pipeline we profile).
+        self.occupancy_warps_per_mp = other.occupancy_warps_per_mp
+        self.occupancy_limited_by = other.occupancy_limited_by
+        self.achieved_occupancy = other.achieved_occupancy
+        self.mps_used = max(self.mps_used, other.mps_used)
+        self.bound_by = other.bound_by
+        self.modelled_only = self.modelled_only and other.modelled_only
+        self.peak_gflops = other.peak_gflops or self.peak_gflops
+        self.memory_bandwidth_bytes_per_s = (
+            other.memory_bandwidth_bytes_per_s
+            or self.memory_bandwidth_bytes_per_s
+        )
+        if other.backend != self.backend:
+            self.backend = "mixed"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict (derived rates included, like ``ncu`` output)."""
+        return {
+            "name": self.name,
+            "backend": self.backend,
+            "launches": self.launches,
+            "blocks": self.blocks,
+            "threads": self.threads,
+            "threads_per_block": self.threads_per_block,
+            "shared_bytes_per_block": self.shared_bytes_per_block,
+            "registers_per_thread": self.registers_per_thread,
+            "warp_size": self.warp_size,
+            "op_issues": dict(sorted(self.op_issues.items())),
+            "issue_cycles": self.issue_cycles,
+            "instructions": self.instructions,
+            "flops": self.flops,
+            "thread_flops": self.thread_flops,
+            "global_reads": self.global_reads,
+            "global_writes": self.global_writes,
+            "read_transactions": self.read_transactions,
+            "write_transactions": self.write_transactions,
+            "coalesced_transactions": self.coalesced_transactions,
+            "uncoalesced_transactions": self.uncoalesced_transactions,
+            "uncoalesced_groups": self.uncoalesced_groups,
+            "uncoalesced_bytes": self.uncoalesced_bytes,
+            "uncoalesced_read_transactions": self.uncoalesced_read_transactions,
+            "uncoalesced_read_groups": self.uncoalesced_read_groups,
+            "uncoalesced_read_bytes": self.uncoalesced_read_bytes,
+            "coalesced_fraction": self.coalesced_fraction,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "bytes_moved": self.bytes_moved,
+            "shared_accesses": self.shared_accesses,
+            "shared_bank_conflicts": self.shared_bank_conflicts,
+            "divergent_rounds": self.divergent_rounds,
+            "serialized_groups": self.serialized_groups,
+            "syncs": self.syncs,
+            "warps": self.warps,
+            "constant_hits": self.constant_hits,
+            "constant_misses": self.constant_misses,
+            "texture_hits": self.texture_hits,
+            "texture_misses": self.texture_misses,
+            "constant_hit_rate": self.constant_hit_rate,
+            "texture_hit_rate": self.texture_hit_rate,
+            "occupancy_warps_per_mp": self.occupancy_warps_per_mp,
+            "occupancy_limited_by": self.occupancy_limited_by,
+            "achieved_occupancy": self.achieved_occupancy,
+            "mps_used": self.mps_used,
+            "bound_by": self.bound_by,
+            "modelled_s": self.modelled_s,
+            "measured_s": self.measured_s,
+            "modelled_only": self.modelled_only,
+            "peak_gflops": self.peak_gflops,
+            "memory_bandwidth_bytes_per_s": self.memory_bandwidth_bytes_per_s,
+        }
+
+
+def _max_warps_per_mp(arch: ArchSpec) -> int:
+    return arch.max_threads_per_mp // arch.warp_size
+
+
+def counters_from_profile(
+    name: str,
+    backend: str,
+    profile: InstructionProfile,
+    *,
+    blocks: int,
+    threads_per_block: int,
+    shared_bytes_per_block: int = 0,
+    registers_per_thread: int = 10,
+    arch: ArchSpec,
+    costs: CostTable = G80_COSTS,
+    measured_s: "float | None" = None,
+) -> KernelCounters:
+    """One launch's counters from a measured instruction profile.
+
+    The perf model is applied to the profile exactly as the sim
+    backend's ``duration_s`` does, so on the simulator
+    ``modelled_s == measured_s`` by construction.
+    """
+    inputs = KernelCostInputs.from_profile(
+        profile,
+        blocks,
+        threads_per_block,
+        shared_bytes_per_block,
+        registers_per_thread,
+        costs,
+    )
+    breakdown = kernel_time(inputs, arch, costs)
+    kc = _from_breakdown(
+        name, backend, inputs, breakdown, arch, measured_s=measured_s
+    )
+    summary = profile.summary()
+    kc.op_issues = {
+        op.value: n for op, n in sorted(
+            profile.op_counts.items(), key=lambda kv: kv[0].value
+        ) if n
+    }
+    kc.instructions = summary["instructions"]
+    kc.flops = summary["flops"]
+    kc.global_reads = summary["global_reads"]
+    kc.global_writes = summary["global_writes"]
+    kc.read_transactions = summary["read_transactions"]
+    kc.write_transactions = summary["write_transactions"]
+    kc.coalesced_transactions = summary["coalesced_transactions"]
+    kc.uncoalesced_transactions = summary["uncoalesced_transactions"]
+    kc.uncoalesced_groups = summary["uncoalesced_groups"]
+    kc.uncoalesced_bytes = summary["uncoalesced_bytes"]
+    kc.uncoalesced_read_transactions = summary["uncoalesced_read_transactions"]
+    kc.uncoalesced_read_groups = summary["uncoalesced_read_groups"]
+    kc.uncoalesced_read_bytes = summary["uncoalesced_read_bytes"]
+    kc.bytes_read = summary["bytes_read"]
+    kc.bytes_written = summary["bytes_written"]
+    kc.shared_accesses = summary["shared_accesses"]
+    kc.shared_bank_conflicts = summary["shared_bank_conflicts"]
+    kc.divergent_rounds = summary["divergent_rounds"]
+    kc.serialized_groups = summary["serialized_groups"]
+    kc.syncs = summary["syncs"]
+    kc.warps = summary["warps"]
+    kc.constant_hits = summary["constant_hits"]
+    kc.constant_misses = summary["constant_misses"]
+    kc.texture_hits = summary["texture_hits"]
+    kc.texture_misses = summary["texture_misses"]
+    kc.modelled_only = False
+    return kc
+
+
+def counters_from_cost_inputs(
+    name: str,
+    backend: str,
+    inputs: KernelCostInputs,
+    *,
+    arch: ArchSpec,
+    costs: CostTable = G80_COSTS,
+    modelled_s: "float | None" = None,
+) -> KernelCounters:
+    """One modelled launch's counters from closed-form cost inputs.
+
+    This is the serve plane's path: the scheduler never executes real
+    kernels (it plays modelled costs on device timelines), so only the
+    aggregate counters the cost model knows — issue cycles, warp-level
+    reads, bytes moved, geometry, occupancy — are populated, flagged
+    ``modelled_only``.
+    """
+    breakdown = kernel_time(inputs, arch, costs)
+    kc = _from_breakdown(
+        name, backend, inputs, breakdown, arch, measured_s=modelled_s
+    )
+    if modelled_s is not None:
+        kc.modelled_s = float(modelled_s)
+    kc.modelled_only = True
+    return kc
+
+
+def _from_breakdown(
+    name: str,
+    backend: str,
+    inputs: KernelCostInputs,
+    breakdown: KernelTimeBreakdown,
+    arch: ArchSpec,
+    measured_s: "float | None",
+) -> KernelCounters:
+    occ = breakdown.occupancy
+    max_warps = max(1, _max_warps_per_mp(arch))
+    modelled = breakdown.total_s
+    return KernelCounters(
+        name=name,
+        backend=backend,
+        launches=1,
+        blocks=inputs.blocks,
+        threads=inputs.blocks * inputs.threads_per_block,
+        threads_per_block=inputs.threads_per_block,
+        shared_bytes_per_block=inputs.shared_bytes_per_block,
+        registers_per_thread=inputs.registers_per_thread,
+        warp_size=arch.warp_size,
+        issue_cycles=inputs.issue_cycles,
+        global_reads=inputs.global_reads,
+        bytes_moved=inputs.bytes_moved,
+        occupancy_warps_per_mp=occ.warps_per_mp,
+        occupancy_limited_by=occ.limited_by,
+        achieved_occupancy=occ.warps_per_mp / max_warps,
+        mps_used=breakdown.mps_used,
+        bound_by=breakdown.bound_by,
+        modelled_s=modelled,
+        measured_s=modelled if measured_s is None else float(measured_s),
+        peak_gflops=arch.peak_gflops,
+        memory_bandwidth_bytes_per_s=arch.memory_bandwidth_bytes_per_s,
+    )

@@ -1,0 +1,294 @@
+"""Profiler reports: JSON dicts, text rendering, and A/B diffs.
+
+A report is a plain dict (``--json`` writes it verbatim) built from a
+:class:`~repro.prof.session.ProfSession`: the per-kernel counter table,
+the roofline placement, the advisor's findings, and session totals.
+Diffs compare two reports kernel-by-kernel, attach verdicts like the
+trace analyzer's, and *attribute* the total speedup to the counters
+that moved — the "why", not just the "how much".
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+from repro.prof.advisor import advise
+from repro.prof.roofline import roofline
+
+#: Counters a diff attributes speedups to, with display labels.
+ATTRIBUTION_COUNTERS = (
+    ("uncoalesced_read_transactions", "uncoalesced load transactions"),
+    ("uncoalesced_transactions", "uncoalesced transactions"),
+    ("read_transactions", "read transactions"),
+    ("bytes_moved", "bytes moved"),
+    ("divergent_rounds", "divergent rounds"),
+    ("serialized_groups", "serialized groups"),
+    ("issue_cycles", "issue cycles"),
+    ("instructions", "instructions"),
+    ("global_reads", "global reads"),
+    ("shared_bank_conflicts", "bank conflicts"),
+)
+
+#: Relative change below this is "same" in diff verdicts.
+DIFF_TOLERANCE = 0.01
+
+
+def session_report(session, label: str) -> dict:
+    """Build the full JSON-ready report for one profiled run."""
+    kernels = {
+        name: kc.to_dict() for name, kc in sorted(session.kernels.items())
+    }
+    points = {
+        name: point.to_dict()
+        for name, point in sorted(roofline(session.kernels).items())
+    }
+    findings = [f.to_dict() for f in advise(session)]
+    return {
+        "label": label,
+        "launches": session.launch_count,
+        "totals": {
+            "modelled_s": session.total_modelled_s,
+            "measured_s": session.total_measured_s,
+        },
+        "kernels": kernels,
+        "roofline": points,
+        "findings": findings,
+    }
+
+
+# ----------------------------------------------------------------------
+# text rendering
+# ----------------------------------------------------------------------
+def render_report(report: dict) -> str:
+    """Human-readable report: counters, roofline, findings."""
+    sections = [f"### repro.prof — {report['label']} ###", ""]
+    rows = []
+    for name, kc in report["kernels"].items():
+        rows.append(
+            [
+                name,
+                kc["backend"],
+                kc["launches"],
+                kc["blocks"],
+                kc["threads_per_block"],
+                f"{kc['achieved_occupancy']:.0%}",
+                kc["instructions"],
+                kc["uncoalesced_transactions"],
+                kc["divergent_rounds"],
+                kc["bytes_moved"],
+                kc["bound_by"] or "-",
+                kc["modelled_s"] * 1e3,
+                kc["measured_s"] * 1e3,
+            ]
+        )
+    sections.append(
+        format_table(
+            "kernel counters",
+            [
+                "kernel", "backend", "launches", "blocks", "tpb", "occ",
+                "instr", "uncoal.tx", "div.rounds", "bytes",
+                "bound", "modelled ms", "measured ms",
+            ],
+            rows,
+        )
+    )
+    if report["roofline"]:
+        sections.append("")
+        sections.append(
+            format_table(
+                "roofline",
+                [
+                    "kernel", "AI flop/B", "achieved GF/s",
+                    "attainable GF/s", "% roofline", "bound",
+                ],
+                [
+                    [
+                        name,
+                        point["arithmetic_intensity"],
+                        point["achieved_gflops"],
+                        point["attainable_gflops"],
+                        f"{point['efficiency']:.1%}",
+                        point["bound"],
+                    ]
+                    for name, point in report["roofline"].items()
+                ],
+                note=(
+                    "ridge at "
+                    f"{next(iter(report['roofline'].values()))['ridge_intensity']:.2f}"
+                    " flop/B; peak "
+                    f"{next(iter(report['roofline'].values()))['peak_gflops']:.0f}"
+                    " GFLOP/s"
+                ),
+            )
+        )
+    sections.append("")
+    if report["findings"]:
+        sections.append("== advisor findings ==")
+        for i, f in enumerate(report["findings"], 1):
+            sections.append(
+                f"  {i}. [{f['rule']}] est {f['estimated_speedup']:.2f}x — "
+                f"{f['message']}"
+            )
+    else:
+        sections.append("== advisor findings ==\n  (none)")
+    sections.append("")
+    totals = report["totals"]
+    sections.append(
+        f"total: {report['launches']} launches, "
+        f"{totals['modelled_s'] * 1e3:.3f} ms modelled, "
+        f"{totals['measured_s'] * 1e3:.3f} ms measured"
+    )
+    return "\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+def _verdict(base: float, new: float, smaller_is_better: bool = True) -> str:
+    if base == 0 and new == 0:
+        return "same"
+    ref = base if base != 0 else new
+    change = (new - base) / abs(ref)
+    if abs(change) <= DIFF_TOLERANCE:
+        return "same"
+    improved = change < 0 if smaller_is_better else change > 0
+    return "improved" if improved else "regressed"
+
+
+def diff_reports(a: dict, b: dict) -> dict:
+    """Compare two reports (``a`` = baseline, ``b`` = candidate).
+
+    Per shared kernel: counter deltas with verdicts.  Overall: total
+    modelled speedup plus an *attribution* list — the counters whose
+    reduction explains the win, ordered by relative change.
+    """
+    a_kernels, b_kernels = a["kernels"], b["kernels"]
+    shared = sorted(set(a_kernels) & set(b_kernels))
+    kernels = {}
+    for name in shared:
+        ka, kb = a_kernels[name], b_kernels[name]
+        counters = {}
+        for key, _label in ATTRIBUTION_COUNTERS:
+            counters[key] = {
+                "a": ka[key],
+                "b": kb[key],
+                "verdict": _verdict(ka[key], kb[key]),
+            }
+        kernels[name] = {
+            "modelled_s": {
+                "a": ka["modelled_s"],
+                "b": kb["modelled_s"],
+                "verdict": _verdict(ka["modelled_s"], kb["modelled_s"]),
+            },
+            "counters": counters,
+        }
+
+    a_total = a["totals"]["modelled_s"]
+    b_total = b["totals"]["modelled_s"]
+    speedup = a_total / b_total if b_total > 0 else float("inf")
+
+    # Attribution: aggregate counter movement across every kernel of
+    # each report (shared names or not — a rewrite that renames kernels
+    # must still be explainable), largest relative reduction first.
+    attribution = []
+    for key, label in ATTRIBUTION_COUNTERS:
+        a_sum = sum(k[key] for k in a_kernels.values())
+        b_sum = sum(k[key] for k in b_kernels.values())
+        if a_sum == 0 and b_sum == 0:
+            continue
+        ref = a_sum if a_sum != 0 else b_sum
+        change = (b_sum - a_sum) / abs(ref)
+        attribution.append(
+            {
+                "counter": key,
+                "label": label,
+                "a": a_sum,
+                "b": b_sum,
+                "change": change,
+            }
+        )
+    attribution.sort(key=lambda row: row["change"])
+
+    findings_a = {(f["rule"], f["kernel"]) for f in a["findings"]}
+    findings_b = {(f["rule"], f["kernel"]) for f in b["findings"]}
+    return {
+        "a": a["label"],
+        "b": b["label"],
+        "totals": {
+            "a_modelled_s": a_total,
+            "b_modelled_s": b_total,
+            "speedup": speedup,
+            "verdict": _verdict(a_total, b_total),
+        },
+        "kernels": kernels,
+        "only_in_a": sorted(set(a_kernels) - set(b_kernels)),
+        "only_in_b": sorted(set(b_kernels) - set(a_kernels)),
+        "attribution": attribution,
+        "findings_resolved": sorted(
+            f"{rule}:{kernel}" for rule, kernel in findings_a - findings_b
+        ),
+        "findings_introduced": sorted(
+            f"{rule}:{kernel}" for rule, kernel in findings_b - findings_a
+        ),
+    }
+
+
+def render_diff(diff: dict) -> str:
+    """Human-readable A/B diff with speedup attribution."""
+    totals = diff["totals"]
+    lines = [
+        f"### repro.prof diff — {diff['a']} vs {diff['b']} ###",
+        "",
+        f"modelled kernel time: {totals['a_modelled_s'] * 1e3:.3f} ms -> "
+        f"{totals['b_modelled_s'] * 1e3:.3f} ms  "
+        f"({totals['speedup']:.2f}x, {totals['verdict']})",
+        "",
+    ]
+    rows = []
+    for name, entry in diff["kernels"].items():
+        m = entry["modelled_s"]
+        rows.append(
+            [
+                name,
+                m["a"] * 1e3,
+                m["b"] * 1e3,
+                (m["a"] / m["b"]) if m["b"] > 0 else float("inf"),
+                m["verdict"],
+            ]
+        )
+    for name in diff["only_in_a"]:
+        rows.append([name, "-", "-", "-", "only in " + diff["a"]])
+    for name in diff["only_in_b"]:
+        rows.append([name, "-", "-", "-", "only in " + diff["b"]])
+    if rows:
+        lines.append(
+            format_table(
+                "per-kernel modelled time",
+                ["kernel", "a ms", "b ms", "speedup", "verdict"],
+                rows,
+            )
+        )
+        lines.append("")
+    if diff["attribution"]:
+        lines.append(
+            format_table(
+                "speedup attribution (counter movement, a -> b)",
+                ["counter", "a", "b", "change"],
+                [
+                    [
+                        row["label"],
+                        row["a"],
+                        row["b"],
+                        f"{row['change']:+.1%}",
+                    ]
+                    for row in diff["attribution"]
+                ],
+            )
+        )
+        lines.append("")
+    if diff["findings_resolved"]:
+        lines.append("findings resolved: " + ", ".join(diff["findings_resolved"]))
+    if diff["findings_introduced"]:
+        lines.append(
+            "findings introduced: " + ", ".join(diff["findings_introduced"])
+        )
+    return "\n".join(lines)

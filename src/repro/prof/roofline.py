@@ -1,0 +1,96 @@
+"""Roofline analysis: arithmetic intensity vs the machine's two peaks.
+
+The roofline model bounds a kernel's attainable FLOP rate by
+``min(peak_flops, AI * memory_bandwidth)`` where AI (arithmetic
+intensity) is FLOPs per byte of device-memory traffic.  Kernels left of
+the ridge point are memory-bound — more FLOPs per byte would come for
+free; kernels right of it are compute-bound.
+
+FLOPs are thread-level: warp-level FLOP issues times the warp size,
+which *overestimates* under divergence (inactive lanes still occupy the
+issue slot) — the same convention Table 2.2 costs use, so the roofline
+and the perf model agree about what an issue slot is worth.  Achieved
+rate uses the analytic ``modelled_s`` on both backends: the roofline
+describes the modelled G80, and native wall-clock seconds say nothing
+about that machine's ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prof.counters import KernelCounters
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position against the device roofline."""
+
+    kernel: str
+    #: Thread-level FLOPs per byte of device-memory traffic.
+    arithmetic_intensity: float
+    achieved_gflops: float
+    attainable_gflops: float
+    peak_gflops: float
+    #: AI at which the memory roof meets the compute roof.
+    ridge_intensity: float
+    #: ``"memory"`` left of the ridge, ``"compute"`` right of it.
+    bound: str
+    #: Achieved as a fraction of attainable (% of roofline).
+    efficiency: float
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "arithmetic_intensity": self.arithmetic_intensity,
+            "achieved_gflops": self.achieved_gflops,
+            "attainable_gflops": self.attainable_gflops,
+            "peak_gflops": self.peak_gflops,
+            "ridge_intensity": self.ridge_intensity,
+            "bound": self.bound,
+            "efficiency": self.efficiency,
+        }
+
+
+def roofline_point(kc: KernelCounters) -> "RooflinePoint | None":
+    """Place one kernel's counters on its device's roofline.
+
+    Returns ``None`` for records that cannot be placed: modelled-only
+    rows (the closed-form model has no FLOP classes) and kernels that
+    did no FLOPs or took no time.
+    """
+    if kc.modelled_only or kc.modelled_s <= 0.0 or kc.peak_gflops <= 0.0:
+        return None
+    flops = kc.thread_flops
+    if flops <= 0:
+        return None
+    bw = kc.memory_bandwidth_bytes_per_s
+    ridge = kc.peak_gflops * 1e9 / bw if bw > 0 else 0.0
+    if kc.bytes_moved > 0 and bw > 0:
+        ai = flops / kc.bytes_moved
+        attainable = min(kc.peak_gflops, ai * bw / 1e9)
+    else:
+        # No device-memory traffic: the memory roof is not in play.
+        ai = float("inf")
+        attainable = kc.peak_gflops
+    achieved = flops / kc.modelled_s / 1e9
+    return RooflinePoint(
+        kernel=kc.name,
+        arithmetic_intensity=ai,
+        achieved_gflops=achieved,
+        attainable_gflops=attainable,
+        peak_gflops=kc.peak_gflops,
+        ridge_intensity=ridge,
+        bound="memory" if ai < ridge else "compute",
+        efficiency=achieved / attainable if attainable > 0 else 0.0,
+    )
+
+
+def roofline(kernels: "dict[str, KernelCounters]") -> "dict[str, RooflinePoint]":
+    """Roofline points for every placeable kernel in a session."""
+    points = {}
+    for name, kc in kernels.items():
+        point = roofline_point(kc)
+        if point is not None:
+            points[name] = point
+    return points

@@ -1,0 +1,123 @@
+"""The profiling session: attach, capture launches, aggregate.
+
+A :class:`ProfSession` is a context manager that registers itself with
+the global hook (:mod:`repro.prof.hook`); while it is active:
+
+* :meth:`~repro.cuda.runtime.CudaRuntime.cudaLaunch` calls
+  :meth:`record_launch` with the backend's launch result — on the sim
+  backend that carries the measured :class:`InstructionProfile`; on the
+  native backend the device *replays* the kernel through the SIMT
+  emulator first (Nsight-style replay: snapshot memory, emulate for
+  counters, restore, then run the timed vectorized pass), so both
+  backends hand the session the identical instruction stream;
+* the serve scheduler calls :meth:`record_modelled` with the closed-form
+  cost-model inputs of each modelled kernel, since the serving plane
+  plays costs on timelines instead of executing kernels.
+
+Everything aggregates per kernel name; the device :class:`ArchSpec`
+each kernel ran on is kept alongside so the roofline and the advisor's
+occupancy sweeps reason about the right hardware.
+"""
+
+from __future__ import annotations
+
+from repro.prof import hook
+from repro.prof.counters import (
+    KernelCounters,
+    counters_from_cost_inputs,
+    counters_from_profile,
+)
+from repro.simgpu.arch import ArchSpec
+from repro.simgpu.costs import CostTable, G80_COSTS
+
+
+class ProfSession:
+    """Collects per-kernel counters for everything launched while active."""
+
+    def __init__(self, costs: CostTable = G80_COSTS) -> None:
+        self.costs = costs
+        self.kernels: "dict[str, KernelCounters]" = {}
+        self.archs: "dict[str, ArchSpec]" = {}
+        self.launch_count = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ProfSession":
+        hook.activate(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        hook.deactivate(self)
+
+    # ------------------------------------------------------------------
+    def record_launch(
+        self,
+        name: str,
+        backend: str,
+        result,
+        duration_s: float,
+        arch: ArchSpec,
+        registers_per_thread: int = 10,
+    ) -> None:
+        """Record one executed launch (called from ``cudaLaunch``).
+
+        ``result`` is the backend launch result; its profile is the
+        instruction stream (the native backend attaches a replay-derived
+        profile while a session is active).  A result without a profile
+        is recorded as timing-only modelled counters — it should not
+        happen on either built-in backend, but a third substrate without
+        replay support must not crash the profiler.
+        """
+        profile = getattr(result, "profile", None)
+        if profile is None:
+            return
+        kc = counters_from_profile(
+            name,
+            backend,
+            profile,
+            blocks=result.blocks,
+            threads_per_block=result.block_dim.volume,
+            shared_bytes_per_block=getattr(result, "shared_bytes_per_block", 0),
+            registers_per_thread=registers_per_thread,
+            arch=arch,
+            costs=self.costs,
+            measured_s=duration_s,
+        )
+        self._merge(kc, arch)
+
+    def record_modelled(
+        self,
+        name: str,
+        backend: str,
+        inputs,
+        arch: ArchSpec,
+        modelled_s: "float | None" = None,
+    ) -> None:
+        """Record one closed-form modelled launch (serve scheduler)."""
+        kc = counters_from_cost_inputs(
+            name,
+            backend,
+            inputs,
+            arch=arch,
+            costs=self.costs,
+            modelled_s=modelled_s,
+        )
+        self._merge(kc, arch)
+
+    # ------------------------------------------------------------------
+    def _merge(self, kc: KernelCounters, arch: ArchSpec) -> None:
+        self.launch_count += 1
+        self.archs.setdefault(kc.name, arch)
+        current = self.kernels.get(kc.name)
+        if current is None:
+            self.kernels[kc.name] = kc
+        else:
+            current.merge(kc)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_modelled_s(self) -> float:
+        return sum(k.modelled_s for k in self.kernels.values())
+
+    @property
+    def total_measured_s(self) -> float:
+        return sum(k.measured_s for k in self.kernels.values())

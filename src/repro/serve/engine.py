@@ -39,6 +39,7 @@ class StepEngine:
         self.calib = calib
         self.version = version
         self._kernel_cache: "dict[int, float]" = {}
+        self._cost_rows_cache: "dict[int, list]" = {}
 
     # ------------------------------------------------------------------
     def kernel_seconds(self, n: int) -> float:
@@ -52,6 +53,57 @@ class StepEngine:
     def batch_kernel_seconds(self, sessions: "list[Session]") -> float:
         """Fused execution time: per-session kernel times, summed."""
         return sum(self.kernel_seconds(s.n) for s in sessions)
+
+    def kernel_cost_rows(self, n: int) -> "list[tuple[str, object, float]]":
+        """Per-kernel cost rows for one session of ``n`` agents.
+
+        Splits :meth:`kernel_seconds` into the individual kernels the
+        version launches — ``(kernel_name, KernelCostInputs, seconds)``
+        per row, exactly the geometry :func:`update_time` models — so an
+        attached :class:`repro.prof.session.ProfSession` can attribute
+        serve-plane device time per kernel.  Cached per population size
+        like the kernel-seconds cache.
+        """
+        rows = self._cost_rows_cache.get(n)
+        if rows is None:
+            import math
+
+            from repro.gpusteer.cost_model import (
+                LaunchGeometry,
+                WorkloadStats,
+                modify_cost,
+                neighbor_v1_cost,
+                neighbor_v2_cost,
+                simulate_cost,
+            )
+            from repro.gpusteer.versions import THREADS_PER_BLOCK, _cohort_size
+            from repro.simgpu.perfmodel import kernel_time
+
+            stats = WorkloadStats.estimate(
+                n, self.params, self.calib.density_clustering
+            )
+            geom = LaunchGeometry(
+                _cohort_size(n, self.params), THREADS_PER_BLOCK
+            )
+            all_geom = LaunchGeometry(
+                THREADS_PER_BLOCK * math.ceil(n / THREADS_PER_BLOCK),
+                THREADS_PER_BLOCK,
+            )
+            by_version = {
+                1: [("find_neighbors_v1", neighbor_v1_cost(geom, stats))],
+                2: [("find_neighbors_v2", neighbor_v2_cost(geom, stats))],
+                3: [("simulate_v3", simulate_cost(geom, stats, local_cache=True))],
+                4: [("simulate_v4", simulate_cost(geom, stats, local_cache=False))],
+                5: [
+                    ("simulate_v4", simulate_cost(geom, stats, local_cache=False)),
+                    ("modify_kernel", modify_cost(all_geom)),
+                ],
+            }
+            rows = self._cost_rows_cache[n] = [
+                (name, inputs, kernel_time(inputs).total_s)
+                for name, inputs in by_version[self.version]
+            ]
+        return rows
 
     @staticmethod
     def result_bytes(sessions: "list[Session]") -> int:

@@ -29,6 +29,7 @@ lands in the report (and as ``*.alerts.json`` next to the trace).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 from dataclasses import dataclass, field
 
@@ -86,6 +87,10 @@ class LoadReport:
     #: Execution backend(s) the run used (``sim``/``native``/``mixed``).
     #: Kept a string so the perf gate's numeric flattening ignores it.
     backend: str = "sim"
+    #: Kernel profiler report (``None`` when no ProfSession was
+    #: attached — the default, keeping the report byte-identical to
+    #: unprofiled runs).
+    prof: "dict | None" = None
 
     @property
     def throughput_rps(self) -> float:
@@ -129,6 +134,7 @@ class LoadReport:
             "alerts_fired": len(self.alerts),
             "alerts": self.alerts,
             "flight": self.flight,
+            "prof": self.prof,
         }
 
     def lines(self) -> "list[str]":
@@ -179,6 +185,14 @@ class LoadReport:
                 f"{self.flight['dropped']} dropped)"
             ]
             if self.flight is not None
+            else []
+        ) + (
+            [
+                f"prof        {len(self.prof['kernels'])} kernels profiled "
+                f"({self.prof['launches']} modelled launches, "
+                f"{self.prof['totals']['modelled_s'] * 1e3:.3f} ms kernel time)"
+            ]
+            if self.prof is not None
             else []
         )
 
@@ -270,6 +284,7 @@ def run_load(
     monitor=None,
     degrade_policy: "str | None" = None,
     flight=None,
+    prof=None,
 ) -> LoadReport:
     """Drive one service instance with Poisson arrivals; summarize.
 
@@ -283,6 +298,12 @@ def run_load(
     (retention counts, failed-over request ids, and whether the p99
     latency bucket's exemplars resolve to retained traces) lands in
     :attr:`LoadReport.flight`.
+
+    ``prof`` optionally attaches a
+    :class:`~repro.prof.session.ProfSession` for the duration of the
+    replay; the scheduler records the modelled kernel cost of every
+    sub-batch into it and the per-kernel report lands in
+    :attr:`LoadReport.prof`.
     """
     config = config or ServeConfig(physics=False, default_deadline_s=deadline_s)
     service = SimulationService(config)
@@ -301,11 +322,13 @@ def run_load(
 
     requests: "list[StepRequest]" = []
     max_depth = 0
-    for t, owner in zip(arrivals, owners):
-        service.advance(float(t))
-        requests.append(service.submit(f"client-{owner}"))
-        max_depth = max(max_depth, service.admission.depth)
-    service.drain()
+    prof_ctx = prof if prof is not None else contextlib.nullcontext()
+    with prof_ctx:
+        for t, owner in zip(arrivals, owners):
+            service.advance(float(t))
+            requests.append(service.submit(f"client-{owner}"))
+            max_depth = max(max_depth, service.admission.depth)
+        service.drain()
 
     latencies_ms = [
         r.latency_s * 1e3
@@ -338,6 +361,11 @@ def run_load(
                 for value, trace_id in hist.exemplars_for(99)
             ],
         }
+    prof_summary = None
+    if prof is not None:
+        from repro.prof.report import session_report
+
+        prof_summary = session_report(prof, label="serve")
     return LoadReport(
         batching=config.batching,
         backend=(
@@ -374,6 +402,7 @@ def run_load(
             else []
         ),
         flight=flight_summary,
+        prof=prof_summary,
     )
 
 
@@ -492,6 +521,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="deterministic head sampling: keep 1 in N normal traces "
         "(0 disables)",
     )
+    p.add_argument(
+        "--prof",
+        default=None,
+        metavar="PATH",
+        help="attach a kernel profiler session (repro.prof) and write "
+        "its per-kernel report JSON here",
+    )
     slo = p.add_argument_group("SLO monitoring (virtual-time, in-service)")
     slo.add_argument(
         "--slo-p99-ms",
@@ -583,7 +619,7 @@ def main(argv: "list[str] | None" = None) -> int:
         else None
     )
 
-    def one(batching: bool, flight=None) -> LoadReport:
+    def one(batching: bool, flight=None, prof=None) -> LoadReport:
         monitor = slo_monitor(
             p99_ms=args.slo_p99_ms,
             miss_ratio=args.slo_miss_ratio,
@@ -602,16 +638,25 @@ def main(argv: "list[str] | None" = None) -> int:
             monitor=monitor,
             degrade_policy=args.slo_degrade,
             flight=flight,
+            prof=prof,
         )
+
+    prof_session = None
+    if args.prof:
+        from repro.prof.session import ProfSession
+
+        prof_session = ProfSession()
 
     reports: "list[LoadReport]" = []
     if args.trace:
         with obs.capture("serve-loadgen") as cap:
-            reports.append(one(not args.no_batching, flight_recorder))
+            reports.append(
+                one(not args.no_batching, flight_recorder, prof_session)
+            )
         paths = cap.write(args.trace, stem="serve-loadgen")
         trace_note = f"trace/metrics written: {', '.join(paths)}"
     else:
-        reports.append(one(not args.no_batching, flight_recorder))
+        reports.append(one(not args.no_batching, flight_recorder, prof_session))
         trace_note = None
 
     if args.compare:
@@ -637,6 +682,10 @@ def main(argv: "list[str] | None" = None) -> int:
     if flight_recorder is not None:
         flight_recorder.write(args.flight)
         print(f"flight traces written: {args.flight}")
+    if args.prof and reports[0].prof is not None:
+        with open(args.prof, "w", encoding="utf-8") as fh:
+            json.dump(reports[0].prof, fh, indent=2, sort_keys=True)
+        print(f"kernel profile written: {args.prof}")
     alerts_path = args.alerts
     if alerts_path is None and args.trace and monitors:
         import os

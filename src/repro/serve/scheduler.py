@@ -39,6 +39,7 @@ from repro.cupp.exceptions import CuppMemoryError, CuppUsageError
 from repro.cupp.multidevice import DeviceGroup
 from repro.cupp.vector import Vector
 from repro.fault import InjectedFault
+from repro.prof import hook as prof_hook
 from repro.serve.batcher import Batch
 from repro.serve.engine import LAUNCHES_PER_BATCH, StepEngine
 from repro.serve.request import StepRequest
@@ -420,6 +421,18 @@ class DeviceScheduler:
         # Sim devices advance their virtual clock by the perf model;
         # native devices by the EWMA-corrected wall-clock prediction.
         kernel_s = self.predict_kernel_s(sub.device_index, sub.sessions, engine)
+        prof = prof_hook.active()
+        if prof is not None:
+            # The serve plane plays modelled costs on timelines instead
+            # of executing kernels, so the profiler gets the closed-form
+            # cost rows of each session's kernels on this device.
+            arch = self.group.devices[sub.device_index].sim.arch
+            kind = self.backend_kinds[sub.device_index]
+            for session in sub.sessions:
+                for kname, inputs, secs in engine.kernel_cost_rows(session.n):
+                    prof.record_modelled(
+                        kname, kind, inputs, arch=arch, modelled_s=secs
+                    )
         for _ in range(LAUNCHES_PER_BATCH - 1):
             tl.launch_kernel(0.0)  # simulate/modify boundary: launch cost only
         tl.launch_kernel(kernel_s + hang_s)

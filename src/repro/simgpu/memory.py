@@ -245,6 +245,32 @@ class DeviceMemory:
         return block.data[offset : offset + count * itemsize].view(dtype)
 
     # ------------------------------------------------------------------
+    # snapshot / restore (profiler replay support)
+    # ------------------------------------------------------------------
+    def snapshot_contents(self) -> "dict[int, np.ndarray]":
+        """Copy the bytes of every live allocation, keyed by base address.
+
+        This captures *contents only*, not allocator structure: the
+        profiler's replay pass (:mod:`repro.backend.native`) re-runs a
+        kernel in the SIMT emulator to collect counters and then calls
+        :meth:`restore_contents` so the subsequent timed run starts from
+        identical memory.  Allocations are expected to be unchanged
+        between snapshot and restore — a kernel cannot alloc or free.
+        """
+        return {addr: blk.data.copy() for addr, blk in self._blocks.items()}
+
+    def restore_contents(self, snapshot: "dict[int, np.ndarray]") -> None:
+        """Write back bytes captured by :meth:`snapshot_contents`."""
+        for addr, data in snapshot.items():
+            block = self._blocks.get(addr)
+            if block is None or block.size != data.size:
+                raise InvalidDeviceAccess(
+                    f"allocation at 0x{addr:x} changed between snapshot "
+                    "and restore"
+                )
+            block.data[:] = data
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property

@@ -71,3 +71,69 @@ def compute_occupancy(
         warps_per_block=warps_per_block,
         limited_by=limited_by,
     )
+
+
+@dataclass(frozen=True)
+class KernelLimits:
+    """Per-thread/per-block resource appetite of one kernel.
+
+    ``shared_bytes_static`` is the block-size-independent shared usage
+    (e.g. a fixed scratch array); ``shared_bytes_per_thread`` scales with
+    the block (e.g. a tile of one element per thread, as in listing
+    6.2's staging buffer).  Together they describe how a candidate block
+    size translates into the occupancy limits of
+    :func:`compute_occupancy`.
+    """
+
+    registers_per_thread: int = 10
+    shared_bytes_static: int = 0
+    shared_bytes_per_thread: int = 0
+
+    def shared_bytes(self, threads_per_block: int) -> int:
+        return (
+            self.shared_bytes_static
+            + self.shared_bytes_per_thread * threads_per_block
+        )
+
+
+def suggest_block_size(
+    arch: ArchSpec,
+    limits: KernelLimits | None = None,
+    candidates: "tuple[int, ...] | None" = None,
+) -> "tuple[int, Occupancy]":
+    """Sweep block sizes and return the best ``(block, occupancy)``.
+
+    Candidates default to every warp-size multiple up to the device
+    block limit.  "Best" maximizes resident warps per multiprocessor
+    (what hides the 400-600 cycle read latency, §2.3); ties go to the
+    **smallest** block, which gives the grid the most blocks and thus
+    the best multiprocessor coverage for a fixed thread count.  Raises
+    :class:`~repro.common.errors.ConfigurationError` if no candidate
+    yields a resident block (e.g. the shared-memory appetite exceeds the
+    multiprocessor at every size).
+    """
+    limits = limits or KernelLimits()
+    if candidates is None:
+        candidates = tuple(
+            range(arch.warp_size, arch.max_threads_per_block + 1, arch.warp_size)
+        )
+    best: "tuple[int, Occupancy] | None" = None
+    for tpb in candidates:
+        if not 0 < tpb <= arch.max_threads_per_block:
+            continue
+        occ = compute_occupancy(
+            arch,
+            tpb,
+            limits.shared_bytes(tpb),
+            limits.registers_per_thread,
+        )
+        if occ.blocks_per_mp == 0:
+            continue
+        if best is None or occ.warps_per_mp > best[1].warps_per_mp:
+            best = (tpb, occ)
+    if best is None:
+        raise ConfigurationError(
+            f"no candidate block size fits on {arch.name}: "
+            f"{limits} exceeds a multiprocessor at every size"
+        )
+    return best

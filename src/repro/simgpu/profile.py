@@ -33,6 +33,30 @@ class InstructionProfile:
     #: Global memory transactions after coalescing analysis.
     global_read_transactions: int = 0
     global_write_transactions: int = 0
+    #: The coalescing split of the transaction counts above: transactions
+    #: issued by half-warps that satisfied the CC 1.0 rules vs the
+    #: per-thread transactions of half-warps that did not.  Constant- and
+    #: texture-miss refills are counted in ``global_read_transactions``
+    #: but belong to neither bucket (they go through the read-only
+    #: caches, not the coalescer), so the split sums to at most the
+    #: totals, never beyond.
+    coalesced_transactions: int = 0
+    uncoalesced_transactions: int = 0
+    #: Half-warp access groups that failed to coalesce, and the bytes
+    #: they moved.  One group would have been a single wide transaction;
+    #: the difference against ``uncoalesced_transactions`` is the
+    #: transaction reduction a perfect access pattern could claim.
+    uncoalesced_groups: int = 0
+    uncoalesced_bytes: int = 0
+    #: The load-side slice of the uncoalesced traffic above.  The
+    #: advisor's coalescing rule keys on this: uncoalesced *stores*
+    #: (e.g. the v5 draw-matrix writes) are often inherent to the output
+    #: layout, while uncoalesced loads are usually a fixable data-layout
+    #: problem (§2.4).  Write-side numbers are the difference against
+    #: the direction-agnostic counters.
+    uncoalesced_read_transactions: int = 0
+    uncoalesced_read_groups: int = 0
+    uncoalesced_read_bytes: int = 0
     #: Payload bytes moved to/from device memory by the kernel.
     bytes_read: int = 0
     bytes_written: int = 0
@@ -60,6 +84,13 @@ class InstructionProfile:
         self.serialized_groups += other.serialized_groups
         self.global_read_transactions += other.global_read_transactions
         self.global_write_transactions += other.global_write_transactions
+        self.coalesced_transactions += other.coalesced_transactions
+        self.uncoalesced_transactions += other.uncoalesced_transactions
+        self.uncoalesced_groups += other.uncoalesced_groups
+        self.uncoalesced_bytes += other.uncoalesced_bytes
+        self.uncoalesced_read_transactions += other.uncoalesced_read_transactions
+        self.uncoalesced_read_groups += other.uncoalesced_read_groups
+        self.uncoalesced_read_bytes += other.uncoalesced_read_bytes
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
         self.sync_count += other.sync_count
@@ -117,13 +148,27 @@ class InstructionProfile:
         )
 
     def summary(self) -> dict[str, int]:
-        """Plain-dict summary for reports and assertions."""
+        """Plain-dict summary for reports and assertions.
+
+        Covers **every** counter the profile records (the test suite
+        asserts the dataclass fields are all represented) plus the
+        derived totals, so ``repro.prof``, the launch-span attributes,
+        and the steer profiler all see the same dict.
+        """
         return {
             "instructions": self.total_instructions,
+            "flops": self.flops,
             "global_reads": self.global_reads,
             "global_writes": self.global_writes,
             "read_transactions": self.global_read_transactions,
             "write_transactions": self.global_write_transactions,
+            "coalesced_transactions": self.coalesced_transactions,
+            "uncoalesced_transactions": self.uncoalesced_transactions,
+            "uncoalesced_groups": self.uncoalesced_groups,
+            "uncoalesced_bytes": self.uncoalesced_bytes,
+            "uncoalesced_read_transactions": self.uncoalesced_read_transactions,
+            "uncoalesced_read_groups": self.uncoalesced_read_groups,
+            "uncoalesced_read_bytes": self.uncoalesced_read_bytes,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
             "shared_accesses": self.shared_accesses,

@@ -341,11 +341,19 @@ class Warp:
             if coalesced:
                 transactions = 1
                 moved = max(payload, MIN_TRANSACTION_BYTES)
+                profile.coalesced_transactions += 1
             else:
                 transactions = len(group)
                 moved = sum(
                     max(sz, MIN_TRANSACTION_BYTES) for _a, sz in accesses
                 )
+                profile.uncoalesced_transactions += transactions
+                profile.uncoalesced_groups += 1
+                profile.uncoalesced_bytes += moved
+                if is_read:
+                    profile.uncoalesced_read_transactions += transactions
+                    profile.uncoalesced_read_groups += 1
+                    profile.uncoalesced_read_bytes += moved
             if is_read:
                 profile.global_read_transactions += transactions
                 profile.bytes_read += moved

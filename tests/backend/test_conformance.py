@@ -61,3 +61,50 @@ class TestSuite:
         # emulator's operation order — fix the twin, don't widen this.
         reports = run_suite(agents=32, steps=2, seed=7)
         assert all(r.exact for r in reports)
+
+
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+class TestCounterConformance:
+    """Profiler counters must not depend on the execution substrate.
+
+    The native backend derives its counters by SIMT replay over the
+    same (bit-identical) memory the simulator would see, so every
+    counter — not approximately, *exactly* — must match the simulator's
+    for the same workload.
+    """
+
+    @staticmethod
+    def _profile(version, backend):
+        from repro.cupp.device import Device
+        from repro.gpusteer.emulated import EmulatedBoids
+        from repro.prof.session import ProfSession
+
+        boids = EmulatedBoids(
+            32, version, seed=7, device=Device(backend=backend),
+            threads_per_block=16,
+        )
+        session = ProfSession()
+        with session:
+            for _ in range(2):
+                boids.step()
+        return session
+
+    def test_native_counters_equal_sim_counters_exactly(self, version):
+        sim = self._profile(version, "sim")
+        native = self._profile(version, "native")
+        assert set(sim.kernels) == set(native.kernels)
+        for name, kc_sim in sim.kernels.items():
+            kc_nat = native.kernels[name]
+            d_sim, d_nat = kc_sim.to_dict(), kc_nat.to_dict()
+            # The substrate identity and its clock are the only fields
+            # allowed to differ; every counter must be equal.
+            for key in ("backend", "measured_s"):
+                d_sim.pop(key), d_nat.pop(key)
+            assert d_sim == d_nat, f"{name}: counter drift across backends"
+            assert kc_sim.backend == "sim"
+            assert kc_nat.backend == "native"
+
+    def test_sim_backend_clock_is_the_model(self, version):
+        sim = self._profile(version, "sim")
+        for kc in sim.kernels.values():
+            assert kc.measured_s == pytest.approx(kc.modelled_s)

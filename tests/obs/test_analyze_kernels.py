@@ -1,0 +1,87 @@
+"""The analyzer's kernels section: launch-span profile rollup + diffs."""
+
+from repro.obs.analyze import (
+    analyze,
+    diff,
+    events_from_chrome_trace,
+    render_analysis,
+    render_diff,
+)
+from repro.obs.session import capture
+
+
+def pipeline_events(version, steps=1, n=32):
+    from repro.gpusteer.emulated import EmulatedBoids
+
+    with capture() as cap:
+        boids = EmulatedBoids(n, version, seed=3, threads_per_block=16)
+        for _ in range(steps):
+            boids.step()
+    # Round-trip through Chrome JSON like a re-loaded trace would.
+    return events_from_chrome_trace(cap.chrome_trace())
+
+
+class TestKernelRollup:
+    def test_rollup_sums_profile_counters_per_kernel(self):
+        analysis = analyze(pipeline_events(1, steps=2))
+        assert set(analysis.kernels) == {"find_neighbors_v1"}
+        row = analysis.kernels["find_neighbors_v1"]
+        assert row["launches"] == 2
+        assert row["instructions"] > 0
+        assert row["uncoalesced_read_transactions"] > 0
+        assert row["modelled_s"] > 0
+
+    def test_rollup_reaches_to_dict_and_render(self):
+        analysis = analyze(pipeline_events(5))
+        d = analysis.to_dict()
+        assert set(d["kernels"]) == {"simulate_v4", "modify_kernel"}
+        text = render_analysis(analysis)
+        assert "kernels (launch-span profile rollup)" in text
+        assert "modify_kernel" in text
+
+    def test_traces_without_launches_have_no_section(self):
+        from repro import obs
+
+        with capture() as cap:
+            with obs.span("host.only"):
+                pass
+        analysis = analyze(events_from_chrome_trace(cap.chrome_trace()))
+        assert analysis.kernels == {}
+        assert "kernels" not in render_analysis(analysis)
+
+
+class TestKernelDiff:
+    def test_kernel_turnover_gets_added_removed_verdicts(self):
+        a = analyze(pipeline_events(1))
+        b = analyze(pipeline_events(5))
+        result = diff(a, b)
+        verdicts = {
+            row["kernel"]: row["verdict"] for row in result["kernels"]
+        }
+        assert verdicts["find_neighbors_v1"] == "removed"
+        assert verdicts["simulate_v4"] == "added"
+        assert "kernels (launch-span rollup, A vs B)" in (
+            render_diff(result)
+        )
+
+    def test_shared_kernel_gets_regression_verdict(self):
+        a = analyze(pipeline_events(5, steps=1))
+        b = analyze(pipeline_events(5, steps=3))
+        result = diff(a, b, tolerance_pct=10.0)
+        rows = {row["kernel"]: row for row in result["kernels"]}
+        entry = rows["simulate_v4"]
+        # Three steps launch three times the kernel work: a regression
+        # beyond any reasonable tolerance, with counters attached.
+        assert entry["verdict"] == "regression"
+        assert entry["counters"]["launches"]["b"] == 3
+        assert entry["counters"]["instructions"]["b"] > (
+            entry["counters"]["instructions"]["a"]
+        )
+
+    def test_identical_runs_are_unchanged(self):
+        a = analyze(pipeline_events(5))
+        b = analyze(pipeline_events(5))
+        result = diff(a, b)
+        assert all(
+            row["verdict"] == "unchanged" for row in result["kernels"]
+        )

@@ -1,0 +1,121 @@
+"""Advisor rules: evidence in, counterfactual speedups out.
+
+The load-bearing assertions here mirror the CI ``prof-smoke`` job: v1
+must produce an uncoalesced-loads finding, v5 must not, and the
+low-occupancy rule's block-size suggestion must be validated by an
+actual measured (virtual-clock) improvement on the sim backend.
+"""
+
+import pytest
+
+from repro.prof.__main__ import profile_pipeline
+from repro.prof.advisor import (
+    LOW_OCCUPANCY,
+    UNCOALESCED_MIN_SPEEDUP,
+    advise,
+)
+from repro.prof.session import ProfSession
+
+
+@pytest.fixture(scope="module")
+def v1():
+    return profile_pipeline(1)
+
+
+@pytest.fixture(scope="module")
+def v5():
+    return profile_pipeline(5)
+
+
+def rules(session):
+    return {f"{f.rule}:{f.kernel}" for f in advise(session)}
+
+
+class TestPipelineStories:
+    def test_v1_fires_uncoalesced_loads(self, v1):
+        assert "uncoalesced-loads:find_neighbors_v1" in rules(v1)
+
+    def test_v5_does_not_fire_uncoalesced_loads(self, v5):
+        assert not any(
+            r.startswith("uncoalesced-loads:") for r in rules(v5)
+        ), rules(v5)
+
+    def test_v1_fires_low_occupancy(self, v1):
+        finding = next(
+            f for f in advise(v1) if f.rule == "low-occupancy"
+        )
+        assert finding.kernel == "find_neighbors_v1"
+        assert finding.suggestion is not None
+        assert finding.suggestion["threads_per_block"] > 32
+
+    def test_findings_sorted_by_speedup(self, v1):
+        findings = advise(v1)
+        speedups = [f.estimated_speedup for f in findings]
+        assert speedups == sorted(speedups, reverse=True)
+        assert all(s > 1.0 for s in speedups)
+
+    def test_evidence_carries_counters(self, v1):
+        finding = next(
+            f for f in advise(v1) if f.rule == "uncoalesced-loads"
+        )
+        kc = v1.kernels[finding.kernel]
+        assert finding.evidence["uncoalesced_read_transactions"] == (
+            kc.uncoalesced_read_transactions
+        )
+        assert finding.evidence["uncoalesced_read_share"] >= 0.5
+        assert finding.estimated_speedup >= UNCOALESCED_MIN_SPEEDUP
+
+    def test_to_dict_roundtrips(self, v1):
+        d = advise(v1)[0].to_dict()
+        assert {"rule", "kernel", "estimated_speedup", "message",
+                "evidence", "suggestion"} <= set(d)
+
+
+class TestBlockSizeValidation:
+    def test_suggestion_is_validated_by_measurement(self, v1):
+        """The acceptance criterion: the advisor's block-size suggestion
+        produces an actual measured improvement on the sim backend."""
+        finding = next(
+            f for f in advise(v1) if f.rule == "low-occupancy"
+        )
+        suggested = int(finding.suggestion["threads_per_block"])
+        base_s = v1.kernels[finding.kernel].modelled_s
+        retuned = profile_pipeline(1, threads_per_block=suggested)
+        tuned_s = retuned.kernels[finding.kernel].modelled_s
+        measured = base_s / tuned_s
+        assert measured > 1.0, "suggestion did not improve the kernel"
+        # The estimate comes from the same perf model the clock uses,
+        # so it should land close to the measurement.
+        assert measured == pytest.approx(
+            finding.estimated_speedup, rel=0.15
+        )
+
+    def test_low_occupancy_quiet_at_high_occupancy(self):
+        # 128 threads/block reaches 24 warps/MP on this arch — the rule
+        # has nothing to suggest.
+        session = profile_pipeline(5, threads_per_block=128)
+        for kc in session.kernels.values():
+            assert kc.achieved_occupancy >= LOW_OCCUPANCY
+        assert not any(
+            f.rule == "low-occupancy" for f in advise(session)
+        )
+
+
+class TestModelledOnlyRows:
+    def test_serve_rows_produce_no_findings(self):
+        from repro.gpusteer.cost_model import (
+            LaunchGeometry,
+            WorkloadStats,
+            neighbor_v1_cost,
+        )
+        from repro.simgpu.arch import G80_8800GTS
+        from repro.steer.params import DEFAULT_PARAMS
+
+        stats = WorkloadStats.estimate(128, DEFAULT_PARAMS, 1.0)
+        inputs = neighbor_v1_cost(LaunchGeometry(128, 32), stats)
+        session = ProfSession()
+        session.record_modelled(
+            "find_neighbors_v1", "sim", inputs, arch=G80_8800GTS
+        )
+        assert session.kernels["find_neighbors_v1"].modelled_only
+        assert advise(session) == []

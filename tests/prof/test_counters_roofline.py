@@ -1,0 +1,145 @@
+"""KernelCounters record-keeping and roofline placement."""
+
+import pytest
+
+from repro.prof.counters import (
+    KernelCounters,
+    counters_from_cost_inputs,
+    counters_from_profile,
+)
+from repro.prof.roofline import roofline, roofline_point
+from repro.simgpu.arch import G80_8800GTS
+from repro.simgpu.perfmodel import KernelCostInputs
+
+
+def make_counters(**overrides) -> KernelCounters:
+    base = dict(
+        name="k",
+        backend="sim",
+        launches=1,
+        warp_size=32,
+        flops=1000,
+        bytes_moved=64_000,
+        modelled_s=1e-5,
+        peak_gflops=G80_8800GTS.peak_gflops,
+        memory_bandwidth_bytes_per_s=(
+            G80_8800GTS.memory_bandwidth_bytes_per_s
+        ),
+    )
+    base.update(overrides)
+    return KernelCounters(**base)
+
+
+class TestKernelCounters:
+    def test_thread_flops_scale_by_warp_size(self):
+        assert make_counters(flops=10).thread_flops == 320
+
+    def test_merge_sums_counters_and_tracks_config(self):
+        a = make_counters(instructions=10, uncoalesced_read_bytes=100)
+        b = make_counters(instructions=5, uncoalesced_read_bytes=50,
+                          threads_per_block=64)
+        a.merge(b)
+        assert a.launches == 2
+        assert a.instructions == 15
+        assert a.uncoalesced_read_bytes == 150
+        assert a.threads_per_block == 64
+
+    def test_merge_mixed_backend(self):
+        a, b = make_counters(), make_counters(backend="native")
+        a.merge(b)
+        assert a.backend == "mixed"
+
+    def test_hit_rates_none_without_accesses(self):
+        kc = make_counters()
+        assert kc.constant_hit_rate is None
+        assert kc.texture_hit_rate is None
+        assert make_counters(
+            constant_hits=3, constant_misses=1
+        ).constant_hit_rate == pytest.approx(0.75)
+
+    def test_to_dict_has_every_field(self):
+        import dataclasses
+
+        d = make_counters().to_dict()
+        for f in dataclasses.fields(KernelCounters):
+            assert f.name in d, f"to_dict omits {f.name}"
+
+    def test_from_cost_inputs_is_modelled_only(self):
+        inputs = KernelCostInputs(
+            blocks=4, threads_per_block=32, issue_cycles=1000,
+            global_reads=64, bytes_moved=8192,
+        )
+        kc = counters_from_cost_inputs(
+            "m", "sim", inputs, arch=G80_8800GTS, modelled_s=1e-5
+        )
+        assert kc.modelled_only
+        assert kc.modelled_s == pytest.approx(1e-5)
+        assert kc.occupancy_warps_per_mp > 0
+        assert kc.bound_by in ("memory", "issue")
+
+
+class TestRoofline:
+    def test_memory_bound_left_of_ridge(self):
+        # 1000 warp flops over 64 KB: AI = 32000/64000 = 0.5 flop/B,
+        # left of the G80 ridge (peak/bandwidth = 230.4/64 = 3.6).
+        point = roofline_point(make_counters())
+        assert point is not None
+        assert point.arithmetic_intensity == pytest.approx(0.5)
+        assert point.bound == "memory"
+        assert point.attainable_gflops == pytest.approx(0.5 * 64.0)
+        assert 0.0 < point.efficiency <= 1.0 + 1e-9
+
+    def test_compute_bound_right_of_ridge(self):
+        kc = make_counters(flops=1_000_000, bytes_moved=64)
+        point = roofline_point(kc)
+        assert point.bound == "compute"
+        assert point.attainable_gflops == pytest.approx(kc.peak_gflops)
+
+    def test_no_traffic_means_compute_roof(self):
+        point = roofline_point(make_counters(bytes_moved=0))
+        assert point.arithmetic_intensity == float("inf")
+        assert point.attainable_gflops == pytest.approx(
+            G80_8800GTS.peak_gflops
+        )
+
+    def test_unplaceable_records_return_none(self):
+        assert roofline_point(make_counters(modelled_only=True)) is None
+        assert roofline_point(make_counters(flops=0)) is None
+        assert roofline_point(make_counters(modelled_s=0.0)) is None
+
+    def test_session_roofline_skips_unplaceable(self):
+        points = roofline(
+            {
+                "good": make_counters(name="good"),
+                "modelled": make_counters(name="modelled", modelled_only=True),
+            }
+        )
+        assert set(points) == {"good"}
+
+
+class TestProfileBuilder:
+    def test_counters_mirror_profile_summary(self, device):
+        import numpy as np
+
+        from repro.simgpu.isa import ld
+        from repro.simgpu.memory import DeviceArrayView
+
+        ptr = device.memory.alloc(4 * 64)
+        arr = DeviceArrayView(device.memory, ptr, np.dtype(np.float32), 64)
+
+        def kernel(ctx, arr):
+            _ = yield ld(arr, 2 * ctx.global_thread_id)
+
+        result = device.launch(kernel, 1, 32, (arr,))
+        kc = counters_from_profile(
+            "k", "sim", result.profile, blocks=1, threads_per_block=32,
+            arch=device.arch,
+        )
+        summary = result.profile.summary()
+        for key in (
+            "instructions", "read_transactions",
+            "uncoalesced_read_transactions", "uncoalesced_read_bytes",
+            "bytes_read",
+        ):
+            assert getattr(kc, key) == summary[key]
+        assert kc.measured_s == pytest.approx(kc.modelled_s)

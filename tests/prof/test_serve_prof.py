@@ -1,0 +1,69 @@
+"""Profiling the serving plane: modelled kernel rows via the scheduler."""
+
+import json
+
+import pytest
+
+from repro.prof.session import ProfSession
+from repro.serve.loadgen import run_load
+from repro.serve.service import ServeConfig
+
+
+def small_load(prof=None, backend="sim"):
+    return run_load(
+        clients=4,
+        duration_s=0.02,
+        rate_rps=1000.0,
+        seed=3,
+        config=ServeConfig(physics=False, backend=backend,
+                           agents_per_session=128),
+        prof=prof,
+    )
+
+
+class TestServeProfiling:
+    def test_scheduler_records_modelled_kernels(self):
+        session = ProfSession()
+        report = small_load(prof=session)
+        assert report.completed > 0
+        # v5 serving launches the simulation + modification kernels.
+        assert set(session.kernels) == {"simulate_v4", "modify_kernel"}
+        for kc in session.kernels.values():
+            assert kc.modelled_only
+            assert kc.backend == "sim"
+            assert kc.launches > 0
+            assert kc.modelled_s > 0
+
+    def test_load_report_carries_the_prof_summary(self):
+        report = small_load(prof=ProfSession())
+        assert report.prof is not None
+        assert report.prof["label"] == "serve"
+        assert set(report.prof["kernels"]) == {
+            "simulate_v4", "modify_kernel",
+        }
+        json.dumps(report.to_dict())  # JSON-clean end to end
+        assert any("prof" in line for line in report.lines())
+
+    def test_prof_none_keeps_report_identical(self):
+        plain = small_load().to_dict()
+        probed = small_load(prof=ProfSession()).to_dict()
+        plain.pop("prof"), probed.pop("prof")
+        assert plain == probed, (
+            "an attached ProfSession must not change serving behaviour"
+        )
+
+    def test_modelled_rows_match_the_engine_oracle(self):
+        from repro.serve.engine import StepEngine
+
+        session = ProfSession()
+        small_load(prof=session)
+        engine = StepEngine()
+        expected = {
+            name: secs for name, _inputs, secs in engine.kernel_cost_rows(128)
+        }
+        launches = session.kernels["simulate_v4"].launches
+        for name, kc in session.kernels.items():
+            assert kc.modelled_s == pytest.approx(
+                expected[name] * kc.launches
+            )
+        assert launches > 0

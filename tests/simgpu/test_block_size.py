@@ -1,0 +1,90 @@
+"""Block-size suggestion: the occupancy sweep behind the advisor's
+low-occupancy rule (``suggest_block_size``, DESIGN.md §5g)."""
+
+import pytest
+
+from repro.simgpu.arch import G80_8800GTS, scaled_arch
+from repro.common.errors import ConfigurationError
+from repro.simgpu.multiprocessor import (
+    KernelLimits,
+    compute_occupancy,
+    suggest_block_size,
+)
+
+
+class TestKernelLimits:
+    def test_defaults_match_the_pipeline_kernels(self):
+        limits = KernelLimits()
+        assert limits.registers_per_thread == 10
+        assert limits.shared_bytes(128) == 0
+
+    def test_shared_footprint_scales_with_block(self):
+        limits = KernelLimits(
+            shared_bytes_static=256, shared_bytes_per_thread=12
+        )
+        assert limits.shared_bytes(64) == 256 + 12 * 64
+
+
+class TestSuggestBlockSize:
+    def test_default_limits_reach_full_occupancy(self):
+        tpb, occ = suggest_block_size(G80_8800GTS)
+        # 24 warps/MP is the G80 ceiling (768 threads / 32-wide warps).
+        assert occ.warps_per_mp == 24
+        assert G80_8800GTS.max_threads_per_mp % tpb == 0
+
+    def test_ties_go_to_the_smallest_block(self):
+        # 96, 192, 384... all reach 24 warps/MP at 10 regs; the sweep
+        # must return the smallest so grids keep multiprocessor coverage.
+        tpb, occ = suggest_block_size(G80_8800GTS)
+        assert tpb == 96
+        assert occ.warps_per_mp == 24
+
+    def test_beats_the_pipeline_default(self):
+        # The pipelines launch at 32 threads/block: 8 blocks/MP x 1 warp.
+        base = compute_occupancy(G80_8800GTS, 32, 0, 10)
+        _tpb, occ = suggest_block_size(G80_8800GTS)
+        assert occ.warps_per_mp > base.warps_per_mp
+
+    def test_candidate_restriction_is_honored(self):
+        tpb, occ = suggest_block_size(G80_8800GTS, candidates=(32, 64))
+        assert tpb == 64
+        assert occ.warps_per_mp == compute_occupancy(
+            G80_8800GTS, 64, 0, 10
+        ).warps_per_mp
+
+    def test_shared_memory_pressure_shifts_the_answer(self):
+        # 128 bytes of shared per thread: a 512-thread block wants 64 KiB
+        # against a 16 KiB MP — big blocks stop fitting entirely.
+        limits = KernelLimits(shared_bytes_per_thread=128)
+        tpb, occ = suggest_block_size(G80_8800GTS, limits)
+        assert limits.shared_bytes(tpb) * occ.blocks_per_mp <= (
+            G80_8800GTS.shared_mem_per_mp
+        )
+
+    def test_register_pressure_shifts_the_answer(self):
+        greedy = KernelLimits(registers_per_thread=64)
+        tpb, occ = suggest_block_size(G80_8800GTS, greedy)
+        # 8192 regs / 64 per thread = 128 resident threads = 4 warps max.
+        assert occ.warps_per_mp <= 4
+        assert tpb * occ.blocks_per_mp <= 128
+
+    def test_nothing_fits_raises(self):
+        impossible = KernelLimits(
+            shared_bytes_static=G80_8800GTS.shared_mem_per_mp + 1
+        )
+        with pytest.raises(ConfigurationError):
+            suggest_block_size(G80_8800GTS, impossible)
+
+    def test_out_of_range_candidates_are_skipped(self):
+        tpb, _occ = suggest_block_size(
+            G80_8800GTS, candidates=(0, 64, 100000)
+        )
+        assert tpb == 64
+
+    def test_scaled_arch_same_answer(self):
+        # Occupancy is a per-MP property: scaling the MP count must not
+        # change the suggestion.
+        small = scaled_arch("half", G80_8800GTS.multiprocessors // 2)
+        assert suggest_block_size(small)[0] == suggest_block_size(
+            G80_8800GTS
+        )[0]
