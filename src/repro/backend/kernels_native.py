@@ -18,12 +18,14 @@ follows from mirroring the emulator's numerics exactly:
   across *agents* — because numpy's pairwise summation would re-associate
   the adds.
 
-The one documented divergence: the emulator's streaming keep-7 insert
-(listing 5.2) and the lexicographic smallest-7-by-(d2, index) selection
-used here can disagree when *tied* distances straddle the seventh slot
-(the stream evicts the first-inserted tied candidate, the sort the
-largest index).  Ties at the exact cut boundary have measure zero for
-continuous positions; the conformance suite documents and accepts this.
+Tie-breaking is exact, not accepted-divergent: the emulator's streaming
+keep-7 insert (listing 5.2) compares full ``(d2, index)`` pairs, which
+makes its kept set *the* seven lexicographically smallest pairs
+regardless of insertion order — identical to the stable-sort selection
+used here even when tied distances straddle the seventh slot, and
+identical across candidate traversal orders (all-pairs scan, shared
+tiles, grid buckets).  The conformance suite asserts this with
+manufactured exact ties.
 """
 
 from __future__ import annotations
@@ -31,6 +33,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend.native import native_kernel
+from repro.cupp.containers.flatmap import EMPTY_KEY
+from repro.cupp.containers.hashgrid import _AXIS_MAX, axis_cell, pack_cell_key
 from repro.gpusteer.kernels_emu import (
     MAX_NEIGHBORS,
     NO_NEIGHBOR,
@@ -40,6 +44,7 @@ from repro.gpusteer.kernels_emu import (
     simulate_v3,
     simulate_v4,
 )
+from repro.gpusteer.kernels_grid import find_neighbors_hash, simulate_grid
 from repro.simgpu.memory import InvalidDeviceAccess
 
 F64 = np.float64
@@ -98,6 +103,50 @@ def _neighbor_candidates(pos: np.ndarray, m: int, r2: float):
     return order, found
 
 
+def _steering_from_neighbors(
+    pos: np.ndarray,
+    fwd: np.ndarray,
+    my_pos: np.ndarray,
+    my_fwd: np.ndarray,
+    order: np.ndarray,
+    found: np.ndarray,
+    w_sep: float,
+    w_ali: float,
+    w_coh: float,
+) -> np.ndarray:
+    """_flocking_steering over the nearest-first gather ``(order, found)``,
+    slot-sequential (vectorized across agents; the per-neighbor adds must
+    stay in the emulator's sequential order).  Shared by the all-pairs and
+    grid simulate twins — the steering math is identical, only the
+    candidate enumeration differs."""
+    m = my_pos.shape[0]
+    sep = np.zeros((m, 3), dtype=F64)
+    coh = np.zeros((m, 3), dtype=F64)
+    ali_sum = np.zeros((m, 3), dtype=F64)
+    count = np.zeros(m, dtype=np.int64)
+    for slot in range(order.shape[1]):
+        j = order[:, slot]
+        valid = found[:, slot]
+        offset = pos[j] - my_pos  # v4's recompute: neighbor - my
+        d2 = _length_squared3(offset)
+        inv = _rsqrt(d2)
+        contrib = offset * (inv * inv)[:, None]
+        vcol = valid[:, None]
+        # Masked no-ops are exact: x - (+0) == x and the accumulators
+        # never hold -0 (sums of +0 addends), so x + (+0) == x too.
+        sep = sep - np.where(vcol, contrib, 0.0)
+        coh = coh + np.where(vcol, offset, 0.0)
+        ali_sum = ali_sum + np.where(vcol, fwd[j], 0.0)
+        count = count + valid
+
+    scaled_fwd = my_fwd * count.astype(F64)[:, None]
+    ali = ali_sum - scaled_fwd
+    a = _normalize3(sep) * float(w_sep)
+    b = _normalize3(ali) * float(w_ali)
+    c = _normalize3(coh) * float(w_coh)
+    return (a + b) + c
+
+
 def _find_neighbors(device, grid_dim, block_dim, args) -> None:
     positions, search_radius, results = args
     m = _threads(grid_dim, block_dim)
@@ -137,36 +186,9 @@ def _simulate(device, grid_dim, block_dim, args) -> None:
     my_fwd = fwd[:m]
     r2 = float(search_radius * search_radius)
     order, found = _neighbor_candidates(pos, m, r2)
-
-    # _flocking_steering, slot-sequential over the nearest-first gather
-    # (vectorized across agents; the per-neighbor adds must stay in the
-    # emulator's sequential order).
-    sep = np.zeros((m, 3), dtype=F64)
-    coh = np.zeros((m, 3), dtype=F64)
-    ali_sum = np.zeros((m, 3), dtype=F64)
-    count = np.zeros(m, dtype=np.int64)
-    for slot in range(MAX_NEIGHBORS):
-        j = order[:, slot]
-        valid = found[:, slot]
-        offset = pos[j] - my_pos  # v4's recompute: neighbor - my
-        d2 = _length_squared3(offset)
-        inv = _rsqrt(d2)
-        contrib = offset * (inv * inv)[:, None]
-        vcol = valid[:, None]
-        # Masked no-ops are exact: x - (+0) == x and the accumulators
-        # never hold -0 (sums of +0 addends), so x + (+0) == x too.
-        sep = sep - np.where(vcol, contrib, 0.0)
-        coh = coh + np.where(vcol, offset, 0.0)
-        ali_sum = ali_sum + np.where(vcol, fwd[j], 0.0)
-        count = count + valid
-
-    scaled_fwd = my_fwd * count.astype(F64)[:, None]
-    ali = ali_sum - scaled_fwd
-    a = _normalize3(sep) * float(w_sep)
-    b = _normalize3(ali) * float(w_ali)
-    c = _normalize3(coh) * float(w_coh)
-    steering = (a + b) + c
-
+    steering = _steering_from_neighbors(
+        pos, fwd, my_pos, my_fwd, order, found, w_sep, w_ali, w_coh
+    )
     out = steering_out.view._raw()
     out[: 3 * m] = steering.reshape(-1)  # float32 store rounds here
 
@@ -274,3 +296,123 @@ def _modify(device, grid_dim, block_dim, args) -> None:
 
 
 native_kernel(modify_kernel.impl)(_modify)
+
+
+# ----------------------------------------------------------------------
+# Version 6: grid-bucketed neighbor search (cupp.containers hash grid).
+# The twins below enumerate candidates from the grid's cell directory
+# instead of scanning all pairs; because cell_edge >= search_radius the
+# 27-cell neighborhood is a superset of the in-radius set, so selecting
+# the smallest-(d2, index) seven over it is bit-identical to the
+# all-pairs selection.
+# ----------------------------------------------------------------------
+
+
+def _grid_neighbors(hgrid, pos: np.ndarray, m: int, r2: float):
+    """The grid query pass for threads 0..m-1: per agent, the nearest-7
+    ``(d2, index)`` selection over its 3x3x3 cell neighborhood.
+
+    Returns ``(order, found)`` shaped (m, MAX_NEIGHBORS) — the same
+    canonical nearest-first layout ``_neighbor_candidates`` produces.
+    The cell directory is rebuilt as a dict from the flat map's probe
+    table (semantically the probe sequence, minus the re-hashing).
+    """
+    keys_raw = hgrid.cells.keys._raw()
+    vals_raw = hgrid.cells.vals._raw()
+    occupied = keys_raw != EMPTY_KEY
+    directory = {
+        int(k): int(v) for k, v in zip(keys_raw[occupied], vals_raw[occupied])
+    }
+    members = hgrid.members._raw()
+    starts = hgrid.starts._raw()
+    edge = float(hgrid.cell_edge)
+
+    order = np.zeros((m, MAX_NEIGHBORS), dtype=np.int64)
+    found = np.zeros((m, MAX_NEIGHBORS), dtype=bool)
+    for i in range(m):
+        cx = axis_cell(pos[i, 0], edge)
+        cy = axis_cell(pos[i, 1], edge)
+        cz = axis_cell(pos[i, 2], edge)
+        segments = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    x, y, z = cx + dx, cy + dy, cz + dz
+                    if not (
+                        0 <= x <= _AXIS_MAX
+                        and 0 <= y <= _AXIS_MAX
+                        and 0 <= z <= _AXIS_MAX
+                    ):
+                        continue
+                    seg = directory.get(pack_cell_key(x, y, z))
+                    if seg is None:
+                        continue
+                    segments.append(
+                        members[starts[seg] : starts[seg + 1]]
+                    )
+        if segments:
+            j = np.concatenate(segments).astype(np.int64)
+        else:
+            j = np.empty(0, dtype=np.int64)
+        off = pos[i][None, :] - pos[j]
+        d2 = (off[:, 0] * off[:, 0] + off[:, 1] * off[:, 1]) + off[:, 2] * off[:, 2]
+        keep = (d2 < r2) & (j != i)
+        j = j[keep]
+        d2 = d2[keep]
+        # The smallest seven (d2, index) pairs — lexsort's primary key is
+        # its *last* array.
+        sel = np.lexsort((j, d2))[:MAX_NEIGHBORS]
+        k = sel.shape[0]
+        order[i, :k] = j[sel]
+        found[i, :k] = True
+    return order, found
+
+
+def _store_results(results, order: np.ndarray, found: np.ndarray, m: int) -> None:
+    out = np.where(found, order, NO_NEIGHBOR).astype(np.int32)
+    results.view._raw()[: m * MAX_NEIGHBORS] = out.reshape(-1)
+
+
+def _find_neighbors_hash(device, grid_dim, block_dim, args) -> None:
+    hgrid, positions, search_radius, results = args
+    m = _threads(grid_dim, block_dim)
+    n = len(positions) // 3
+    if m > n:
+        raise InvalidDeviceAccess(f"{m} threads over {n} agents")
+    pos = _load3(positions, n)
+    r2 = float(search_radius * search_radius)
+    order, found = _grid_neighbors(hgrid, pos, m, r2)
+    _store_results(results, order, found, m)
+
+
+native_kernel(find_neighbors_hash.impl)(_find_neighbors_hash)
+
+
+def _simulate_grid(device, grid_dim, block_dim, args) -> None:
+    (
+        hgrid,
+        positions,
+        forwards,
+        search_radius,
+        w_sep,
+        w_ali,
+        w_coh,
+        steering_out,
+        results,
+    ) = args
+    m = _threads(grid_dim, block_dim)
+    n = len(positions) // 3
+    if m > n:
+        raise InvalidDeviceAccess(f"{m} threads over {n} agents")
+    pos = _load3(positions, n)
+    fwd = _load3(forwards, n)
+    r2 = float(search_radius * search_radius)
+    order, found = _grid_neighbors(hgrid, pos, m, r2)
+    _store_results(results, order, found, m)
+    steering = _steering_from_neighbors(
+        pos, fwd, pos[:m], fwd[:m], order, found, w_sep, w_ali, w_coh
+    )
+    steering_out.view._raw()[: 3 * m] = steering.reshape(-1)
+
+
+native_kernel(simulate_grid.impl)(_simulate_grid)

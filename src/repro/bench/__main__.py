@@ -35,6 +35,7 @@ from repro.bench.harness import (
     run_fig_6_4,
     run_backend_compare,
     run_kernel_prof,
+    run_million_boids,
     run_sec_7_traits,
     run_serve_slo,
 )
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "fault-recovery": run_fault_recovery,
     "backend-compare": run_backend_compare,
     "kernel-prof": run_kernel_prof,
+    "million-boids": run_million_boids,
 }
 
 

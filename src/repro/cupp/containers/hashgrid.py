@@ -1,0 +1,361 @@
+"""``cupp.containers.HashGrid`` — a spatial hash grid for neighbor search.
+
+The two-representation design the paper's chapter 7 sketches, composed
+from this package's own parts:
+
+* **Host representation (fast construction):** one O(n) counting-sort
+  pass buckets agents by their packed cell key; occupied cells become
+  contiguous CSR segments.  No dense cell array exists anywhere — the
+  grid hashes an *unbounded* world, paying memory only for occupied
+  cells (the property that lets it scale to million-agent flocks).
+* **Device representation (fast transfer + fast lookup):** three flat
+  arrays — ``members`` (agent ids, segment-contiguous), ``starts`` (CSR
+  offsets per segment), and a :class:`~repro.cupp.containers.flatmap.
+  FlatMap` cell directory mapping packed cell key -> segment index.  A
+  query probes the directory for each of the 27 cells around an agent
+  and scans only those segments: O(k) instead of O(n).
+
+Cell keys pack the three signed cell coordinates into 21 bits each
+(63 bits total), leaving the flat map's all-ones empty sentinel
+unreachable.  Cell coordinates are ``floor(p / cell_edge)`` computed in
+float64 — bit-identical between the numpy build, the emulated kernel,
+and the native twin.
+
+Residency follows the ``cupp.Vector`` protocol: ``build()`` marks the
+device copy stale (dirty tracking), ``transform()`` uploads only when
+stale (lazy residency, ledger cause ``grid-build``) and attributes
+every kernel consumption as ``grid-query`` on-device traffic.  The
+``cupp.containers.*`` counter family (builds / uploads / queries /
+lazy_hits / reallocs) makes the rebuild-vs-reuse economics observable.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+
+from repro import obs
+from repro.cupp.containers.flatmap import DeviceFlatMap, FlatMap
+from repro.cupp.device import Device
+from repro.cupp.device_reference import DeviceReference
+from repro.cupp.exceptions import CuppUsageError
+from repro.cupp.memory1d import Memory1D
+from repro.simgpu.memory import DeviceArrayView, DevicePtr
+
+#: Bits per axis in a packed cell key (3 x 21 = 63 < 64).
+CELL_KEY_BITS = 21
+
+_AXIS_BIAS = 1 << (CELL_KEY_BITS - 1)
+_AXIS_MAX = (1 << CELL_KEY_BITS) - 1
+
+
+def axis_cell(x: float, cell_edge: float) -> int:
+    """One axis's biased cell coordinate — scalar twin of the build.
+
+    ``floor`` (not int-truncation) so negative coordinates land in the
+    right cell; float64 division so host and device agree bitwise.
+    """
+    return min(max(int(math.floor(float(x) / cell_edge)) + _AXIS_BIAS, 0),
+               _AXIS_MAX)
+
+
+def pack_cell_key(cx: int, cy: int, cz: int) -> int:
+    """Pack three biased axis cells into one 63-bit key."""
+    return (cx << (2 * CELL_KEY_BITS)) | (cy << CELL_KEY_BITS) | cz
+
+
+def _cell_keys(positions: np.ndarray, cell_edge: float) -> np.ndarray:
+    """Vectorized packed keys for an (n, 3) position array."""
+    cells = np.floor(positions.astype(np.float64) / cell_edge).astype(np.int64)
+    cells = np.clip(cells + _AXIS_BIAS, 0, _AXIS_MAX).astype(np.uint64)
+    return (
+        (cells[:, 0] << np.uint64(2 * CELL_KEY_BITS))
+        | (cells[:, 1] << np.uint64(CELL_KEY_BITS))
+        | cells[:, 2]
+    )
+
+
+class DeviceHashGrid:
+    """The device type of :class:`HashGrid`: CSR arrays + cell directory.
+
+    Kernels locate an agent's cell with :func:`axis_cell` /
+    :func:`pack_cell_key`, probe ``cells`` (a
+    :class:`DeviceFlatMap`) for the segment index, and scan
+    ``members[starts[s] : starts[s+1]]``.
+    """
+
+    #: Stack footprint: three device pointers, two sizes, the edge.
+    kernel_arg_size = 32
+
+    host_type: "type | None" = None  # bound below (listing 4.6)
+    device_type: "type | None" = None
+
+    def __init__(
+        self,
+        members: DeviceArrayView,
+        starts: DeviceArrayView,
+        cells: DeviceFlatMap,
+        cell_edge: float,
+    ) -> None:
+        self.members = members
+        self.starts = starts
+        self.cells = cells
+        self.cell_edge = cell_edge
+
+    @property
+    def nbytes(self) -> int:
+        """The device footprint a querying kernel can touch."""
+        return (
+            self.members.count * 4
+            + self.starts.count * 4
+            + self.cells.nbytes
+        )
+
+    def pack(self) -> np.ndarray:
+        meta = (
+            self.members.ptr.addr,
+            self.members.count,
+            self.starts.ptr.addr,
+            self.starts.count,
+            self.cells.keys.ptr.addr,
+            self.cells.vals.ptr.addr,
+            self.cells.capacity,
+            self.cell_edge,
+        )
+        return np.frombuffer(pickle.dumps(meta), dtype=np.uint8).copy()
+
+    @classmethod
+    def unpack(cls, blob: np.ndarray, device: Device) -> "DeviceHashGrid":
+        (m_addr, m_n, s_addr, s_n, k_addr, v_addr, cap, edge) = pickle.loads(
+            blob.tobytes()
+        )
+        mem = device.sim.memory
+        return cls(
+            DeviceArrayView(mem, DevicePtr(m_addr), np.dtype(np.int32), m_n),
+            DeviceArrayView(mem, DevicePtr(s_addr), np.dtype(np.int32), s_n),
+            DeviceFlatMap(
+                DeviceArrayView(
+                    mem, DevicePtr(k_addr), np.dtype(np.uint64), cap
+                ),
+                DeviceArrayView(
+                    mem, DevicePtr(v_addr), np.dtype(np.int32), cap
+                ),
+            ),
+            edge,
+        )
+
+
+class HashGrid:
+    """Host-built spatial hash with a lazily synchronized device twin.
+
+    Parameters
+    ----------
+    cell_edge:
+        Cell size.  Choosing the query radius guarantees the 3x3x3 cell
+        neighborhood covers every agent within that radius.
+    """
+
+    host_type: "type | None" = None
+    device_type = DeviceHashGrid
+
+    def __init__(self, cell_edge: float) -> None:
+        if not cell_edge > 0:
+            raise CuppUsageError(
+                f"cell_edge must be positive, got {cell_edge}"
+            )
+        self.cell_edge = float(cell_edge)
+        self._members: np.ndarray | None = None
+        self._starts: np.ndarray | None = None
+        self._keys: np.ndarray | None = None  # per-segment packed cell key
+        self.cells = FlatMap()
+        # Lazy-copy state (same protocol as cupp.Vector).
+        self._mem_members: Memory1D | None = None
+        self._mem_starts: Memory1D | None = None
+        self._device_valid = False
+
+    # ------------------------------------------------------------------
+    # host-side construction ("fast construction", ch. 7)
+    # ------------------------------------------------------------------
+    def build(self, positions: np.ndarray) -> None:
+        """O(n) counting-sort (re)build from an (n, 3) position array.
+
+        Marks any device copy stale — the next kernel consumption pays
+        one ``grid-build`` upload, later consumptions are lazy hits.
+        """
+        positions = np.asarray(positions, dtype=np.float32).reshape(-1, 3)
+        keys = _cell_keys(positions, self.cell_edge)
+        # Stable sort keeps same-cell agents in index order, so segment
+        # scans enumerate candidates deterministically.
+        order = np.argsort(keys, kind="stable").astype(np.int32)
+        sorted_keys = keys[order.astype(np.int64)]
+        unique_keys, counts = np.unique(sorted_keys, return_counts=True)
+        starts = np.zeros(unique_keys.size + 1, dtype=np.int32)
+        np.cumsum(counts, out=starts[1:])
+        self._members = order
+        self._starts = starts
+        self._keys = unique_keys
+        self.cells.assign(
+            unique_keys, np.arange(unique_keys.size, dtype=np.int32)
+        )
+        self._before_host_write()
+        obs.counter("cupp.containers.builds").inc()
+        tracer = obs.get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "hashgrid.build",
+                agents=int(positions.shape[0]),
+                cells=int(unique_keys.size),
+            )
+
+    def _require_built(self) -> None:
+        if self._members is None:
+            raise CuppUsageError(
+                "HashGrid.build() must run before this operation"
+            )
+
+    def _before_host_write(self) -> None:
+        """Dirty tracking: a rebuild invalidates the device copy."""
+        if self._device_valid:
+            obs.instant(
+                "hashgrid.invalidate-device", nbytes=self.device_nbytes
+            )
+        self._device_valid = False
+
+    # ------------------------------------------------------------------
+    # host-side queries (tests, native twins, reference answers)
+    # ------------------------------------------------------------------
+    @property
+    def agent_count(self) -> int:
+        self._require_built()
+        return int(self._members.size)
+
+    @property
+    def cell_count(self) -> int:
+        """Occupied cells — the only cells that cost memory."""
+        self._require_built()
+        return int(self._keys.size)
+
+    def members_of(self, key: int) -> np.ndarray:
+        """Agent ids stored in one packed cell (empty array on miss)."""
+        self._require_built()
+        segment = self.cells.get(int(key))
+        if segment < 0:
+            return np.empty(0, dtype=np.int32)
+        return self._members[
+            int(self._starts[segment]) : int(self._starts[segment + 1])
+        ]
+
+    def candidates(self, point: np.ndarray) -> np.ndarray:
+        """Agent ids in the 27 cells around ``point``, in scan order.
+
+        The host mirror of the device query's candidate enumeration —
+        the superset every in-radius neighbor is guaranteed to be in
+        when ``cell_edge >= radius``.
+        """
+        self._require_built()
+        cx = axis_cell(point[0], self.cell_edge)
+        cy = axis_cell(point[1], self.cell_edge)
+        cz = axis_cell(point[2], self.cell_edge)
+        found: "list[np.ndarray]" = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    x, y, z = cx + dx, cy + dy, cz + dz
+                    if not (
+                        0 <= x <= _AXIS_MAX
+                        and 0 <= y <= _AXIS_MAX
+                        and 0 <= z <= _AXIS_MAX
+                    ):
+                        continue
+                    found.append(self.members_of(pack_cell_key(x, y, z)))
+        if not found:
+            return np.empty(0, dtype=np.int32)
+        return np.concatenate(found)
+
+    # ------------------------------------------------------------------
+    # the CuPP protocol (§4.4/§4.6)
+    # ------------------------------------------------------------------
+    @property
+    def device_nbytes(self) -> int:
+        """Bytes of the full device representation (CSR + directory)."""
+        self._require_built()
+        return (
+            self._members.size * 4
+            + self._starts.size * 4
+            + self.cells.device_nbytes
+        )
+
+    def _ensure_device(self, device: Device) -> None:
+        """Upload the CSR arrays + directory iff absent or stale."""
+        self._require_built()
+        if (
+            self._mem_members is not None
+            and self._mem_members.device is not device
+        ):
+            raise CuppUsageError(
+                "HashGrid is bound to a different device; CuPP supports one "
+                "device per container"
+            )
+        members = self._members if self._members.size else np.zeros(1, np.int32)
+        if (
+            self._mem_members is None
+            or self._mem_members.count != members.size
+            or self._mem_starts.count != self._starts.size
+        ):
+            if self._mem_members is not None:
+                self._mem_members.close()
+                self._mem_starts.close()
+                obs.counter("cupp.containers.reallocs").inc()
+            self._mem_members = Memory1D(device, np.int32, members.size)
+            self._mem_starts = Memory1D(device, np.int32, self._starts.size)
+            self._device_valid = False
+        if not self._device_valid:
+            self._mem_members.copy_from_host(members, cause="grid-build")
+            self._mem_starts.copy_from_host(self._starts, cause="grid-build")
+            self.cells._ensure_device(device, nested=True)
+            self._device_valid = True
+            obs.counter("cupp.containers.uploads").inc()
+        else:
+            self.cells._ensure_device(device, nested=True)
+            obs.counter("cupp.containers.lazy_hits").inc()
+            tracer = obs.get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "containers.lazy-hit", nbytes=self.device_nbytes
+                )
+
+    def transform(self, device: Device) -> DeviceHashGrid:
+        """Pass-by-value: upload if needed, attribute the consumption."""
+        self._ensure_device(device)
+        obs.counter("cupp.containers.queries").inc()
+        obs.record_transfer(
+            "grid-query",
+            "d2d",
+            self.device_nbytes,
+            moved=False,
+            label="hashgrid",
+        )
+        return DeviceHashGrid(
+            self._mem_members.view(),
+            self._mem_starts.view(),
+            self.cells._device_twin(),
+            self.cell_edge,
+        )
+
+    def get_device_reference(self, device: Device) -> DeviceReference:
+        return DeviceReference(device, self.transform(device))
+
+    def dirty(self, device_ref: DeviceReference) -> None:
+        """Containers are device-read-only (built at the host, ch. 7)."""
+        raise CuppUsageError(
+            "cupp.containers structures are const on the device; pass them "
+            "as ConstRef parameters"
+        )
+
+
+# Listing 4.6: both types carry both typedefs, matched 1:1.
+HashGrid.host_type = HashGrid
+DeviceHashGrid.host_type = HashGrid
+DeviceHashGrid.device_type = DeviceHashGrid

@@ -305,6 +305,96 @@ def simulate_cost(
 
 
 # ----------------------------------------------------------------------
+# Version 6: grid-bucketed simulation substage (cupp.containers)
+# ----------------------------------------------------------------------
+def grid_candidates(stats: WorkloadStats) -> float:
+    """Expected member-scan candidates per agent under the hash grid.
+
+    With cell_edge = search radius the 3x3x3 neighborhood spans 27 cell
+    volumes; in the cube convention of :meth:`WorkloadStats.estimate`
+    (``(r/R)^3`` volume fraction) one cell holds about the in-radius
+    count, so the scan touches ~``27 * in_radius_per_agent`` candidates
+    — the O(n·k) replacement for the all-pairs n.
+    """
+    return min(float(stats.n), 27.0 * stats.in_radius_per_agent)
+
+
+#: Expected linear-probe walk per directory lookup (load factor <= 1/2).
+GRID_PROBE_WALK = 1.5
+
+
+def simulate_grid_cost(
+    geom: LaunchGeometry,
+    stats: WorkloadStats,
+    costs: CostTable = G80_COSTS,
+) -> KernelCostInputs:
+    """Version 6: the fused grid-bucketed simulate kernel.
+
+    Mirrors :func:`repro.gpusteer.kernels_grid.simulate_grid` line by
+    line: cell locate, 27 directory probes + CSR bounds, the member
+    scan over ``grid_candidates`` agents, then the v4-style gather and
+    steering.  Per-warp work uses the *mean* candidate count — threads
+    of a warp sit in different cells, so this is the sparse-divergence
+    approximation the other builders already make.
+    """
+    n = stats.n
+    w = geom.warps
+    cand = grid_candidates(stats)
+    k = stats.avg_neighbors
+
+    # Entry: my position + forward loads, r2, cell locate (3 axes of
+    # divide + floor-bias + clamp).
+    per_warp = (3 + 3) * C + 1 * C + (3 + 3 + 6) * C
+    # Per cell of the 27: offset iadds + bounds compares, key pack,
+    # probe-start hash, the probe walk (key load + 2 compares + branch
+    # each), segment compare + branch, two CSR bounds loads.
+    per_cell = (
+        (3 + 3) * C
+        + 4 * C
+        + 2 * C
+        + GRID_PROBE_WALK * (1 + 2 + 1) * C
+        + 2 * C
+        + 2 * C
+    )
+    per_warp += 27 * per_cell
+    # Member scan: loop compare + iadd, member-id load, position load,
+    # candidate test (sub3, length_squared, 2 compares + branch).
+    per_warp += cand * ((1 + 1) * C + 1 * C + 3 * C + (3 + 3 + 3) * C)
+    # Divergent inserts: the grid pre-filters candidates, so the
+    # per-candidate in-radius probability is ~1/27, not ~m/n.
+    p = min(stats.in_radius_per_agent / cand, 1.0) if cand > 0 else 0.0
+    insert_issue_count = cand * (1.0 - (1.0 - p) ** 32)
+    per_warp += insert_issue_count * _insert_cost_cycles(stats)
+    # Result stores, the v4 recompute gather, the steering itself.
+    per_warp += MAX_NEIGHBORS * (C + 2 * C)
+    per_warp += k * (3 * C + 3 * C + 3 * C)
+    per_warp += _steering_phase_cycles(costs, k)
+    per_warp += 3 * C  # st_vec3 steering_out
+
+    reads_per_warp = (
+        6  # my position + forward
+        + 27 * (GRID_PROBE_WALK + 1 + 2)  # directory keys + vals + CSR
+        + cand * (1 + 3)  # member ids + candidate positions
+        + k * 3  # gather position re-reads
+        + k * 3  # forward reads inside steering
+    )
+    writes_per_warp = MAX_NEIGHBORS + 3  # result slots + steering store
+    return KernelCostInputs(
+        blocks=geom.blocks,
+        threads_per_block=geom.threads_per_block,
+        issue_cycles=int(per_warp * w),
+        global_reads=int(reads_per_warp * w),
+        # Scattered per-thread accesses: every read/write pays the
+        # uncoalesced warp transaction, like the builders above.
+        bytes_moved=int(
+            (reads_per_warp + writes_per_warp) * UNCOALESCED_WARP_BYTES * w
+        ),
+        shared_bytes_per_block=0,
+        registers_per_thread=22,
+    )
+
+
+# ----------------------------------------------------------------------
 # Version 5: the modification kernel
 # ----------------------------------------------------------------------
 def modify_cost(

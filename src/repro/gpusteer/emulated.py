@@ -11,15 +11,23 @@ suite: version 5 never downloads agent state (only the draw matrices
 cross the bus), version 1-2 re-upload positions every frame because the
 host modification dirtied them, and the whole pipeline produces the same
 flock the pure CPU reference computes.
+
+Version 6 adds the chapter-7 spatial hash: each step downloads the
+positions (lazy), rebuilds a ``cupp.containers.HashGrid`` on the host
+("fast construction"), and the fused simulate kernel queries only the
+27-cell neighborhood — O(n·k) instead of the all-pairs O(n²), with
+bit-identical neighbor sets.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cupp.containers import HashGrid
 from repro.cupp.device import Device
 from repro.cupp.kernel import Kernel
 from repro.cupp.vector import Vector
+from repro.gpusteer.kernels_grid import simulate_grid
 from repro.gpusteer.kernels_emu import (
     MAX_NEIGHBORS,
     find_neighbors_v1,
@@ -43,7 +51,8 @@ class EmulatedBoids:
         Agent count; must be a multiple of ``threads_per_block`` (the
         paper's kernels share the restriction, §6.2.1).
     version:
-        Development version 1-5 (Table 6.1).
+        Development version 1-5 (Table 6.1), or 6 — the chapter-7
+        grid-bucketed neighbor search over ``cupp.containers``.
     """
 
     def __init__(
@@ -60,7 +69,7 @@ class EmulatedBoids:
                 f"agent count {n} must be a multiple of threads_per_block "
                 f"({threads_per_block}) — §6.2.1"
             )
-        if version not in (1, 2, 3, 4, 5):
+        if version not in (1, 2, 3, 4, 5, 6):
             raise ValueError(f"unknown development version {version}")
         self.version = version
         self.params = params
@@ -99,12 +108,17 @@ class EmulatedBoids:
             grid,
             threads_per_block,
         )
-        self._k_simulate = Kernel(
-            simulate_v3 if version == 3 else simulate_v4,
-            grid,
-            threads_per_block,
-        )
+        if version == 6:
+            simulate = simulate_grid
+        elif version == 3:
+            simulate = simulate_v3
+        else:
+            simulate = simulate_v4
+        self._k_simulate = Kernel(simulate, grid, threads_per_block)
         self._k_modify = Kernel(modify_kernel, grid, threads_per_block)
+        # v6: cell edge = search radius, so the 3x3x3 neighborhood covers
+        # the query sphere; rebuilt each step from the fresh positions.
+        self._grid = HashGrid(params.search_radius) if version == 6 else None
 
     # ------------------------------------------------------------------
     # host-side helpers (versions 1-4)
@@ -188,6 +202,35 @@ class EmulatedBoids:
                 self.steering,
             )
             self._host_modification()
+        elif self.version == 6:
+            # Chapter 7: host rebuild ("fast construction") from the lazy
+            # position download, then the grid-bucketed fused kernel.
+            self._grid.build(
+                self.positions.to_numpy().reshape(self.n, 3)
+            )
+            self._k_simulate(
+                self.device,
+                self._grid,
+                self.positions,
+                self.forwards,
+                p.search_radius,
+                p.separation_weight,
+                p.alignment_weight,
+                p.cohesion_weight,
+                self.steering,
+                self.results,
+            )
+            self._k_modify(
+                self.device,
+                self.steering,
+                self.positions,
+                self.forwards,
+                self.speeds,
+                self.smoothed,
+                self.params_packed,
+                self.step_count,
+                self.matrices,
+            )
         else:  # version 5: the whole update stage on the device
             self._k_simulate(
                 self.device,
@@ -215,7 +258,7 @@ class EmulatedBoids:
     def draw_data(self) -> np.ndarray:
         """The per-agent 4x4 matrices — version 5's only device->host
         traffic (§6.2.3)."""
-        if self.version == 5:
+        if self.version in (5, 6):
             return self.matrices.to_numpy().reshape(self.n, 4, 4)
         # Versions 1-4 build the matrices on the host.
         pos, fwd = self._host_arrays()
@@ -245,5 +288,5 @@ class EmulatedBoids:
         }
 
     def neighbor_sets(self) -> np.ndarray:
-        """The device-computed neighbor indexes (versions 1/2)."""
+        """The device-computed neighbor indexes (versions 1/2 and 6)."""
         return self.results.to_numpy().reshape(self.n, MAX_NEIGHBORS)

@@ -48,6 +48,15 @@ def _insert_neighbor(best: list, d2: float, j: int):
     ``best`` is a register-resident list of (d2, index) pairs (registers
     cost nothing, Table 2.2); the *instructions* — compares, the max-scan
     when full — are what we account.
+
+    Comparisons are lexicographic on ``(d2, index)``, which makes the
+    kept set *the* seven smallest (d2, index) pairs regardless of
+    insertion order — candidates may arrive in any traversal order (the
+    all-pairs scan, the shared-memory tiles, a grid's bucket-by-bucket
+    enumeration) and every engine converges on the identical neighbor
+    set, ties included.  Tied distances are measure-zero for continuous
+    random positions, so the index tiebreak changes no instruction
+    count and no non-degenerate result.
     """
     yield dl.compare()  # neighbors_found < 7 ?
     yield dl.branch()
@@ -59,11 +68,11 @@ def _insert_neighbor(best: list, d2: float, j: int):
         worst = 0
         for k in range(1, MAX_NEIGHBORS):
             yield dl.compare()
-            if best[k][0] > best[worst][0]:
+            if best[k] > best[worst]:
                 worst = k
-        yield dl.compare()  # distance(worst) > distance(new) ?
+        yield dl.compare()  # (d2, index)(worst) > (d2, index)(new) ?
         yield dl.branch()
-        if best[worst][0] > d2:
+        if best[worst] > (d2, j):
             best[worst] = (d2, j)
 
 

@@ -1,4 +1,4 @@
-"""The five development versions of the GPU port (paper Table 6.1).
+"""The development versions of the GPU port (paper Table 6.1 + ch. 7).
 
 ======== ==================== ==================== ============
 version  neighbor search      steering calculation modification
@@ -9,7 +9,13 @@ CPU      host                 host                 host
 3        device (shared mem)  device (local cache) host
 4        device (shared mem)  device (recompute)   host
 5        device (shared mem)  device (recompute)   device
+6        device (hash grid)   device (recompute)   device
 ======== ==================== ==================== ============
+
+Version 6 is the chapter-7 extension: the host rebuilds a
+``cupp.containers.HashGrid`` each step (O(n) counting sort) and the
+device scans only the 27-cell neighborhood — O(n·k) in place of the
+all-pairs O(n²).
 
 :class:`VersionSpec` is the feature matrix; :func:`update_time` is the
 per-version timing model that combines host work (CPU cost model), kernel
@@ -32,6 +38,7 @@ from repro.gpusteer.cost_model import (
     neighbor_v1_cost,
     neighbor_v2_cost,
     simulate_cost,
+    simulate_grid_cost,
 )
 from repro.simgpu.arch import ArchSpec, G80_8800GTS
 from repro.simgpu.perfmodel import kernel_time
@@ -42,6 +49,11 @@ THREADS_PER_BLOCK = 128
 
 #: Bytes per agent moved for drawing: a 4x4 float matrix (§6.2.3).
 DRAW_MATRIX_BYTES = 64
+
+#: Host elements-equivalents per agent for the O(n) grid rebuild
+#: (counting sort, CSR offsets, directory assign), charged at the
+#: extraction-loop rate — the ch. 7 "fast construction" cost.
+GRID_BUILD_ELEMENTS_PER_AGENT = 12
 
 
 @dataclass(frozen=True)
@@ -55,6 +67,8 @@ class VersionSpec:
     modification_on_device: bool
     uses_shared_memory: bool
     local_mem_caching: bool
+    #: Chapter 7: neighbor search through the cupp.containers hash grid.
+    grid_neighbors: bool = False
 
 
 CPU_VERSION = VersionSpec(0, "CPU", False, False, False, False, False)
@@ -65,6 +79,16 @@ VERSIONS: dict[int, VersionSpec] = {
     3: VersionSpec(3, "v3 simulation substage (local cache)", True, True, False, True, True),
     4: VersionSpec(4, "v4 simulation substage (recompute)", True, True, False, True, False),
     5: VersionSpec(5, "v5 full update on device", True, True, True, True, False),
+    6: VersionSpec(
+        6,
+        "v6 grid-bucketed neighbor search (cupp.containers)",
+        True,
+        True,
+        True,
+        False,
+        False,
+        grid_neighbors=True,
+    ),
 }
 
 
@@ -162,6 +186,25 @@ def update_time(
         transfer += pcie.transfer_time(12 * thinkers)  # steering download
         host += calib.extract_seconds(3 * thinkers)
         host += cpu.seconds(cpu.modification_cycles(n))
+    elif spec.grid_neighbors:
+        # v6: the host rebuilds the spatial hash each step — lazy
+        # positions download, O(n) build, CSR + directory upload (the
+        # ledger's grid-build cause) — then the grid kernel scans only
+        # the 27-cell neighborhood.  Modification stays on the device,
+        # so nothing else crosses the bus.
+        transfer += pcie.transfer_time(12 * n)  # positions download
+        host += calib.extract_seconds(GRID_BUILD_ELEMENTS_PER_AGENT * n)
+        per_cell = max(stats.in_radius_per_agent, 1.0)
+        segments = max(1, math.ceil(n / per_cell))
+        capacity = 8
+        while capacity < 2 * segments:
+            capacity *= 2
+        transfer += pcie.transfer_time(4 * n)  # members
+        transfer += pcie.transfer_time(4 * (segments + 1))  # starts
+        transfer += pcie.transfer_time(capacity * 12)  # directory
+        gpu += kernel_time(simulate_grid_cost(geom, stats), arch).total_s
+        gpu += kernel_time(modify_cost(all_geom), arch).total_s
+        launches += 2
     else:
         # v5: everything stays on the device; lazy copying (§4.6) means no
         # per-frame uploads at all — only the draw matrices come back

@@ -49,6 +49,7 @@ from repro.obs.flight import (
 )
 from repro.obs.ledger import (
     CAUSES,
+    CONTAINER_CAUSES,
     DIRECTIONS,
     FAULT_CAUSES,
     MEMORY_CAUSES,
@@ -71,6 +72,7 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CAUSES",
+    "CONTAINER_CAUSES",
     "DIRECTIONS",
     "Capture",
     "Counter",

@@ -210,6 +210,11 @@ class Analysis:
     #: Allocator behaviour: ``{cause: {"count", "bytes"}}`` for the
     #: :data:`repro.obs.ledger.MEMORY_CAUSES` found in the trace.
     memory: "dict[str, dict]" = field(default_factory=dict)
+    #: Device-container behaviour: the same ``{cause: {"count",
+    #: "bytes"}}`` shape for the :data:`repro.obs.ledger.
+    #: CONTAINER_CAUSES` (``grid-build`` uploads, ``grid-query``
+    #: on-device consumption) found in the trace.
+    containers: "dict[str, dict]" = field(default_factory=dict)
     #: Per-kernel counter rollup from the instruction profiles riding on
     #: ``cuda.launch:*`` spans: ``{kernel: {"launches", "modelled_s",
     #: <every profile counter summed>}}``.  Launches without a profile
@@ -230,6 +235,9 @@ class Analysis:
             ],
             "instants": dict(sorted(self.instants.items())),
             "memory": {c: dict(v) for c, v in sorted(self.memory.items())},
+            "containers": {
+                c: dict(v) for c, v in sorted(self.containers.items())
+            },
             "kernels": {k: dict(v) for k, v in sorted(self.kernels.items())},
         }
 
@@ -286,9 +294,10 @@ def analyze(events: "list[TraceEvent]") -> Analysis:
         stats.durations.append(node.dur)
         if node.name.startswith(_LAUNCH_SPAN_PREFIX):
             _kernel_rollup(out, node.event)
-    from repro.obs.ledger import MEMORY_CAUSES
+    from repro.obs.ledger import CONTAINER_CAUSES, MEMORY_CAUSES
 
     memory_names = {f"transfer:{c}": c for c in MEMORY_CAUSES}
+    container_names = {f"transfer:{c}": c for c in CONTAINER_CAUSES}
     for event in events:
         if event.kind == "instant":
             # Instants carrying a ``where=`` label split into one row
@@ -303,6 +312,13 @@ def analyze(events: "list[TraceEvent]") -> Analysis:
             cause = memory_names.get(event.name)
             if cause is not None:
                 row = out.memory.setdefault(cause, {"count": 0, "bytes": 0})
+                row["count"] += 1
+                row["bytes"] += int(event.args.get("nbytes", 0) or 0)
+            cause = container_names.get(event.name)
+            if cause is not None:
+                row = out.containers.setdefault(
+                    cause, {"count": 0, "bytes": 0}
+                )
                 row["count"] += 1
                 row["bytes"] += int(event.args.get("nbytes", 0) or 0)
     out.breakdown = sorted(
@@ -363,14 +379,20 @@ def memory_rollup(by_cause: dict) -> dict:
     ``"transfers"``, which is how the text and ``--json`` reports
     present them.
     """
-    from repro.obs.ledger import MEMORY_CAUSES
+    from repro.obs.ledger import CONTAINER_CAUSES, MEMORY_CAUSES
 
     memory_set = set(MEMORY_CAUSES)
+    container_set = set(CONTAINER_CAUSES)
     return {
         "transfers": {
-            c: v for c, v in by_cause.items() if c not in memory_set
+            c: v
+            for c, v in by_cause.items()
+            if c not in memory_set and c not in container_set
         },
         "memory": {c: v for c, v in by_cause.items() if c in memory_set},
+        "containers": {
+            c: v for c, v in by_cause.items() if c in container_set
+        },
     }
 
 
@@ -551,6 +573,17 @@ def render_analysis(analysis: Analysis) -> str:
                 [
                     (cause, row["count"], f"{row['bytes']:,}")
                     for cause, row in sorted(analysis.memory.items())
+                ],
+            )
+        )
+    if analysis.containers:
+        blocks.append(
+            format_table(
+                "containers (device data-structure causes)",
+                ["cause", "count", "bytes"],
+                [
+                    (cause, row["count"], f"{row['bytes']:,}")
+                    for cause, row in sorted(analysis.containers.items())
                 ],
             )
         )

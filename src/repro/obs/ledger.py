@@ -48,6 +48,17 @@ cause                      meaning
                            ``batch-concat`` when the next batch launches)
 ``device-evict``           a device removed from the serving group by the
                            health machinery (``moved=False``, size 0)
+``grid-build``             a ``cupp.containers`` structure (hash grid / flat
+                           map) uploaded its freshly (re)built arrays to the
+                           device — host-side construction, device-side
+                           lookup (paper ch. 7)
+``grid-query``             a kernel consumed a device-resident container: the
+                           size is the structure's device footprint the query
+                           pass reads, recorded ``moved=False`` with
+                           direction ``d2d`` (on-device traffic, not bus
+                           bytes); a lazy re-use of a still-valid grid is
+                           visible as a ``grid-query`` without a paired
+                           ``grid-build``
 ========================== ====================================================
 
 Totals accumulate unconditionally (a handful of dict updates per
@@ -79,6 +90,8 @@ CAUSES = (
     "retry",
     "failover-restore",
     "device-evict",
+    "grid-build",
+    "grid-query",
 )
 
 #: The fault/recovery subset of :data:`CAUSES` — injected faults and
@@ -103,6 +116,16 @@ MEMORY_CAUSES = (
     "pool-miss",
     "pool-trim",
     "oom-flush",
+)
+
+#: The ``cupp.containers`` subset of :data:`CAUSES` — device data
+#: structure (hash grid / flat map) traffic, which
+#: :mod:`repro.obs.analyze` groups under its "containers" section.
+#: ``grid-build`` is a genuine h2d upload; ``grid-query`` attributes the
+#: on-device bytes a query pass reads (``moved=False``).
+CONTAINER_CAUSES = (
+    "grid-build",
+    "grid-query",
 )
 
 #: Transfer directions (``none`` for entries that moved nothing).

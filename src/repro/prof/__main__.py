@@ -35,7 +35,7 @@ from repro.prof.report import (
 )
 from repro.prof.session import ProfSession
 
-PIPELINE_VERSIONS = (1, 2, 3, 4, 5)
+PIPELINE_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 
 def parse_target(raw: str) -> "tuple[str, object]":
@@ -51,7 +51,7 @@ def parse_target(raw: str) -> "tuple[str, object]":
         if version in PIPELINE_VERSIONS:
             return backend, version
     raise ValueError(
-        f"unknown target {raw!r}; expected v1..v5 or serve, "
+        f"unknown target {raw!r}; expected v1..v6 or serve, "
         "optionally prefixed sim:/native:"
     )
 

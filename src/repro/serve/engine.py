@@ -75,6 +75,7 @@ class StepEngine:
                 neighbor_v1_cost,
                 neighbor_v2_cost,
                 simulate_cost,
+                simulate_grid_cost,
             )
             from repro.gpusteer.versions import THREADS_PER_BLOCK, _cohort_size
             from repro.simgpu.perfmodel import kernel_time
@@ -96,6 +97,10 @@ class StepEngine:
                 4: [("simulate_v4", simulate_cost(geom, stats, local_cache=False))],
                 5: [
                     ("simulate_v4", simulate_cost(geom, stats, local_cache=False)),
+                    ("modify_kernel", modify_cost(all_geom)),
+                ],
+                6: [
+                    ("simulate_grid", simulate_grid_cost(geom, stats)),
                     ("modify_kernel", modify_cost(all_geom)),
                 ],
             }

@@ -421,6 +421,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--rate", type=float, default=16000.0, help="offered requests/second"
     )
     p.add_argument("--agents", type=int, default=128, help="agents per session")
+    p.add_argument(
+        "--version",
+        type=int,
+        default=5,
+        choices=(1, 2, 3, 4, 5, 6),
+        help="gpusteer pipeline version to serve (6 = grid-bucketed "
+        "neighbor search over cupp.containers)",
+    )
     p.add_argument("--max-batch", type=int, default=32, help="batch size cap")
     p.add_argument(
         "--window-ms", type=float, default=2.0, help="batching window (ms)"
@@ -590,6 +598,7 @@ def _config(args: argparse.Namespace, batching: bool) -> ServeConfig:
         backend=args.backend,
         pool=not args.no_pool,
         physics=args.physics,
+        version=args.version,
         faults=(
             FaultConfig.chaos(seed=args.seed, device_fault_rate=args.chaos_rate)
             if args.chaos

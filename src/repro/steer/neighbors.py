@@ -49,9 +49,13 @@ def neighbor_search_pure(
             if len(neighbors) < max_neighbors:
                 neighbors.append((d2, j))
             else:
-                # Replace the farthest stored neighbor if closer.
-                worst = max(range(len(neighbors)), key=lambda k: neighbors[k][0])
-                if neighbors[worst][0] > d2:
+                # Evict the lexicographically largest (d2, index) pair if
+                # the new pair is smaller: the kept set is *the*
+                # max_neighbors smallest pairs, independent of scan order
+                # — so ties resolve identically across every engine and
+                # both device backends.
+                worst = max(range(len(neighbors)), key=lambda k: neighbors[k])
+                if neighbors[worst] > (d2, j):
                     neighbors[worst] = (d2, j)
     neighbors.sort()
     found = [j for _d2, j in neighbors]
@@ -100,11 +104,11 @@ def neighbor_search_all_numpy(
         d2 = ((chunk[:, None, :] - positions[None, :, :]) ** 2).sum(axis=2)
         d2[np.arange(len(sel)), sel] = np.inf  # exclude self
         d2[d2 >= r2] = np.inf
-        idx = np.argpartition(d2, kth=kk - 1, axis=1)[:, :kk]
+        # Stable sort on d2 breaks ties by ascending column index, i.e.
+        # the exact (d2, index) selection.  (argpartition's k-cut is
+        # arbitrary under tied distances, so it cannot be used here.)
+        idx = np.argsort(d2, axis=1, kind="stable")[:, :kk]
         part = np.take_along_axis(d2, idx, axis=1)
-        order = np.argsort(part, axis=1, kind="stable")
-        idx = np.take_along_axis(idx, order, axis=1)
-        part = np.take_along_axis(part, order, axis=1)
         idx[~np.isfinite(part)] = NO_NEIGHBOR
         out[sel, :kk] = idx
     return out
@@ -122,7 +126,10 @@ def neighbor_search_all_kdtree(
     k = params.max_neighbors
     query = np.arange(n) if rows is None else np.asarray(rows)
     tree = cKDTree(positions)
-    kk = min(k + 1, n)  # +1 because the query returns the agent itself
+    # +1 for the self-match the query returns, +1 as a tie sentinel: one
+    # candidate past the kept set, so a tie straddling the k-cut always
+    # shows up as a duplicated distance in the returned row.
+    kk = min(k + 2, n)
     dist, idx = tree.query(positions[query], k=kk)
     if kk == 1:
         dist = dist[:, None]
@@ -139,6 +146,16 @@ def neighbor_search_all_kdtree(
     sel = idx[:, :take].astype(np.int64)
     sel[~np.isfinite(dist[:, :take])] = NO_NEIGHBOR
     out[query, :take] = sel
+    # The tree's k-cut and return order are arbitrary under exact ties,
+    # so any row showing a duplicated in-radius distance is recomputed
+    # with the exact (d2, index) engine.  Measure-zero for continuous
+    # positions — the fallback fires only on manufactured tie inputs.
+    finite = np.isfinite(dist)
+    dup = (dist[:, :-1] == dist[:, 1:]) & finite[:, 1:]
+    tie_rows = query[np.any(dup, axis=1)]
+    if tie_rows.size:
+        exact = neighbor_search_all_numpy(positions, params, rows=tie_rows)
+        out[tie_rows] = exact[tie_rows]
     return out
 
 

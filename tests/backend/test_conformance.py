@@ -17,7 +17,7 @@ from repro.backend.conformance import (
 )
 
 
-@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5, 6])
 class TestDifferential:
     def test_version_is_conformant(self, version):
         report = run_differential(version, agents=32, steps=2, seed=7)
@@ -37,7 +37,7 @@ class TestDifferential:
 class TestSuite:
     def test_full_suite_runs_every_pipeline_version(self):
         reports = run_suite(agents=32, steps=2, seed=11)
-        assert [r.version for r in reports] == [1, 2, 3, 4, 5]
+        assert [r.version for r in reports] == [1, 2, 3, 4, 5, 6]
         assert all(r.ok for r in reports)
 
     def test_reports_serialize(self):
@@ -63,7 +63,7 @@ class TestSuite:
         assert all(r.exact for r in reports)
 
 
-@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5, 6])
 class TestCounterConformance:
     """Profiler counters must not depend on the execution substrate.
 

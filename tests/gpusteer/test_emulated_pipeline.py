@@ -101,4 +101,4 @@ class TestValidation:
 
     def test_unknown_version_rejected(self):
         with pytest.raises(ValueError, match="version"):
-            EmulatedBoids(32, version=6)
+            EmulatedBoids(32, version=7)

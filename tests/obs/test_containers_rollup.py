@@ -1,0 +1,113 @@
+"""The analyzer's containers section: ``grid-build`` / ``grid-query``
+grouped apart from bus traffic and allocator causes, end to end from
+live ``cupp.containers`` activity down to the rendered tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.obs.analyze import (
+    analyze,
+    ledger_rollup,
+    memory_rollup,
+    render_analysis,
+)
+from repro.obs.ledger import CAUSES, CONTAINER_CAUSES, TransferRecord
+from repro.obs.tracer import TraceEvent
+
+
+def _instant(name, ts, **args):
+    return TraceEvent(
+        name=name,
+        kind="instant",
+        ts=ts,
+        dur=0.0,
+        tid=0,
+        depth=0,
+        parent=None,
+        args=args,
+    )
+
+
+def test_container_causes_cover_the_subsystem_vocabulary():
+    assert set(CONTAINER_CAUSES) == {"grid-build", "grid-query"}
+    assert set(CONTAINER_CAUSES) <= set(CAUSES)
+
+
+def test_analyze_collects_container_instants():
+    events = [
+        _instant("transfer:grid-build", 1.0, nbytes=256),
+        _instant("transfer:grid-build", 2.0, nbytes=256),
+        _instant("transfer:grid-query", 3.0, nbytes=1024),
+        _instant("transfer:eager", 4.0, nbytes=999),  # bus traffic
+        _instant("transfer:pool-hit", 5.0, nbytes=64),  # allocator
+    ]
+    analysis = analyze(events)
+    assert analysis.containers == {
+        "grid-build": {"count": 2, "bytes": 512},
+        "grid-query": {"count": 1, "bytes": 1024},
+    }
+    # The three families stay disjoint.
+    assert "grid-build" not in analysis.memory
+    assert analysis.to_dict()["containers"] == analysis.containers
+
+
+def test_analyze_from_live_hashgrid_activity():
+    from repro.cuda import CudaMachine
+    from repro.cupp import Device
+    from repro.cupp.containers import HashGrid
+    from repro.simgpu import scaled_arch
+
+    obs.reset()
+    obs.enable_tracing()
+    device = Device(
+        machine=CudaMachine([scaled_arch("t", 2, memory_bytes=1 << 22)])
+    )
+    grid = HashGrid(cell_edge=2.0)
+    rng = np.random.default_rng(0)
+    grid.build(rng.uniform(-4, 4, (8, 3)).astype(np.float32))
+    grid.transform(device)  # upload: grid-build rows + one grid-query
+    grid.transform(device)  # lazy hit: one more grid-query
+    analysis = analyze(obs.get_tracer().events())
+    assert analysis.containers["grid-query"]["count"] == 2
+    assert analysis.containers["grid-build"]["count"] >= 2  # CSR + map
+    assert (
+        analysis.containers["grid-query"]["bytes"] == 2 * grid.device_nbytes
+    )
+    obs.reset()
+
+
+def test_memory_rollup_three_way_split():
+    entries = [
+        TransferRecord("eager", "h2d", 100, True, "a", ts=1.0),
+        TransferRecord("pool-hit", "none", 1024, False, "p", ts=2.0),
+        TransferRecord("grid-build", "h2d", 640, True, "g", ts=3.0),
+        TransferRecord("grid-query", "d2d", 640, False, "g", ts=4.0),
+    ]
+    flat = ledger_rollup(entries)
+    split = memory_rollup(flat)
+    assert set(split["transfers"]) == {"eager"}
+    assert set(split["memory"]) == {"pool-hit"}
+    assert set(split["containers"]) == {"grid-build", "grid-query"}
+    assert split["containers"]["grid-build"] is flat["grid-build"]
+
+
+def test_render_includes_containers_table_only_when_present():
+    with_containers = analyze(
+        [_instant("transfer:grid-query", 0.5, nbytes=4096)]
+    )
+    text = render_analysis(with_containers)
+    assert "containers (device data-structure causes)" in text
+    assert "grid-query" in text and "4,096" in text
+    without = analyze([_instant("transfer:eager", 0.5, nbytes=1)])
+    assert "containers (" not in render_analysis(without)
+
+
+def test_containers_counter_family_registered():
+    obs.reset()
+    obs.counter("cupp.containers.builds").inc()
+    obs.counter("cupp.containers.queries").inc(2)
+    assert obs.counter("cupp.containers.builds").value == 1
+    assert obs.counter("cupp.containers.queries").value == 2
+    obs.reset()
