@@ -458,7 +458,12 @@ def run_alloc_churn(
         return int(hits), int(misses)
 
     def drive_serve(pool: bool) -> dict:
-        cfg = ServeConfig(physics=False, pool=pool)
+        # Serial scheduler: this experiment isolates the allocator, and
+        # depth-2 stream pipelining would keep *two* staging buffers in
+        # flight per device — a concurrency the warmup window doesn't
+        # exercise, so the steady state would pay a couple of raw
+        # allocations that say nothing about the pool itself.
+        cfg = ServeConfig(physics=False, pool=pool, streams=1)
         service = SimulationService(cfg)
         for i in range(clients):
             service.create_session(f"client-{i}", seed=seed + i)

@@ -23,6 +23,7 @@ class cudaError(enum.Enum):  # noqa: N801 - matches the CUDA spelling
     cudaErrorInvalidDevicePointer = 17
     cudaErrorInvalidMemcpyDirection = 21
     cudaErrorInvalidConfiguration = 9
+    cudaErrorInvalidResourceHandle = 33
     cudaErrorSetOnActiveProcess = 36
     cudaErrorNoDevice = 38
     cudaErrorECCUncorrectable = 39
@@ -43,6 +44,7 @@ _ERROR_STRINGS = {
     "cudaErrorInvalidDevicePointer": "invalid device pointer",
     "cudaErrorInvalidMemcpyDirection": "invalid copy direction for memcpy",
     "cudaErrorInvalidConfiguration": "invalid configuration argument",
+    "cudaErrorInvalidResourceHandle": "invalid resource handle",
     "cudaErrorSetOnActiveProcess": "cannot set while device is active in this process",
     "cudaErrorNoDevice": "no CUDA-capable device is detected",
     "cudaErrorECCUncorrectable": "uncorrectable ECC error encountered",

@@ -31,7 +31,13 @@ from repro.common.errors import ConfigurationError
 from repro.prof import hook as prof_hook
 from repro.cuda.errors import CudaQualifierError, cudaError
 from repro.cuda.qualifiers import is_global, kernel_guard
-from repro.cuda.types import cudaDeviceProp, cudaMemcpyKind, dim3
+from repro.cuda.types import (
+    cudaDeviceProp,
+    cudaEvent_t,
+    cudaMemcpyKind,
+    cudaStream_t,
+    dim3,
+)
 from repro.backend.base import ExecutionBackend, normalize_backends
 from repro.simgpu.arch import ArchSpec, G80_8800GTS
 from repro.simgpu.device import LaunchResult, SimDevice
@@ -280,6 +286,187 @@ class CudaRuntime(GlInteropMixin):
         return cudaError.cudaSuccess
 
     # ------------------------------------------------------------------
+    # Streams & events (asyncAPI-style overlap on the device timeline)
+    # ------------------------------------------------------------------
+    def _stream_ok(self, stream: cudaStream_t) -> bool:
+        return (
+            isinstance(stream, cudaStream_t)
+            and not stream.destroyed
+            and stream.device_index == self._bind_default()
+        )
+
+    def _event_ok(self, event: cudaEvent_t) -> bool:
+        return (
+            isinstance(event, cudaEvent_t)
+            and not event.destroyed
+            and event.device_index == self._bind_default()
+        )
+
+    def cudaStreamCreate(self) -> tuple[cudaError, cudaStream_t | None]:  # noqa: N802
+        """Create an in-order work queue on the bound device."""
+        dev = self._bind_default()
+        stream = cudaStream_t(dev, self.device.timeline.create_stream())
+        obs.counter("cuda.stream.created").inc()
+        return cudaError.cudaSuccess, stream
+
+    def cudaStreamDestroy(self, stream: cudaStream_t) -> cudaError:  # noqa: N802
+        """Destroy a stream (CUDA 1.x semantics: drains it first)."""
+        if not self._stream_ok(stream):
+            return cudaError.cudaErrorInvalidResourceHandle
+        tl = self.device.timeline
+        tl.stream_synchronize(stream.sim)
+        tl.destroy_stream(stream.sim)
+        obs.counter("cuda.stream.destroyed").inc()
+        return cudaError.cudaSuccess
+
+    def cudaEventCreate(self) -> tuple[cudaError, cudaEvent_t | None]:  # noqa: N802
+        dev = self._bind_default()
+        event = cudaEvent_t(dev, self.device.timeline.create_event())
+        obs.counter("cuda.event.created").inc()
+        return cudaError.cudaSuccess, event
+
+    def cudaEventDestroy(self, event: cudaEvent_t) -> cudaError:  # noqa: N802
+        if not self._event_ok(event):
+            return cudaError.cudaErrorInvalidResourceHandle
+        self.device.timeline.destroy_event(event.sim)
+        return cudaError.cudaSuccess
+
+    def cudaEventRecord(  # noqa: N802
+        self, event: cudaEvent_t, stream: cudaStream_t | None = None
+    ) -> cudaError:
+        """Record ``event`` after the work currently in ``stream`` (the
+        null stream when ``stream`` is ``None``)."""
+        if not self._event_ok(event):
+            return cudaError.cudaErrorInvalidResourceHandle
+        if stream is not None and not self._stream_ok(stream):
+            return cudaError.cudaErrorInvalidResourceHandle
+        self.device.timeline.record_event(
+            event.sim, None if stream is None else stream.sim
+        )
+        obs.counter("cuda.event.records").inc()
+        return cudaError.cudaSuccess
+
+    def cudaStreamWaitEvent(  # noqa: N802
+        self, stream: cudaStream_t, event: cudaEvent_t
+    ) -> cudaError:
+        """Future work on ``stream`` waits for ``event``; dependencies
+        resolve as max-of-predecessor-completions on the timeline."""
+        if not self._stream_ok(stream) or not self._event_ok(event):
+            return cudaError.cudaErrorInvalidResourceHandle
+        self.device.timeline.stream_wait_event(stream.sim, event.sim)
+        obs.counter("cuda.stream.waits").inc()
+        obs.record_transfer(
+            "stream-wait",
+            "none",
+            0,
+            moved=False,
+            label=f"stream{stream.stream_id}<-event{event.sim.event_id}",
+        )
+        return cudaError.cudaSuccess
+
+    def cudaStreamSynchronize(self, stream: cudaStream_t) -> cudaError:  # noqa: N802
+        if not self._stream_ok(stream):
+            return cudaError.cudaErrorInvalidResourceHandle
+        self.device.timeline.stream_synchronize(stream.sim)
+        return cudaError.cudaSuccess
+
+    def cudaEventSynchronize(self, event: cudaEvent_t) -> cudaError:  # noqa: N802
+        if not self._event_ok(event):
+            return cudaError.cudaErrorInvalidResourceHandle
+        self.device.timeline.event_synchronize(event.sim)
+        return cudaError.cudaSuccess
+
+    def cudaEventElapsedTime(  # noqa: N802
+        self, start: cudaEvent_t, end: cudaEvent_t
+    ) -> tuple[cudaError, float]:
+        """Milliseconds between two recorded events (asyncAPI's timing)."""
+        if not self._event_ok(start) or not self._event_ok(end):
+            return cudaError.cudaErrorInvalidResourceHandle, 0.0
+        if start.sim.timestamp_s is None or end.sim.timestamp_s is None:
+            return cudaError.cudaErrorInvalidValue, 0.0
+        return (
+            cudaError.cudaSuccess,
+            (end.sim.timestamp_s - start.sim.timestamp_s) * 1e3,
+        )
+
+    def cudaMemcpyAsync(  # noqa: N802
+        self,
+        dst: "DevicePtr | np.ndarray",
+        src: "DevicePtr | np.ndarray",
+        count: int,
+        kind: cudaMemcpyKind,
+        stream: cudaStream_t,
+    ) -> cudaError:
+        """Stream-ordered copy: the host pays only the submit cost; the
+        DMA runs on the copy-engine track and may overlap compute on
+        other streams.  Only the PCIe directions are asynchronous —
+        device-to-device copies fall back to the blocking path (the sim
+        models them as device-internal, not DMA-engine, work)."""
+        if not self._stream_ok(stream):
+            return cudaError.cudaErrorInvalidResourceHandle
+        dst_dev = isinstance(dst, DevicePtr)
+        src_dev = isinstance(src, DevicePtr)
+        expected = {
+            cudaMemcpyKind.cudaMemcpyHostToHost: (False, False),
+            cudaMemcpyKind.cudaMemcpyHostToDevice: (True, False),
+            cudaMemcpyKind.cudaMemcpyDeviceToHost: (False, True),
+            cudaMemcpyKind.cudaMemcpyDeviceToDevice: (True, True),
+        }
+        if expected.get(kind) != (dst_dev, src_dev):
+            return cudaError.cudaErrorInvalidMemcpyDirection
+        if kind in (
+            cudaMemcpyKind.cudaMemcpyHostToHost,
+            cudaMemcpyKind.cudaMemcpyDeviceToDevice,
+        ):
+            return self.cudaMemcpy(dst, src, count, kind)
+        tl = self.device.timeline
+        direction = (
+            "h2d" if kind is cudaMemcpyKind.cudaMemcpyHostToDevice else "d2h"
+        )
+        injector = self.device.fault_injector
+        if injector is not None and (
+            injector.draw(
+                "transfer", device_index=self._bind_default(), nbytes=count
+            )
+            is not None
+        ):
+            # Uncorrectable ECC error: the DMA engine still burns the bus
+            # time, but the payload arrives poisoned.
+            tl.stream_memcpy(stream.sim, count)
+            return cudaError.cudaErrorECCUncorrectable
+        op = tl.stream_memcpy(stream.sim, count)
+        self.memcpy_count += 1
+        obs.counter("cuda.stream.memcpy.count", kind=kind.name).inc()
+        obs.counter("cuda.stream.memcpy.bytes", kind=kind.name).inc(count)
+        obs.record_transfer(
+            f"async-{direction}",
+            direction,
+            count,
+            label=f"stream{stream.stream_id}",
+        )
+        obs.instant(
+            "cuda.memcpyAsync",
+            kind=kind.name,
+            nbytes=count,
+            stream=stream.stream_id,
+        )
+        mem = self.device.memory
+        try:
+            # The sim applies the payload eagerly; only the *time* is
+            # deferred onto the copy-engine track.
+            if kind is cudaMemcpyKind.cudaMemcpyHostToDevice:
+                raw = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
+                if raw.size < count:
+                    return cudaError.cudaErrorInvalidValue
+                mem.copy_in(dst, raw[:count])
+            else:
+                out = mem.copy_out(src, count)
+                dst.view(np.uint8).reshape(-1)[:count] = out
+        except InvalidDeviceAccess:
+            return cudaError.cudaErrorInvalidDevicePointer
+        return cudaError.cudaSuccess
+
+    # ------------------------------------------------------------------
     # Constant memory & texture references (ch. 7 extension surface)
     # ------------------------------------------------------------------
     def constant_symbol(
@@ -369,14 +556,21 @@ class CudaRuntime(GlInteropMixin):
         *,
         registers_per_thread: int = 10,
         strict_sync: bool = True,
+        stream: cudaStream_t | None = None,
     ) -> cudaError:
         """Step 3: start the configured kernel.
 
         ``kernel`` must be a ``__global__``-qualified function pointer
-        (§3.2.2).  The launch consumes the pending configuration.
+        (§3.2.2).  The launch consumes the pending configuration.  With
+        ``stream`` the kernel is enqueued on that stream's compute track
+        and may overlap copies and other streams' kernels; without, it
+        runs on the null stream and serializes against everything.
         """
         if self._pending is None:
             return cudaError.cudaErrorInvalidConfiguration
+        if stream is not None and not self._stream_ok(stream):
+            self._pending = None
+            return cudaError.cudaErrorInvalidResourceHandle
         if not is_global(kernel):
             self._pending = None
             return cudaError.cudaErrorInvalidValue
@@ -401,9 +595,16 @@ class CudaRuntime(GlInteropMixin):
                 if fault == "hang":
                     # The device wedges for the configured latency; the
                     # failure is only visible once a watchdog gives up.
-                    self.device.timeline.launch_kernel(
-                        injector.config.hang_latency_s
-                    )
+                    # A stream launch wedges that stream's compute track
+                    # (other streams may still make progress).
+                    if stream is not None:
+                        self.device.timeline.stream_launch(
+                            stream.sim, injector.config.hang_latency_s
+                        )
+                    else:
+                        self.device.timeline.launch_kernel(
+                            injector.config.hang_latency_s
+                        )
                     span.set(error="injected-hang")
                     return cudaError.cudaErrorLaunchFailure
             try:
@@ -432,7 +633,17 @@ class CudaRuntime(GlInteropMixin):
             duration = self.device.duration_s(
                 result, registers_per_thread=registers_per_thread
             )
-            self.device.timeline.launch_kernel(duration)
+            if stream is not None:
+                op = self.device.timeline.stream_launch(stream.sim, duration)
+                obs.counter("cuda.stream.launches").inc()
+                span.set(
+                    stream=stream.stream_id,
+                    track=op.track,
+                    sched_start_s=op.start_s,
+                    sched_end_s=op.end_s,
+                )
+            else:
+                self.device.timeline.launch_kernel(duration)
             # The emulator's instruction profile rides on the launch span
             # so a trace alone can answer "what did this launch do?"
             # (vectorized native launches have no instruction stream).

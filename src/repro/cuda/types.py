@@ -1,4 +1,5 @@
-"""CUDA host-API types: ``dim3``, memcpy kinds, device properties."""
+"""CUDA host-API types: ``dim3``, memcpy kinds, streams, events,
+device properties."""
 
 from __future__ import annotations
 
@@ -9,8 +10,55 @@ from repro.simgpu.arch import ArchSpec
 from repro.simgpu.dims import Dim3 as dim3  # noqa: N813 - CUDA spelling
 from repro.simgpu.dims import Dim3 as uint3  # noqa: N813 - same layout
 from repro.simgpu.dims import make_dim3
+from repro.simgpu.transfer import Event as _TimelineEvent
+from repro.simgpu.transfer import Stream as _TimelineStream
 
-__all__ = ["cudaDeviceProp", "cudaMemcpyKind", "dim3", "make_dim3", "uint3"]
+__all__ = [
+    "cudaDeviceProp",
+    "cudaEvent_t",
+    "cudaMemcpyKind",
+    "cudaStream_t",
+    "dim3",
+    "make_dim3",
+    "uint3",
+]
+
+
+@dataclass(eq=False)
+class cudaStream_t:  # noqa: N801 - matches the CUDA spelling
+    """An opaque stream handle bound to one device's timeline.
+
+    Wraps the :class:`repro.simgpu.transfer.Stream` work queue; the
+    runtime validates that a handle is used on the device that created
+    it (``cudaErrorInvalidResourceHandle`` otherwise).
+    """
+
+    device_index: int
+    sim: _TimelineStream
+
+    @property
+    def stream_id(self) -> int:
+        return self.sim.stream_id
+
+    @property
+    def destroyed(self) -> bool:
+        return self.sim.destroyed
+
+
+@dataclass(eq=False)
+class cudaEvent_t:  # noqa: N801 - matches the CUDA spelling
+    """An opaque event handle bound to one device's timeline."""
+
+    device_index: int
+    sim: _TimelineEvent
+
+    @property
+    def recorded(self) -> bool:
+        return self.sim.timestamp_s is not None
+
+    @property
+    def destroyed(self) -> bool:
+        return self.sim.destroyed
 
 
 class cudaMemcpyKind(enum.Enum):  # noqa: N801 - matches the CUDA spelling

@@ -7,19 +7,25 @@ the implementation was fairly easy.  We only had to add an additional
 CuPP vector, so we have two vectors available to store the data required
 to draw the agents."
 
-The frame schedule is played out on a :class:`DeviceTimeline`:
+The frame schedule is played out on a :class:`DeviceTimeline` with two
+streams, the way the cuda-samples ``asyncAPI`` demo structures overlap:
+
+* a **compute** stream carries the update kernels and the render pass
+  (rendering occupies the same silicon as CUDA kernels, so it serializes
+  with compute — that bound is why the paper's measured gains top out
+  around 32% instead of the naive 2x);
+* a **copy** stream carries the draw-matrix fetch, gated on an event
+  recorded after the update kernel (``cudaStreamWaitEvent`` semantics:
+  the fetch starts at its predecessor's completion) so the DMA rides the
+  copy engine *while* the render runs.
 
 * **without** double buffering a frame is strictly serial:
   launch update -> memcpy draw matrices (implicitly waits for the device)
-  -> draw;
+  -> draw; the schedule only ever touches one queue, so it is
+  arithmetically identical to the old serial device model.
 * **with** double buffering the host draws step *n* (from buffer A) while
-  the device computes step *n+1* (into buffer B).
-
-Only part of the draw stage overlaps: the GPU renders with the same
-silicon that runs CUDA kernels, so render time serializes with compute
-and only the host-side submission work (``draw_overlappable_fraction``)
-hides kernel execution.  That bound is why the paper's measured gains top
-out around 32% instead of the naive 2x.
+  the device computes step *n+1* (into buffer B) and the copy engine
+  fetches step *n+1*'s matrices behind the render.
 """
 
 from __future__ import annotations
@@ -40,6 +46,13 @@ class FrameTimings:
     n: int
     frame_without_s: float
     frame_with_s: float
+
+    def __post_init__(self) -> None:
+        if self.frame_without_s <= 0.0 or self.frame_with_s <= 0.0:
+            raise ValueError(
+                "frame periods must be positive, got "
+                f"without={self.frame_without_s!r} with={self.frame_with_s!r}"
+            )
 
     @property
     def fps_without(self) -> float:
@@ -75,7 +88,7 @@ def simulate_frames(
     gl_interop: bool = False,
 ) -> float:
     """Play ``frames`` demo frames on a timeline; return the steady-state
-    frame period (warm-up frames excluded).
+    frame period (warm-up frames excluded; ``frames`` must be >= 1).
 
     ``gl_interop=True`` models the §3.2 OpenGL-interoperability path the
     paper left unused: the draw matrices stay on the device (the renderer
@@ -84,17 +97,26 @@ def simulate_frames(
     """
     from repro.cuda.interop import MAP_OVERHEAD_S
 
+    if frames < 1:
+        raise ValueError(f"frames must be >= 1, got {frames}")
+
     update = update_time(version, n, params, calib=calib)
     draw_host, draw_render = _draw_components(n, calib)
     matrix_bytes = DRAW_MATRIX_BYTES * n
 
     tl = DeviceTimeline(calib.pcie_model())
     tl.launch_overhead_s = calib.launch_overhead_s
+    compute = tl.create_stream()  # update kernels + render, in order
+    copy = tl.create_stream()  # draw-matrix fetches on the DMA engine
+    update_done = tl.create_event()
+    frame_done = tl.create_event()
     stamps: list[float] = []
 
     def device_update() -> None:
         # Host-resident substages (v1-v4) run on the host clock; kernels
-        # are enqueued asynchronously; transfers block.
+        # are enqueued asynchronously; input transfers block the host
+        # (pageable cudaMemcpy, §2.2) and already include their per-call
+        # overheads from the version cost model.
         with obs.span(
             "db.update",
             host_compute_s=update.host_compute_s,
@@ -103,11 +125,11 @@ def simulate_frames(
         ):
             tl.host_work(update.host_compute_s)
             if update.transfer_s:
-                tl.memcpy(0)  # implicit sync of input copies
-                tl.host_time += update.transfer_s
-                tl.device_busy_until = max(tl.device_busy_until, tl.host_time)
+                tl.synchronize()  # implicit sync of input copies
+                tl.host_work(update.transfer_s)
             if update.gpu_kernel_s:
-                tl.launch_kernel(update.gpu_kernel_s)
+                tl.stream_launch(compute, update.gpu_kernel_s)
+            tl.record_event(update_done, compute)
 
     def fetch_draw_data() -> None:
         with obs.span(
@@ -117,13 +139,30 @@ def simulate_frames(
                 # Map/unmap a registered buffer object: synchronize, no copy.
                 tl.synchronize()
                 tl.host_work(2 * MAP_OVERHEAD_S)
+            elif double_buffered:
+                # The fetch rides the copy engine once the update kernel
+                # has produced the matrices — overlapped with the render
+                # on the compute stream.  These are the overlapped bytes
+                # Fig. 6.4's gain comes from.
+                tl.stream_wait_event(copy, update_done)
+                obs.record_transfer(
+                    "stream-wait",
+                    "none",
+                    0,
+                    moved=False,
+                    label="draw-fetch<-update",
+                )
+                tl.stream_memcpy(copy, matrix_bytes)
+                obs.record_transfer(
+                    "double-buffer-overlap",
+                    "d2h",
+                    matrix_bytes,
+                    label="draw-matrices",
+                )
             else:
                 tl.memcpy(matrix_bytes)
-                # With double buffering the fetch lands while the device
-                # computes the *next* step — those are the overlapped
-                # bytes Fig. 6.4's gain comes from.
                 obs.record_transfer(
-                    "double-buffer-overlap" if double_buffered else "eager",
+                    "eager",
                     "d2h",
                     matrix_bytes,
                     label="draw-matrices",
@@ -134,10 +173,12 @@ def simulate_frames(
             "db.draw", host_s=draw_host, render_s=draw_render
         ):
             tl.host_work(draw_host)
-            # Rendering occupies the device itself: queue it like a kernel.
-            tl.launch_kernel(draw_render)
+            # Rendering occupies the device itself: queue it like a
+            # kernel, after the in-flight update on the compute stream.
+            tl.stream_launch(compute, draw_render)
 
     if not double_buffered:
+        loop_start = tl.host_time
         for frame in range(frames):
             with obs.span("db.frame", frame=frame, double_buffered=False):
                 device_update()
@@ -148,18 +189,26 @@ def simulate_frames(
     else:
         device_update()  # pipeline priming: compute step 0
         fetch_draw_data()
+        tl.stream_synchronize(copy)  # step 0's matrices before first draw
+        loop_start = tl.host_time
         for frame in range(frames):
             with obs.span("db.frame", frame=frame, double_buffered=True):
                 device_update()  # step n+1 starts while we draw step n
                 draw()
-                tl.synchronize()
-                fetch_draw_data()  # step n+1's matrices into the other buffer
+                tl.record_event(frame_done, compute)
+                fetch_draw_data()  # step n+1's matrices, behind the render
+                tl.event_synchronize(frame_done)  # render complete
+                tl.stream_synchronize(copy)  # next buffer filled
             stamps.append(tl.host_time)
 
-    # Steady-state period: average of the later frames.
-    tail = stamps[len(stamps) // 2 :]
-    head = stamps[len(stamps) // 2 - 1]
-    return (tail[-1] - head) / len(tail)
+    # Steady-state period: average of the later frames.  The window
+    # starts at the stamp preceding the tail — or at the loop start when
+    # there is no earlier stamp (frames == 1), so a single frame yields
+    # its own (warm-up-inclusive) period instead of a zero division.
+    half = len(stamps) // 2
+    tail = stamps[half:]
+    start = stamps[half - 1] if half >= 1 else loop_start
+    return (tail[-1] - start) / len(tail)
 
 
 def compare(

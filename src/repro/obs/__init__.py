@@ -53,6 +53,7 @@ from repro.obs.ledger import (
     DIRECTIONS,
     FAULT_CAUSES,
     MEMORY_CAUSES,
+    STREAM_CAUSES,
     TransferLedger,
     TransferRecord,
 )
@@ -89,6 +90,7 @@ __all__ = [
     "NullRecorder",
     "NullSpan",
     "Recorder",
+    "STREAM_CAUSES",
     "Span",
     "SpanLink",
     "TraceContext",

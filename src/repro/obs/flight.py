@@ -178,13 +178,19 @@ class TraceRecord:
 
 @dataclass
 class DeviceEvent:
-    """One interval on a device's utilization track."""
+    """One interval on a device's utilization track.
+
+    ``stream`` tags the interval with the stream that scheduled it
+    (``None`` for serial null-stream work); consumers split tagged
+    events into per-stream sub-tracks so overlap is visible.
+    """
 
     device: int
     kind: str  # one of DEVICE_TRACK_KINDS
     start_s: float
     end_s: float
     label: str = ""
+    stream: "int | None" = None
 
     def to_dict(self) -> dict:
         return {
@@ -193,6 +199,7 @@ class DeviceEvent:
             "start_s": self.start_s,
             "end_s": self.end_s,
             "label": self.label,
+            "stream": self.stream,
         }
 
 
@@ -330,14 +337,23 @@ class FlightRecorder:
         return span
 
     def device_event(
-        self, device: int, kind: str, start_s: float, end_s: float, label: str = ""
+        self,
+        device: int,
+        kind: str,
+        start_s: float,
+        end_s: float,
+        label: str = "",
+        stream: "int | None" = None,
     ) -> None:
-        """Record one interval on a device's utilization track."""
+        """Record one interval on a device's utilization track (tagged
+        with its scheduling ``stream`` for overlapped work)."""
         if kind not in DEVICE_TRACK_KINDS:
             raise ValueError(
                 f"unknown device track kind {kind!r}; one of {DEVICE_TRACK_KINDS}"
             )
-        self.device_events.append(DeviceEvent(device, kind, start_s, end_s, label))
+        self.device_events.append(
+            DeviceEvent(device, kind, start_s, end_s, label, stream)
+        )
 
     # ------------------------------------------------------------------
     # the tail-sampling verdict
@@ -502,13 +518,15 @@ def device_utilization(
     events: "list[DeviceEvent]",
     t0: "float | None" = None,
     t1: "float | None" = None,
+    by_stream: bool = False,
 ) -> dict:
     """Fold device events into per-device busy/transfer/wedged/idle time.
 
     The horizon defaults to the events' own extent; idle is whatever
-    the horizon does not cover (floored at zero — the serial device
-    model never overlaps kernel and bus work, but clamping keeps the
-    numbers honest against rounding).
+    the horizon does not cover (floored at zero).  With streams the
+    copy-engine and compute tracks may overlap, so a device's covered
+    time can exceed the horizon — pass ``by_stream=True`` to key rows
+    by ``(device, stream)`` instead and see each track's share.
     """
     if not events:
         return {}
@@ -517,17 +535,28 @@ def device_utilization(
     horizon = max(hi - lo, 0.0)
     out: dict = {}
     for event in events:
+        key = (event.device, event.stream) if by_stream else event.device
         row = out.setdefault(
-            event.device,
+            key,
             {kind: 0.0 for kind in DEVICE_TRACK_KINDS},
         )
         row[event.kind] += max(0.0, event.end_s - event.start_s)
-    for device, row in out.items():
+    for key, row in out.items():
         covered = sum(row.values())
         row["idle"] = max(0.0, horizon - covered)
         row["horizon_s"] = horizon
         row["utilization"] = (
             row["busy"] / horizon if horizon > 0 else 0.0
+        )
+    if by_stream:
+        return dict(
+            sorted(
+                out.items(),
+                key=lambda kv: (
+                    kv[0][0],
+                    -1 if kv[0][1] is None else kv[0][1],
+                ),
+            )
         )
     return dict(sorted(out.items()))
 
@@ -540,10 +569,31 @@ def device_chrome_trace(
 
     One named thread row per device (``device-N``, satisfying
     Perfetto's need for ``M`` metadata to label tracks), one ``X``
-    event per interval, timestamps in virtual microseconds.
+    event per interval, timestamps in virtual microseconds.  Events
+    tagged with a stream get their own sub-row (``device-N/sK``) so
+    overlapped copy/compute intervals render side by side instead of
+    stacking on one thread.
     """
     from repro.obs.export import chrome_trace
     from repro.obs.tracer import TraceEvent
+
+    has_streams = any(e.stream is not None for e in events)
+
+    def _tid(e: DeviceEvent) -> int:
+        if not has_streams:
+            return e.device
+        # 64 sub-rows per device: row 0 is the null stream.
+        return e.device * 64 + (0 if e.stream is None else e.stream + 1)
+
+    def _name(e: DeviceEvent) -> str:
+        base = (
+            device_names.get(e.device, f"device-{e.device}")
+            if device_names
+            else f"device-{e.device}"
+        )
+        if not has_streams or e.stream is None:
+            return base
+        return f"{base}/s{e.stream}"
 
     rows = [
         TraceEvent(
@@ -551,21 +601,14 @@ def device_chrome_trace(
             kind="span",
             ts=e.start_s,
             dur=max(0.0, e.end_s - e.start_s),
-            tid=e.device,
+            tid=_tid(e),
             depth=0,
             parent=None,
             args={"device": e.device, "label": e.label} if e.label else {"device": e.device},
         )
         for e in events
     ]
-    names = {
-        e.device: (
-            device_names.get(e.device, f"device-{e.device}")
-            if device_names
-            else f"device-{e.device}"
-        )
-        for e in events
-    }
+    names = {_tid(e): _name(e) for e in events}
     return chrome_trace(rows, process_name="devices", thread_names=names)
 
 
@@ -586,16 +629,27 @@ def render_gantt(events: "list[DeviceEvent]", width: int = 72) -> str:
     hi = max(e.end_s for e in events)
     span = max(hi - lo, 1e-12)
     bin_s = span / width
-    devices = sorted({e.device for e in events})
+    # One line per device for serial traces; one per (device, stream)
+    # track when any event is stream-tagged, so overlap is visible.
+    has_streams = any(e.stream is not None for e in events)
+    if has_streams:
+        tracks = sorted(
+            {(e.device, e.stream) for e in events},
+            key=lambda t: (t[0], -1 if t[1] is None else t[1]),
+        )
+    else:
+        tracks = [(d, None) for d in sorted({e.device for e in events})]
     priority = {kind: i for i, kind in enumerate(DEVICE_TRACK_KINDS)}
     lines = [
         f"device timeline  [{lo * 1e3:.3f} ms .. {hi * 1e3:.3f} ms]  "
         f"({bin_s * 1e6:.1f} us/col; #=busy ==transfer X=wedged .=idle)"
     ]
-    for device in devices:
+    for device, stream in tracks:
         cells = [-1] * width
         for event in events:
             if event.device != device:
+                continue
+            if has_streams and event.stream != stream:
                 continue
             first = int((event.start_s - lo) / bin_s)
             last = int((event.end_s - lo) / bin_s)
@@ -607,5 +661,10 @@ def render_gantt(events: "list[DeviceEvent]", width: int = 72) -> str:
             "." if c < 0 else _GANTT_GLYPHS[DEVICE_TRACK_KINDS[c]]
             for c in cells
         )
-        lines.append(f"device-{device} |{row}|")
+        label = (
+            f"device-{device}"
+            if not has_streams
+            else f"device-{device}{'' if stream is None else f'/s{stream}'}"
+        )
+        lines.append(f"{label} |{row}|")
     return "\n".join(lines)

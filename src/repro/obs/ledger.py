@@ -59,6 +59,14 @@ cause                      meaning
                            bytes); a lazy re-use of a still-valid grid is
                            visible as a ``grid-query`` without a paired
                            ``grid-build``
+``async-h2d``              a ``cudaMemcpyAsync`` upload enqueued on a stream:
+                           the bytes ride the copy-engine track and may
+                           overlap compute on other streams
+``async-d2h``              a ``cudaMemcpyAsync`` download enqueued on a
+                           stream (the deferred fetch double buffering hides)
+``stream-wait``            a ``cudaStreamWaitEvent`` dependency edge: one
+                           stream's work gated on another's event
+                           (``moved=False``, size 0 — scheduling, not bytes)
 ========================== ====================================================
 
 Totals accumulate unconditionally (a handful of dict updates per
@@ -92,6 +100,19 @@ CAUSES = (
     "device-evict",
     "grid-build",
     "grid-query",
+    "async-h2d",
+    "async-d2h",
+    "stream-wait",
+)
+
+#: The stream/overlap subset of :data:`CAUSES` — ``cudaMemcpyAsync``
+#: traffic on the copy-engine track plus ``cudaStreamWaitEvent``
+#: dependency edges.  The async causes are genuine bus bytes; a
+#: ``stream-wait`` is pure scheduling (``moved=False``, size 0).
+STREAM_CAUSES = (
+    "async-h2d",
+    "async-d2h",
+    "stream-wait",
 )
 
 #: The fault/recovery subset of :data:`CAUSES` — injected faults and

@@ -444,6 +444,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--devices", type=int, default=2, help="GPUs in the group")
     p.add_argument(
+        "--streams",
+        type=int,
+        default=2,
+        help="CUDA streams per device: 2 pipelines uploads/kernels/"
+        "fetches (depth 2); 1 restores the legacy serial scheduler "
+        "byte-for-byte",
+    )
+    p.add_argument(
         "--backend",
         default="sim",
         help=(
@@ -595,6 +603,7 @@ def _config(args: argparse.Namespace, batching: bool) -> ServeConfig:
             None if args.deadline_ms is None else args.deadline_ms * 1e-3
         ),
         devices=args.devices,
+        streams=args.streams,
         backend=args.backend,
         pool=not args.no_pool,
         physics=args.physics,

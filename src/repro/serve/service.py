@@ -108,6 +108,12 @@ class ServeConfig:
     default_deadline_s: "float | None" = None
     #: Devices in the serving group.
     devices: int = 2
+    #: CUDA streams per device.  The default (2: one copy + one compute
+    #: stream) pipelines staging uploads, kernels, and deferred result
+    #: fetches with depth 2 per device; ``streams=1`` restores the
+    #: legacy null-stream scheduler byte-for-byte (every launch/memcpy
+    #: serializes on ``device_busy_until``).
+    streams: int = 2
     #: Execution backend per device: ``"sim"``, ``"native"``, ``"mixed"``
     #: (alternating), or an explicit per-device list of kinds.
     backend: "str | list[str]" = "sim"
@@ -174,6 +180,7 @@ class SimulationService:
             calib=cfg.calib,
             host_dispatch_s=cfg.host_dispatch_s,
             host_per_request_s=cfg.host_per_request_s,
+            streams=cfg.streams,
         )
         #: The service's virtual clock (seconds).
         self.now = 0.0
@@ -624,11 +631,32 @@ class SimulationService:
         self._in_flight.remove(sub)
         if self.flight is not None and sub.flight_span is not None:
             self.flight.end(sub.flight_span, self.now, outcome="batch-timeout")
+        # Streams mode pipelines two sub-batches per device, so the
+        # evicted device may hold a sibling whose kernels are queued
+        # behind the wedge: it goes down with the device (abandoned and
+        # requeued like the primary, but the eviction is counted once).
+        siblings = [
+            s for s in self._in_flight if s.device_index == sub.device_index
+        ]
+        for sib in siblings:
+            self._in_flight.remove(sib)
+            obs.instant(
+                "serve.sibling-abandon",
+                device=sib.device_index,
+                requests=len(sib.requests),
+            )
+            if self.flight is not None and sib.flight_span is not None:
+                self.flight.end(
+                    sib.flight_span, self.now, outcome="batch-timeout"
+                )
         self.scheduler.abandon(sub)
+        for sib in siblings:
+            self.scheduler.abandon(sib)
         self.scheduler.evict(sub.device_index, reason="batch-timeout")
-        for request, session in zip(sub.requests, sub.sessions):
-            session.in_flight = False
-            self._busy_sessions.discard(session.session_id)
+        for doomed in (sub, *siblings):
+            for request, session in zip(doomed.requests, doomed.sessions):
+                session.in_flight = False
+                self._busy_sessions.discard(session.session_id)
         # Every session resident on the dead device — in this sub or
         # idle — fails over (warm sessions pin to their device, so none
         # can be in flight elsewhere).
@@ -636,7 +664,10 @@ class SimulationService:
             if session.resident_on == sub.device_index:
                 self._restore_session(session, "batch-timeout")
         self._fault_requeue(sub.requests, "batch-timeout")
+        for sib in siblings:
+            self._fault_requeue(sib.requests, "batch-timeout")
         self._zombies.append(sub)
+        self._zombies.extend(siblings)
         self._schedule_probe()
         self.admission.on_slots_freed(self.now)
 
@@ -751,15 +782,29 @@ class SimulationService:
                         sub.device_index
                     ].host_time
                     if self.injector is not None:
-                        # Watchdog: predicted kernel time plus slack —
-                        # a hang overshoots this; nothing healthy does.
-                        # (Perf model on sim devices, EWMA on native.)
-                        predicted = self.scheduler.predict_kernel_s(
-                            sub.device_index, sub.sessions, self.engine
-                        )
-                        sub.timeout_s = (
-                            self.now + predicted + self.retry.batch_timeout_s
-                        )
+                        # Watchdog: predicted completion plus slack — a
+                        # hang overshoots this; nothing healthy does.
+                        if self.scheduler.streams > 1:
+                            # Streams mode: the schedule itself predicts
+                            # the finish (queueing behind the device's
+                            # other in-flight sub-batch included, any
+                            # injected hang excluded).
+                            sub.timeout_s = (
+                                sub.expected_completion_s
+                                + self.retry.batch_timeout_s
+                            )
+                        else:
+                            # Legacy: launch time plus predicted kernel
+                            # seconds (perf model on sim devices, EWMA
+                            # on native).
+                            predicted = self.scheduler.predict_kernel_s(
+                                sub.device_index, sub.sessions, self.engine
+                            )
+                            sub.timeout_s = (
+                                self.now
+                                + predicted
+                                + self.retry.batch_timeout_s
+                            )
                     self.stats.launches += 2
                     self._in_flight.append(sub)
 

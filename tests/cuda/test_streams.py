@@ -1,0 +1,362 @@
+"""``cudaStream_t``/``cudaEvent_t``: the asyncAPI-style overlap surface.
+
+Covers the CUDA 1.x stream/event host API on the simulated runtime —
+creation/destruction and invalid-handle handling, stream-ordered
+``cudaMemcpyAsync`` and ``cudaLaunch``, event record/wait/elapsed, the
+observability rows (``cuda.stream.*`` counters, ``async-h2d``/
+``async-d2h``/``stream-wait`` ledger causes), fault injection on stream
+ops, zero-byte copy semantics, and sim/native conformance (both
+backends share the timeline, so copy schedules are bit-identical).
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cuda import (
+    CudaMachine,
+    CudaRuntime,
+    cudaError,
+    cudaMemcpyKind,
+    global_,
+)
+from repro.fault import FaultConfig, FaultInjector
+from repro.simgpu import scaled_arch
+from repro.simgpu.isa import st
+from repro.simgpu.memory import DeviceArrayView
+
+H2D = cudaMemcpyKind.cudaMemcpyHostToDevice
+D2H = cudaMemcpyKind.cudaMemcpyDeviceToHost
+
+
+def make_rt(backend: str = "sim") -> CudaRuntime:
+    return CudaRuntime(
+        CudaMachine(
+            [scaled_arch("t", 2, memory_bytes=1 << 22)], backend=backend
+        )
+    )
+
+
+@pytest.fixture
+def rt() -> CudaRuntime:
+    return make_rt()
+
+
+@global_
+def fill_double(ctx, out):
+    i = ctx.global_thread_id
+    yield st(out, i, float(i) * 2)
+
+
+def launch_on(rt, stream, n=32):
+    err, ptr = rt.cudaMalloc(n * 4)
+    assert err.ok
+    view = DeviceArrayView(rt.device.memory, ptr, np.dtype(np.float32), n)
+    rt.cudaConfigureCall(1, n)
+    rt.cudaSetupArgument(view, 0, size=8)
+    return rt.cudaLaunch(fill_double, stream=stream), ptr
+
+
+class TestLifecycle:
+    def test_create_destroy_stream_and_event(self, rt):
+        err, stream = rt.cudaStreamCreate()
+        assert err.ok and not stream.destroyed
+        err, event = rt.cudaEventCreate()
+        assert err.ok and not event.recorded
+        assert rt.cudaEventDestroy(event).ok
+        assert rt.cudaStreamDestroy(stream).ok
+        assert stream.destroyed and event.destroyed
+
+    def test_destroyed_handles_are_invalid(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        _, event = rt.cudaEventCreate()
+        rt.cudaStreamDestroy(stream)
+        rt.cudaEventDestroy(event)
+        bad = cudaError.cudaErrorInvalidResourceHandle
+        assert rt.cudaStreamDestroy(stream) is bad
+        assert rt.cudaEventDestroy(event) is bad
+        assert rt.cudaStreamSynchronize(stream) is bad
+        assert rt.cudaEventSynchronize(event) is bad
+        assert rt.cudaEventRecord(event) is bad
+        assert rt.cudaStreamWaitEvent(stream, event) is bad
+
+    def test_foreign_object_is_invalid(self, rt):
+        assert (
+            rt.cudaStreamSynchronize(object())
+            is cudaError.cudaErrorInvalidResourceHandle
+        )
+        err = rt.cudaMemcpyAsync(
+            np.zeros(4, np.float32), np.zeros(4, np.float32), 16, H2D, None
+        )
+        assert err is cudaError.cudaErrorInvalidResourceHandle
+
+    def test_stream_destroy_drains_pending_work(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        err, ptr = rt.cudaMalloc(1 << 12)
+        assert err.ok
+        rt.cudaMemcpyAsync(ptr, np.zeros(1 << 10, np.float32), 1 << 12, H2D, stream)
+        before = rt.device.timeline.host_time
+        assert rt.cudaStreamDestroy(stream).ok
+        # The destroy synchronized: the host waited out the DMA.
+        assert rt.device.timeline.host_time >= before
+        assert rt.device.timeline.host_time >= stream.sim.ready_s
+
+    def test_launch_on_invalid_stream_consumes_config(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        rt.cudaStreamDestroy(stream)
+        err, _ = launch_on(rt, stream)
+        assert err is cudaError.cudaErrorInvalidResourceHandle
+        # The 3-step launch dance was consumed: a bare launch now fails
+        # on configuration, not on the stale stream.
+        assert (
+            rt.cudaLaunch(fill_double)
+            is cudaError.cudaErrorInvalidConfiguration
+        )
+
+
+class TestAsyncMemcpy:
+    def test_round_trip_payload(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        src = np.arange(64, dtype=np.float32)
+        err, ptr = rt.cudaMalloc(src.nbytes)
+        assert err.ok
+        assert rt.cudaMemcpyAsync(ptr, src, src.nbytes, H2D, stream).ok
+        out = np.zeros_like(src)
+        assert rt.cudaMemcpyAsync(out, ptr, src.nbytes, D2H, stream).ok
+        assert rt.cudaStreamSynchronize(stream).ok
+        np.testing.assert_array_equal(out, src)
+
+    def test_submit_does_not_block_the_host(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        _, ptr = rt.cudaMalloc(1 << 20)
+        host_before = rt.device.timeline.host_time
+        rt.cudaMemcpyAsync(ptr, np.zeros(1 << 18, np.float32), 1 << 20, H2D, stream)
+        # Async submit: the host clock did not pay the transfer.
+        assert rt.device.timeline.host_time == host_before
+        assert stream.sim.ready_s > host_before
+        rt.cudaStreamSynchronize(stream)
+        assert rt.device.timeline.host_time == stream.sim.ready_s
+
+    def test_wrong_direction_rejected(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        _, ptr = rt.cudaMalloc(64)
+        err = rt.cudaMemcpyAsync(np.zeros(16, np.float32), ptr, 64, H2D, stream)
+        assert err is cudaError.cudaErrorInvalidMemcpyDirection
+
+    def test_counters_and_ledger_rows(self, rt):
+        obs.reset()
+        _, stream = rt.cudaStreamCreate()
+        src = np.arange(16, dtype=np.float32)
+        _, ptr = rt.cudaMalloc(src.nbytes)
+        rt.cudaMemcpyAsync(ptr, src, src.nbytes, H2D, stream)
+        rt.cudaMemcpyAsync(np.zeros_like(src), ptr, src.nbytes, D2H, stream)
+        led = obs.get_ledger().snapshot()
+        assert led["bytes_by_cause"]["async-h2d"] == src.nbytes
+        assert led["bytes_by_cause"]["async-d2h"] == src.nbytes
+        assert led["moved_bytes_by_direction"]["h2d"] == src.nbytes
+        assert led["moved_bytes_by_direction"]["d2h"] == src.nbytes
+        assert (
+            obs.counter(
+                "cuda.stream.memcpy.count", kind=H2D.name
+            ).value
+            == 1
+        )
+        assert (
+            obs.counter("cuda.stream.memcpy.bytes", kind=D2H.name).value
+            == src.nbytes
+        )
+
+    def test_ecc_fault_burns_bus_time_and_poisons(self, rt):
+        injector = FaultInjector(
+            FaultConfig(script={"transfer": ["transfer-corrupt"]})
+        )
+        rt.device.fault_injector = injector
+        _, stream = rt.cudaStreamCreate()
+        _, ptr = rt.cudaMalloc(64)
+        ready_before = stream.sim.ready_s
+        err = rt.cudaMemcpyAsync(ptr, np.zeros(16, np.float32), 64, H2D, stream)
+        assert err is cudaError.cudaErrorECCUncorrectable
+        # The DMA still occupied the engine for the full transfer.
+        assert stream.sim.ready_s > ready_before
+
+
+class TestZeroByteCopies:
+    """Satellite: 0-byte copies are driver no-ops that still order."""
+
+    def test_blocking_zero_copy_is_pure_sync(self, rt):
+        _, ptr = rt.cudaMalloc(64)
+        tl = rt.device.timeline
+        tl.launch_kernel(1e-3)
+        host_before = tl.host_time
+        assert rt.cudaMemcpy(ptr, np.zeros(0, np.uint8), 0, H2D).ok
+        # It synchronized (waited out the kernel)...
+        assert tl.host_time >= 1e-3
+        assert tl.host_time > host_before
+        # ...but charged no per-call overhead or bus time.
+        assert tl.host_time == tl.device_busy_until
+        assert tl.pcie.transfer_time(0) == 0.0
+
+    def test_async_zero_copy_orders_but_costs_nothing(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        _, ptr = rt.cudaMalloc(64)
+        err, _ = launch_on(rt, stream)
+        assert err.ok
+        ready_before = stream.sim.ready_s
+        assert rt.cudaMemcpyAsync(ptr, np.zeros(0, np.uint8), 0, H2D, stream).ok
+        # Ordered after the kernel, zero engine time.
+        assert stream.sim.ready_s == ready_before
+
+
+class TestStreamOrderedLaunch:
+    def test_stream_launch_runs_and_counts(self, rt):
+        obs.reset()
+        _, stream = rt.cudaStreamCreate()
+        err, ptr = launch_on(rt, stream)
+        assert err.ok
+        rt.cudaStreamSynchronize(stream)
+        out = rt.device.memory.view(ptr, np.float32, 32)
+        np.testing.assert_array_equal(out, np.arange(32) * 2.0)
+        assert obs.counter("cuda.stream.launches").value == 1
+
+    def test_kernels_serialize_within_one_stream(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        err, _ = launch_on(rt, stream)
+        assert err.ok
+        first_end = stream.sim.ready_s
+        err, _ = launch_on(rt, stream)
+        assert err.ok
+        assert stream.sim.ready_s > first_end
+
+    def test_copy_overlaps_compute_on_another_stream(self, rt):
+        _, compute = rt.cudaStreamCreate()
+        _, copy = rt.cudaStreamCreate()
+        tl = rt.device.timeline
+        # A long kernel on the compute stream...
+        op_k = tl.stream_launch(compute.sim, 5e-3)
+        # ...and a DMA on the copy stream, submitted after: they overlap
+        # because they occupy different tracks.
+        op_c = tl.stream_memcpy(copy.sim, 1 << 20)
+        assert op_c.start_s < op_k.end_s
+        assert op_k.track.startswith("compute") and op_c.track == "copy"
+
+    def test_injected_hang_wedges_only_that_stream(self, rt):
+        injector = FaultInjector(FaultConfig(script={"launch": ["hang"]}))
+        rt.device.fault_injector = injector
+        _, wedged = rt.cudaStreamCreate()
+        _, healthy = rt.cudaStreamCreate()
+        err, _ = launch_on(rt, wedged)
+        assert err is cudaError.cudaErrorLaunchFailure
+        assert wedged.sim.ready_s >= injector.config.hang_latency_s
+        # The second stream's front is not dragged by the wedge (only
+        # shared tracks could couple them; a single kernel leaves one).
+        assert healthy.sim.ready_s == 0.0
+
+
+class TestEvents:
+    def test_record_wait_orders_across_streams(self, rt):
+        _, producer = rt.cudaStreamCreate()
+        _, consumer = rt.cudaStreamCreate()
+        _, event = rt.cudaEventCreate()
+        err, _ = launch_on(rt, producer)
+        assert err.ok
+        assert rt.cudaEventRecord(event, producer).ok
+        assert event.recorded
+        assert rt.cudaStreamWaitEvent(consumer, event).ok
+        op = rt.device.timeline.stream_launch(consumer.sim, 1e-4)
+        # The consumer's kernel starts no earlier than the producer's
+        # completion: max-of-predecessor-completions.
+        assert op.start_s >= event.sim.timestamp_s
+
+    def test_wait_on_unrecorded_event_is_noop(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        _, event = rt.cudaEventCreate()
+        ready = stream.sim.ready_s
+        assert rt.cudaStreamWaitEvent(stream, event).ok
+        assert stream.sim.ready_s == ready
+
+    def test_event_synchronize_blocks_host(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        _, event = rt.cudaEventCreate()
+        err, _ = launch_on(rt, stream)
+        assert err.ok
+        rt.cudaEventRecord(event, stream)
+        assert rt.cudaEventSynchronize(event).ok
+        assert rt.device.timeline.host_time >= event.sim.timestamp_s
+
+    def test_elapsed_time_measures_the_span(self, rt):
+        _, stream = rt.cudaStreamCreate()
+        _, start = rt.cudaEventCreate()
+        _, end = rt.cudaEventCreate()
+        rt.cudaEventRecord(start, stream)
+        tl = rt.device.timeline
+        tl.stream_launch(stream.sim, 2e-3)
+        rt.cudaEventRecord(end, stream)
+        err, ms = rt.cudaEventElapsedTime(start, end)
+        assert err.ok
+        # Kernel time plus the host-side launch overhead between records.
+        assert ms == pytest.approx((2e-3 + tl.launch_overhead_s) * 1e3)
+
+    def test_elapsed_time_needs_recorded_events(self, rt):
+        _, start = rt.cudaEventCreate()
+        _, end = rt.cudaEventCreate()
+        err, _ = rt.cudaEventElapsedTime(start, end)
+        assert err is cudaError.cudaErrorInvalidValue
+
+    def test_stream_wait_lands_in_the_ledger(self, rt):
+        obs.reset()
+        _, a = rt.cudaStreamCreate()
+        _, b = rt.cudaStreamCreate()
+        _, event = rt.cudaEventCreate()
+        rt.cudaEventRecord(event, a)
+        rt.cudaStreamWaitEvent(b, event)
+        led = obs.get_ledger().snapshot()
+        assert led["count_by_cause"]["stream-wait"] == 1
+        assert obs.counter("cuda.stream.waits").value == 1
+
+
+class TestSimNativeConformance:
+    """Both backends share the timeline model, so stream programs agree:
+    payloads bit-identical, copy schedules float-identical."""
+
+    @staticmethod
+    def _stream_program(rt):
+        _, stream_a = rt.cudaStreamCreate()
+        _, stream_b = rt.cudaStreamCreate()
+        _, event = rt.cudaEventCreate()
+        src = np.arange(256, dtype=np.float32)
+        err, ptr = rt.cudaMalloc(src.nbytes)
+        assert err.ok
+        assert rt.cudaMemcpyAsync(ptr, src, src.nbytes, H2D, stream_a).ok
+        assert rt.cudaEventRecord(event, stream_a).ok
+        assert rt.cudaStreamWaitEvent(stream_b, event).ok
+        out = np.zeros_like(src)
+        assert rt.cudaMemcpyAsync(out, ptr, src.nbytes, D2H, stream_b).ok
+        # Zero-byte copy: same semantics on both backends.
+        assert rt.cudaMemcpyAsync(ptr, np.zeros(0, np.uint8), 0, H2D, stream_a).ok
+        assert rt.cudaStreamSynchronize(stream_a).ok
+        assert rt.cudaStreamSynchronize(stream_b).ok
+        tl = rt.device.timeline
+        return out, (
+            tl.host_time,
+            stream_a.sim.ready_s,
+            stream_b.sim.ready_s,
+            event.sim.timestamp_s,
+            tl.device_busy_until,
+        )
+
+    def test_copy_schedule_and_payload_agree(self):
+        sim_out, sim_clocks = self._stream_program(make_rt("sim"))
+        nat_out, nat_clocks = self._stream_program(make_rt("native"))
+        np.testing.assert_array_equal(sim_out, nat_out)
+        assert sim_clocks == nat_clocks  # bit-identical virtual schedule
+
+    def test_kernel_payloads_agree_across_backends(self):
+        results = []
+        for backend in ("sim", "native"):
+            rt = make_rt(backend)
+            _, stream = rt.cudaStreamCreate()
+            err, ptr = launch_on(rt, stream)
+            assert err.ok
+            rt.cudaStreamSynchronize(stream)
+            results.append(np.asarray(rt.device.memory.view(ptr, np.float32, 32)).copy())
+        np.testing.assert_array_equal(results[0], results[1])

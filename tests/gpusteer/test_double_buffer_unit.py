@@ -37,6 +37,61 @@ class TestSimulateFrames:
         assert t.fps_with == pytest.approx(62.5)
         assert t.improvement == pytest.approx(0.25)
 
+    def test_frame_timings_reject_non_positive_periods(self):
+        with pytest.raises(ValueError, match="positive"):
+            FrameTimings(n=1, frame_without_s=0.0, frame_with_s=0.016)
+        with pytest.raises(ValueError, match="positive"):
+            FrameTimings(n=1, frame_without_s=0.02, frame_with_s=-1.0)
+
+
+class TestSmallFrameCounts:
+    """Regression: the steady-state window used to compute a period of
+    0.0 at ``frames=1`` (ZeroDivisionError downstream via
+    ``FrameTimings``) because the tail window was empty."""
+
+    @pytest.mark.parametrize("frames", [1, 2, 3, 4])
+    @pytest.mark.parametrize("double_buffered", [False, True])
+    def test_tiny_frame_counts_yield_positive_periods(
+        self, frames, double_buffered
+    ):
+        period = simulate_frames(
+            4096,
+            DEFAULT_PARAMS,
+            double_buffered=double_buffered,
+            frames=frames,
+        )
+        assert period > 0.0
+
+    @pytest.mark.parametrize("frames", [1, 2, 3, 4])
+    def test_tiny_frame_counts_build_frame_timings(self, frames):
+        t = FrameTimings(
+            n=4096,
+            frame_without_s=simulate_frames(
+                4096, DEFAULT_PARAMS, double_buffered=False, frames=frames
+            ),
+            frame_with_s=simulate_frames(
+                4096, DEFAULT_PARAMS, double_buffered=True, frames=frames
+            ),
+        )
+        assert t.fps_with > 0.0 and t.fps_without > 0.0
+
+    def test_zero_frames_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="frames must be >= 1"):
+            simulate_frames(
+                4096, DEFAULT_PARAMS, double_buffered=True, frames=0
+            )
+
+    def test_small_counts_approach_the_steady_state(self):
+        # frames=1 includes warm-up; by 4 frames the window is within a
+        # few percent of the long-run steady state.
+        long_run = simulate_frames(
+            4096, DEFAULT_PARAMS, double_buffered=True, frames=24
+        )
+        four = simulate_frames(
+            4096, DEFAULT_PARAMS, double_buffered=True, frames=4
+        )
+        assert four == pytest.approx(long_run, rel=0.05)
+
 
 class TestVectorStlCompleteness:
     def test_front_back_empty(self):
